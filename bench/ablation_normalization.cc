@@ -1,0 +1,58 @@
+// Reproduces the Section IV-B2 normalization ablation: removing the
+// k-DPP normalizer Z_k from the LkP objective destroys the ranking
+// interpretation and hurts final quality (the paper reports 0.1106 vs
+// 0.1254 NDCG@20 against even BPR on ML).
+//
+// Shape expectations: normalized LkP > BPR > unnormalized LkP on NDCG,
+// and the unnormalized run exhibits much larger loss magnitudes (the
+// instability the paper attributes to raw determinants).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace lkpdpp;
+  std::printf("=== Ablation: k-DPP normalization in LkP (ML) ===\n");
+  auto cfg = MlLikeConfig(bench::ScaleFromEnv());
+  auto made = GenerateSyntheticDataset(cfg);
+  made.status().CheckOK();
+  Dataset dataset = std::move(made).ValueOrDie();
+  ExperimentRunner runner(&dataset);
+
+  std::vector<TableRow> rows;
+  struct Setting {
+    std::string label;
+    CriterionKind criterion;
+    bool normalize;
+  };
+  const std::vector<Setting> settings = {
+      {"LkP-PS", CriterionKind::kLkp, true},
+      {"LkP-noZ", CriterionKind::kLkp, false},
+      {"BPR", CriterionKind::kBpr, true},
+  };
+  double loss_normalized = 0.0, loss_unnormalized = 0.0;
+  for (const Setting& s : settings) {
+    ExperimentSpec spec = bench::BaseSpec(ModelKind::kGcn, 36);
+    spec.criterion = s.criterion;
+    spec.lkp_mode = LkpMode::kPositiveOnly;
+    spec.lkp_normalize = s.normalize;
+    auto result = runner.Run(spec);
+    result.status().CheckOK();
+    rows.push_back(TableRow{s.label, result->test_metrics});
+    if (s.criterion == CriterionKind::kLkp) {
+      (s.normalize ? loss_normalized : loss_unnormalized) =
+          std::fabs(result->final_train_loss);
+    }
+    std::printf("  [%-8s] final |train loss| = %.4g\n", s.label.c_str(),
+                std::fabs(result->final_train_loss));
+  }
+
+  PrintMetricTable("Normalization ablation (ml-sim, GCN, k=n=5)", rows,
+                   {5, 10, 20});
+  std::printf("\nloss magnitude without Z_k is %.1fx the normalized one "
+              "(instability indicator)\n",
+              loss_unnormalized / std::max(loss_normalized, 1e-9));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared setup for the table/figure reproduction binaries.
+//
+// Every binary is standalone (no arguments) and sized for a laptop-class
+// machine. LKP_SCALE scales the synthetic dataset populations (default
+// 1.0); LKP_EPOCHS overrides the training epoch budget. The datasets are
+// the Table-I-shaped presets from data/synthetic.h.
+
+#ifndef LKPDPP_BENCH_BENCH_COMMON_H_
+#define LKPDPP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "data/synthetic.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
+#include "exp/table.h"
+
+namespace lkpdpp::bench {
+
+inline double ScaleFromEnv() {
+  const char* env = std::getenv("LKP_SCALE");
+  if (env != nullptr) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+inline int EpochsFromEnv(int fallback) {
+  const char* env = std::getenv("LKP_EPOCHS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// The three Table-I-shaped datasets, in paper order.
+inline std::vector<Dataset> PaperDatasets() {
+  const double scale = ScaleFromEnv();
+  std::vector<Dataset> out;
+  for (const SyntheticConfig& cfg :
+       {BeautyLikeConfig(scale), MlLikeConfig(scale),
+        AnimeLikeConfig(scale)}) {
+    auto ds = GenerateSyntheticDataset(cfg);
+    ds.status().CheckOK();
+    out.push_back(std::move(ds).ValueOrDie());
+  }
+  return out;
+}
+
+/// Training defaults shared by the table benches.
+inline ExperimentSpec BaseSpec(ModelKind model, int epochs) {
+  ExperimentSpec spec;
+  spec.model = model;
+  spec.k = 5;
+  spec.n = 5;
+  spec.embedding_dim = 16;
+  spec.epochs = EpochsFromEnv(epochs);
+  spec.batch_size = 64;
+  spec.learning_rate = 0.01;
+  spec.eval_every = 3;
+  spec.patience = 5;
+  return spec;
+}
+
+/// Runs one spec and converts it to a table row; prints progress.
+inline TableRow RunRow(ExperimentRunner* runner, const ExperimentSpec& spec,
+                       const std::string& label) {
+  Stopwatch timer;
+  auto result = runner->Run(spec);
+  result.status().CheckOK();
+  std::printf("  [%-10s] best_epoch=%-3d epochs=%-3d val_ndcg=%.4f "
+              "(%.1fs)\n",
+              label.c_str(), result->best_epoch, result->epochs_run,
+              result->best_validation_ndcg, timer.ElapsedSeconds());
+  std::fflush(stdout);
+  return TableRow{label, result->test_metrics};
+}
+
+}  // namespace lkpdpp::bench
+
+#endif  // LKPDPP_BENCH_BENCH_COMMON_H_

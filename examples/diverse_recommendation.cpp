@@ -1,0 +1,90 @@
+// Diverse recommendation: the workload the paper's introduction
+// motivates. A pairwise criterion (BPR) concentrates a user's list on
+// their dominant categories; LkP's set-level objective balances
+// relevance with category coverage. This example trains both on the same
+// data and compares per-list diversity.
+//
+//   ./build/examples/diverse_recommendation
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "exp/runner.h"
+
+namespace {
+
+double MeanCoverage(lkpdpp::RecModel* model, const lkpdpp::Dataset& ds,
+                    lkpdpp::Evaluator* evaluator, int n) {
+  double total = 0.0;
+  int count = 0;
+  for (int u : ds.EvaluableUsers()) {
+    const std::vector<int> top = evaluator->TopNForUser(model, u, n);
+    total += lkpdpp::CategoryCoverageAtN(top, n, ds);
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lkpdpp;
+  SyntheticConfig cfg;
+  cfg.name = "diverse";
+  cfg.num_users = 150;
+  cfg.num_items = 180;
+  cfg.num_categories = 16;
+  cfg.num_events = 18000;
+  // Focused users: strong dominant-category preference, the regime where
+  // diversification matters most.
+  cfg.user_affinity_concentration = 0.2;
+  auto dataset = GenerateSyntheticDataset(cfg);
+  dataset.status().CheckOK();
+
+  ExperimentRunner runner(&*dataset);
+  Evaluator evaluator(&*dataset);
+
+  struct Contender {
+    const char* label;
+    CriterionKind criterion;
+  };
+  std::printf("%-8s %10s %10s %10s %10s\n", "method", "Re@10", "Nd@10",
+              "CC@10", "F@10");
+  double cc[2] = {0.0, 0.0};
+  double nd[2] = {0.0, 0.0};
+  int idx = 0;
+  for (const Contender& c : {Contender{"BPR", CriterionKind::kBpr},
+                             Contender{"LkP", CriterionKind::kLkp}}) {
+    ExperimentSpec spec;
+    spec.model = ModelKind::kGcn;
+    spec.criterion = c.criterion;
+    spec.lkp_mode = LkpMode::kNegativeAndPositive;
+    spec.epochs = 30;
+    std::unique_ptr<RecModel> model;
+    auto result = runner.RunAndKeepModel(spec, &model);
+    result.status().CheckOK();
+    const MetricSet& m = result->test_metrics.at(10);
+    std::printf("%-8s %10.4f %10.4f %10.4f %10.4f\n", c.label, m.recall,
+                m.ndcg, m.category_coverage, m.f_score);
+
+    // Per-list coverage including items outside the test set — the
+    // user-facing notion of a "varied" page of recommendations.
+    std::printf("         mean top-10 category coverage: %.4f\n",
+                MeanCoverage(model.get(), *dataset, &evaluator, 10));
+    cc[idx] = m.category_coverage;
+    nd[idx] = m.ndcg;
+    ++idx;
+  }
+  std::printf("\nOn this draw %s leads relevance (Nd@10 %.4f vs %.4f) and "
+              "%s leads coverage (CC@10 %.4f vs %.4f) — the "
+              "relevance/diversity balance Figure 1 of the paper "
+              "illustrates. Re-seed the generator to explore the "
+              "trade-off surface.\n",
+              nd[1] >= nd[0] ? "LkP" : "BPR", std::max(nd[0], nd[1]),
+              std::min(nd[0], nd[1]), cc[1] >= cc[0] ? "LkP" : "BPR",
+              std::max(cc[0], cc[1]), std::min(cc[0], cc[1]));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// DPP MAP re-ranking: the related-work extension (Chen et al. 2018)
+// layered on top of an LkP-trained model. Takes a trained recommender's
+// top-30 candidate pool for each user and re-ranks it with fast greedy
+// MAP inference over the quality x diversity kernel, comparing plain
+// top-10 against the diversified top-10.
+//
+//   ./build/examples/map_rerank
+
+#include <cstdio>
+
+#include "core/map_inference.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "exp/runner.h"
+#include "kernels/quality_diversity.h"
+
+int main() {
+  using namespace lkpdpp;
+  auto dataset = GenerateSyntheticDataset(BeautyLikeConfig(0.8));
+  dataset.status().CheckOK();
+  ExperimentRunner runner(&*dataset);
+  Evaluator evaluator(&*dataset);
+
+  // Train a recommender with LkP_NPS.
+  ExperimentSpec spec;
+  spec.model = ModelKind::kMf;
+  spec.criterion = CriterionKind::kLkp;
+  spec.epochs = 30;
+  std::unique_ptr<RecModel> model;
+  auto result = runner.RunAndKeepModel(spec, &model);
+  result.status().CheckOK();
+  auto kernel = runner.GetDiversityKernel();
+  kernel.status().CheckOK();
+
+  const int pool_size = 30;
+  const int top_n = 10;
+  double cc_plain = 0.0;
+  double cc_rerank = 0.0;
+  double re_plain = 0.0;
+  double re_rerank = 0.0;
+  int users = 0;
+
+  for (int u : dataset->EvaluableUsers()) {
+    const std::vector<int> pool =
+        evaluator.TopNForUser(model.get(), u, pool_size);
+    if (static_cast<int>(pool.size()) < top_n) continue;
+
+    // Plain list: first top_n of the pool.
+    std::vector<int> plain(pool.begin(), pool.begin() + top_n);
+
+    // Diversified list: greedy MAP over the pool's kernel.
+    const Vector all_scores = model->ScoreAllItems(u);
+    Vector scores(static_cast<int>(pool.size()));
+    for (size_t i = 0; i < pool.size(); ++i) {
+      scores[static_cast<int>(i)] = all_scores[pool[i]];
+    }
+    auto picked = DiversifiedRerank(
+        ApplyQuality(scores, QualityTransform::kExp),
+        (*kernel)->Submatrix(pool), top_n);
+    if (!picked.ok()) continue;
+    std::vector<int> reranked;
+    for (int local : *picked) reranked.push_back(pool[local]);
+
+    cc_plain += CategoryCoverageAtN(plain, top_n, *dataset);
+    cc_rerank += CategoryCoverageAtN(reranked, top_n, *dataset);
+    re_plain += RecallAtN(plain, dataset->TestItems(u), top_n);
+    re_rerank += RecallAtN(reranked, dataset->TestItems(u), top_n);
+    ++users;
+  }
+  if (users == 0) {
+    std::printf("no evaluable users\n");
+    return 0;
+  }
+  std::printf("averaged over %d users (top-%d from a %d-item pool):\n",
+              users, top_n, pool_size);
+  std::printf("  %-18s Recall %.4f   CategoryCoverage %.4f\n",
+              "plain top-N", re_plain / users, cc_plain / users);
+  std::printf("  %-18s Recall %.4f   CategoryCoverage %.4f\n",
+              "greedy MAP rerank", re_rerank / users, cc_rerank / users);
+  std::printf("\nMAP re-ranking trades recall for coverage on top of an "
+              "already-trained model; LkP moves the same trade-off into "
+              "training itself.\n");
+  return 0;
+}

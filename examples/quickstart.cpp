@@ -1,0 +1,67 @@
+// Quickstart: train a recommender with the LkP criterion in ~40 lines.
+//
+// Generates a small synthetic implicit-feedback dataset, trains matrix
+// factorization under LkP_NPS (the paper's strongest variant), and
+// prints one user's category-annotated top-5 recommendations plus the
+// test metrics.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "exp/runner.h"
+
+int main() {
+  using namespace lkpdpp;
+
+  // 1. Data: a category-structured implicit-feedback world.
+  SyntheticConfig data_cfg;
+  data_cfg.name = "quickstart";
+  data_cfg.num_users = 120;
+  data_cfg.num_items = 150;
+  data_cfg.num_categories = 12;
+  data_cfg.num_events = 14000;
+  auto dataset = GenerateSyntheticDataset(data_cfg);
+  dataset.status().CheckOK();
+  std::printf("dataset: %d users x %d items, %ld interactions, "
+              "%d categories\n",
+              dataset->num_users(), dataset->num_items(),
+              dataset->num_interactions(), dataset->num_categories());
+
+  // 2. Experiment: MF backbone + LkP_NPS criterion, k = n = 5.
+  ExperimentRunner runner(&*dataset);
+  ExperimentSpec spec;
+  spec.model = ModelKind::kMf;
+  spec.criterion = CriterionKind::kLkp;
+  spec.lkp_mode = LkpMode::kNegativeAndPositive;
+  spec.k = 5;
+  spec.n = 5;
+  spec.epochs = 30;
+
+  std::unique_ptr<RecModel> model;
+  auto result = runner.RunAndKeepModel(spec, &model);
+  result.status().CheckOK();
+  std::printf("trained %s with %s: best epoch %d (val NDCG@10 %.4f)\n",
+              ModelKindName(spec.model), spec.VariantName().c_str(),
+              result->best_epoch, result->best_validation_ndcg);
+
+  // 3. Recommend: category-annotated top-5 for one user.
+  Evaluator evaluator(&*dataset);
+  const int user = dataset->EvaluableUsers().front();
+  std::printf("\ntop-5 for user %d:\n", user);
+  for (int item : evaluator.TopNForUser(model.get(), user, 5)) {
+    std::printf("  item %-4d categories:", item);
+    for (int c : dataset->ItemCategories(item)) std::printf(" %d", c);
+    std::printf("\n");
+  }
+
+  // 4. Metrics.
+  std::printf("\ntest metrics:\n");
+  for (const auto& [n, m] : result->test_metrics) {
+    std::printf("  @%-2d  Recall %.4f  NDCG %.4f  CC %.4f  F %.4f\n", n,
+                m.recall, m.ndcg, m.category_coverage, m.f_score);
+  }
+  return 0;
+}

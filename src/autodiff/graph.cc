@@ -1,0 +1,366 @@
+#include "autodiff/graph.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace lkpdpp::ad {
+
+const Matrix& Tensor::value() const {
+  LKP_CHECK(valid());
+  return graph->value(*this);
+}
+
+const Matrix& Graph::value(const Tensor& t) const {
+  LKP_CHECK(t.id >= 0 && t.id < size());
+  return nodes_[static_cast<size_t>(t.id)].value;
+}
+
+Tensor Graph::MakeNode(Matrix value, std::vector<int> parents,
+                       std::function<void(Graph*, int)> backward) {
+  Node n;
+  n.value = std::move(value);
+  n.parents = std::move(parents);
+  n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return Tensor{size() - 1, this};
+}
+
+Matrix& Graph::GradRef(int id) {
+  Node& n = node(id);
+  if (!n.has_grad) {
+    n.grad = Matrix(n.value.rows(), n.value.cols());
+    n.has_grad = true;
+  }
+  return n.grad;
+}
+
+void Graph::AccumulateGrad(int id, const Matrix& g) {
+  Matrix& grad = GradRef(id);
+  LKP_CHECK(grad.rows() == g.rows() && grad.cols() == g.cols())
+      << "gradient shape mismatch at node " << id;
+  grad += g;
+}
+
+Tensor Graph::Constant(Matrix value) {
+  return MakeNode(std::move(value), {}, nullptr);
+}
+
+Tensor Graph::Parameter(Param* param) {
+  LKP_CHECK(param != nullptr);
+  Tensor t = MakeNode(param->value, {}, nullptr);
+  node(t.id).param = param;
+  return t;
+}
+
+Tensor Graph::GatherRows(Tensor input, std::vector<int> rows) {
+  const Matrix& in = value(input);
+  Matrix out(static_cast<int>(rows.size()), in.cols());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    LKP_CHECK(rows[r] >= 0 && rows[r] < in.rows());
+    for (int c = 0; c < in.cols(); ++c) {
+      out(static_cast<int>(r), c) = in(rows[r], c);
+    }
+  }
+  auto rows_copy = rows;
+  const int parent = input.id;
+  return MakeNode(std::move(out), {parent},
+                  [parent, rows_copy](Graph* g, int self) {
+                    const Matrix& up = g->node(self).grad;
+                    Matrix& down = g->GradRef(parent);
+                    for (size_t r = 0; r < rows_copy.size(); ++r) {
+                      for (int c = 0; c < up.cols(); ++c) {
+                        down(rows_copy[r], c) +=
+                            up(static_cast<int>(r), c);
+                      }
+                    }
+                  });
+}
+
+Tensor Graph::Add(Tensor a, Tensor b) {
+  const int pa = a.id, pb = b.id;
+  return MakeNode(value(a) + value(b), {pa, pb},
+                  [pa, pb](Graph* g, int self) {
+                    const Matrix& up = g->node(self).grad;
+                    g->AccumulateGrad(pa, up);
+                    g->AccumulateGrad(pb, up);
+                  });
+}
+
+Tensor Graph::Sub(Tensor a, Tensor b) {
+  const int pa = a.id, pb = b.id;
+  return MakeNode(value(a) - value(b), {pa, pb},
+                  [pa, pb](Graph* g, int self) {
+                    const Matrix& up = g->node(self).grad;
+                    g->AccumulateGrad(pa, up);
+                    Matrix neg = up;
+                    neg *= -1.0;
+                    g->AccumulateGrad(pb, neg);
+                  });
+}
+
+Tensor Graph::Mul(Tensor a, Tensor b) {
+  const int pa = a.id, pb = b.id;
+  return MakeNode(Hadamard(value(a), value(b)), {pa, pb},
+                  [pa, pb](Graph* g, int self) {
+                    const Matrix& up = g->node(self).grad;
+                    g->AccumulateGrad(pa, Hadamard(up, g->node(pb).value));
+                    g->AccumulateGrad(pb, Hadamard(up, g->node(pa).value));
+                  });
+}
+
+Tensor Graph::Scale(Tensor a, double s) {
+  const int pa = a.id;
+  return MakeNode(value(a) * s, {pa}, [pa, s](Graph* g, int self) {
+    g->AccumulateGrad(pa, g->node(self).grad * s);
+  });
+}
+
+Tensor Graph::MatMul(Tensor a, Tensor b) {
+  const int pa = a.id, pb = b.id;
+  return MakeNode(
+      lkpdpp::MatMul(value(a), value(b)), {pa, pb},
+      [pa, pb](Graph* g, int self) {
+        const Matrix& up = g->node(self).grad;
+        // dA = up * B^T ; dB = A^T * up.
+        g->AccumulateGrad(pa, lkpdpp::MatMulTransB(up, g->node(pb).value));
+        g->AccumulateGrad(pb, lkpdpp::MatMulTransA(g->node(pa).value, up));
+      });
+}
+
+Tensor Graph::MatMulTransB(Tensor a, Tensor b) {
+  const int pa = a.id, pb = b.id;
+  return MakeNode(
+      lkpdpp::MatMulTransB(value(a), value(b)), {pa, pb},
+      [pa, pb](Graph* g, int self) {
+        const Matrix& up = g->node(self).grad;
+        // out = A B^T: dA = up * B ; dB = up^T * A.
+        g->AccumulateGrad(pa, lkpdpp::MatMul(up, g->node(pb).value));
+        g->AccumulateGrad(pb, lkpdpp::MatMulTransA(up, g->node(pa).value));
+      });
+}
+
+Tensor Graph::AddRowBroadcast(Tensor a, Tensor row) {
+  const Matrix& av = value(a);
+  const Matrix& rv = value(row);
+  LKP_CHECK_EQ(rv.rows(), 1);
+  LKP_CHECK_EQ(rv.cols(), av.cols());
+  Matrix out = av;
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out(r, c) += rv(0, c);
+  }
+  const int pa = a.id, pr = row.id;
+  return MakeNode(std::move(out), {pa, pr}, [pa, pr](Graph* g, int self) {
+    const Matrix& up = g->node(self).grad;
+    g->AccumulateGrad(pa, up);
+    Matrix rsum(1, up.cols());
+    for (int r = 0; r < up.rows(); ++r) {
+      for (int c = 0; c < up.cols(); ++c) rsum(0, c) += up(r, c);
+    }
+    g->AccumulateGrad(pr, rsum);
+  });
+}
+
+Tensor Graph::RepeatRow(Tensor row, int count) {
+  const Matrix& rv = value(row);
+  LKP_CHECK_EQ(rv.rows(), 1);
+  LKP_CHECK_GT(count, 0);
+  Matrix out(count, rv.cols());
+  for (int r = 0; r < count; ++r) {
+    for (int c = 0; c < rv.cols(); ++c) out(r, c) = rv(0, c);
+  }
+  const int pr = row.id;
+  return MakeNode(std::move(out), {pr}, [pr](Graph* g, int self) {
+    const Matrix& up = g->node(self).grad;
+    Matrix rsum(1, up.cols());
+    for (int r = 0; r < up.rows(); ++r) {
+      for (int c = 0; c < up.cols(); ++c) rsum(0, c) += up(r, c);
+    }
+    g->AccumulateGrad(pr, rsum);
+  });
+}
+
+Tensor Graph::ConcatCols(Tensor a, Tensor b) {
+  const Matrix& av = value(a);
+  const Matrix& bv = value(b);
+  LKP_CHECK_EQ(av.rows(), bv.rows());
+  Matrix out(av.rows(), av.cols() + bv.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) out(r, c) = av(r, c);
+    for (int c = 0; c < bv.cols(); ++c) out(r, av.cols() + c) = bv(r, c);
+  }
+  const int pa = a.id, pb = b.id;
+  const int acols = av.cols();
+  return MakeNode(std::move(out), {pa, pb},
+                  [pa, pb, acols](Graph* g, int self) {
+                    const Matrix& up = g->node(self).grad;
+                    Matrix da(up.rows(), acols);
+                    Matrix db(up.rows(), up.cols() - acols);
+                    for (int r = 0; r < up.rows(); ++r) {
+                      for (int c = 0; c < acols; ++c) da(r, c) = up(r, c);
+                      for (int c = acols; c < up.cols(); ++c) {
+                        db(r, c - acols) = up(r, c);
+                      }
+                    }
+                    g->AccumulateGrad(pa, da);
+                    g->AccumulateGrad(pb, db);
+                  });
+}
+
+Tensor Graph::SliceRows(Tensor a, int start, int count) {
+  const Matrix& av = value(a);
+  LKP_CHECK(start >= 0 && count >= 0 && start + count <= av.rows());
+  Matrix out(count, av.cols());
+  for (int r = 0; r < count; ++r) {
+    for (int c = 0; c < av.cols(); ++c) out(r, c) = av(start + r, c);
+  }
+  const int pa = a.id;
+  return MakeNode(std::move(out), {pa}, [pa, start](Graph* g, int self) {
+    const Matrix& up = g->node(self).grad;
+    Matrix& down = g->GradRef(pa);
+    for (int r = 0; r < up.rows(); ++r) {
+      for (int c = 0; c < up.cols(); ++c) down(start + r, c) += up(r, c);
+    }
+  });
+}
+
+Tensor Graph::RowSum(Tensor a) {
+  const Matrix& av = value(a);
+  Matrix out(av.rows(), 1);
+  for (int r = 0; r < av.rows(); ++r) {
+    double s = 0.0;
+    for (int c = 0; c < av.cols(); ++c) s += av(r, c);
+    out(r, 0) = s;
+  }
+  const int pa = a.id;
+  return MakeNode(std::move(out), {pa}, [pa](Graph* g, int self) {
+    const Matrix& up = g->node(self).grad;
+    Matrix& down = g->GradRef(pa);
+    for (int r = 0; r < down.rows(); ++r) {
+      for (int c = 0; c < down.cols(); ++c) down(r, c) += up(r, 0);
+    }
+  });
+}
+
+Tensor Graph::Relu(Tensor a) {
+  Matrix out = value(a);
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) {
+      if (out(r, c) < 0.0) out(r, c) = 0.0;
+    }
+  }
+  const int pa = a.id;
+  return MakeNode(std::move(out), {pa}, [pa](Graph* g, int self) {
+    const Matrix& up = g->node(self).grad;
+    const Matrix& val = g->node(self).value;
+    Matrix down = up;
+    for (int r = 0; r < down.rows(); ++r) {
+      for (int c = 0; c < down.cols(); ++c) {
+        if (val(r, c) <= 0.0) down(r, c) = 0.0;
+      }
+    }
+    g->AccumulateGrad(pa, down);
+  });
+}
+
+Tensor Graph::Sigmoid(Tensor a) {
+  Matrix out = value(a);
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) {
+      const double x = out(r, c);
+      out(r, c) = x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
+                           : std::exp(x) / (1.0 + std::exp(x));
+    }
+  }
+  const int pa = a.id;
+  return MakeNode(std::move(out), {pa}, [pa](Graph* g, int self) {
+    const Matrix& up = g->node(self).grad;
+    const Matrix& val = g->node(self).value;
+    Matrix down = up;
+    for (int r = 0; r < down.rows(); ++r) {
+      for (int c = 0; c < down.cols(); ++c) {
+        down(r, c) *= val(r, c) * (1.0 - val(r, c));
+      }
+    }
+    g->AccumulateGrad(pa, down);
+  });
+}
+
+Tensor Graph::Tanh(Tensor a) {
+  Matrix out = value(a);
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out(r, c) = std::tanh(out(r, c));
+  }
+  const int pa = a.id;
+  return MakeNode(std::move(out), {pa}, [pa](Graph* g, int self) {
+    const Matrix& up = g->node(self).grad;
+    const Matrix& val = g->node(self).value;
+    Matrix down = up;
+    for (int r = 0; r < down.rows(); ++r) {
+      for (int c = 0; c < down.cols(); ++c) {
+        down(r, c) *= 1.0 - val(r, c) * val(r, c);
+      }
+    }
+    g->AccumulateGrad(pa, down);
+  });
+}
+
+Tensor Graph::Spmm(const SparseMatrix* sparse, Tensor dense) {
+  LKP_CHECK(sparse != nullptr);
+  const int pd = dense.id;
+  return MakeNode(sparse->Multiply(value(dense)), {pd},
+                  [pd, sparse](Graph* g, int self) {
+                    g->AccumulateGrad(
+                        pd, sparse->MultiplyTransposed(g->node(self).grad));
+                  });
+}
+
+Tensor Graph::MeanOf(const std::vector<Tensor>& tensors) {
+  LKP_CHECK(!tensors.empty());
+  Matrix out = value(tensors[0]);
+  for (size_t i = 1; i < tensors.size(); ++i) out += value(tensors[i]);
+  const double inv = 1.0 / static_cast<double>(tensors.size());
+  out *= inv;
+  std::vector<int> parents;
+  parents.reserve(tensors.size());
+  for (const Tensor& t : tensors) parents.push_back(t.id);
+  auto parent_ids = parents;
+  return MakeNode(std::move(out), std::move(parents),
+                  [parent_ids, inv](Graph* g, int self) {
+                    const Matrix up = g->node(self).grad * inv;
+                    for (int p : parent_ids) g->AccumulateGrad(p, up);
+                  });
+}
+
+Status Graph::Backward(const std::vector<std::pair<Tensor, Matrix>>& seeds) {
+  if (backward_done_) {
+    return Status::FailedPrecondition("Backward already run on this graph");
+  }
+  backward_done_ = true;
+  for (const auto& [tensor, seed] : seeds) {
+    if (tensor.graph != this || tensor.id < 0 || tensor.id >= size()) {
+      return Status::InvalidArgument("seed tensor not from this graph");
+    }
+    const Node& n = nodes_[static_cast<size_t>(tensor.id)];
+    if (seed.rows() != n.value.rows() || seed.cols() != n.value.cols()) {
+      return Status::InvalidArgument(
+          StrFormat("seed shape %dx%d does not match tensor %dx%d",
+                    seed.rows(), seed.cols(), n.value.rows(),
+                    n.value.cols()));
+    }
+    AccumulateGrad(tensor.id, seed);
+  }
+  // Nodes were created in topological order; sweep in reverse.
+  for (int id = size() - 1; id >= 0; --id) {
+    Node& n = node(id);
+    if (!n.has_grad) continue;
+    if (n.param != nullptr) {
+      n.param->grad += n.grad;
+    }
+    if (n.backward) n.backward(this, id);
+  }
+  return Status::OK();
+}
+
+}  // namespace lkpdpp::ad

@@ -1,0 +1,140 @@
+// Minimal reverse-mode automatic differentiation over dense matrices.
+//
+// The paper's criterion gradients are closed-form (core/lkp.cc), but its
+// neural backbones (GCN propagation, NeuMF's MLP, GCMC's graph
+// auto-encoder) need backpropagation through several layers. This tape
+// covers exactly that: a Graph is built fresh per training batch, values
+// are computed eagerly on construction, and Backward() accumulates
+// gradients into externally owned Param structs from caller-supplied
+// seed gradients — which is how the externally computed criterion
+// gradients (dLoss/dScore, dLoss/dEmbedding) are injected.
+//
+// Nodes are created in topological order by construction, so the
+// backward pass is a simple reverse sweep. No graph reuse, no shape
+// polymorphism: everything is a Matrix (vectors are m x 1).
+
+#ifndef LKPDPP_AUTODIFF_GRAPH_H_
+#define LKPDPP_AUTODIFF_GRAPH_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace lkpdpp::ad {
+
+class Graph;
+
+/// Lightweight handle to a graph node.
+struct Tensor {
+  int id = -1;
+  Graph* graph = nullptr;
+
+  bool valid() const { return graph != nullptr && id >= 0; }
+  const Matrix& value() const;
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+};
+
+/// A trainable parameter: value plus gradient accumulator, owned by the
+/// model (not the graph), so parameters persist across batches.
+struct Param {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Param(std::string n, Matrix v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad = Matrix(value.rows(), value.cols()); }
+};
+
+/// One computation tape. Build, read values, call Backward once.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Leaf with no gradient.
+  Tensor Constant(Matrix value);
+
+  /// Leaf bound to an external parameter; Backward accumulates into
+  /// `param->grad`. The param must outlive the graph.
+  Tensor Parameter(Param* param);
+
+  /// out.row(i) = input.row(rows[i]); gradient scatters rows back.
+  Tensor GatherRows(Tensor input, std::vector<int> rows);
+
+  Tensor Add(Tensor a, Tensor b);
+  Tensor Sub(Tensor a, Tensor b);
+  /// Elementwise product.
+  Tensor Mul(Tensor a, Tensor b);
+  Tensor Scale(Tensor a, double s);
+
+  Tensor MatMul(Tensor a, Tensor b);
+  /// a * b^T.
+  Tensor MatMulTransB(Tensor a, Tensor b);
+
+  /// a (m x d) + row (1 x d) broadcast over rows.
+  Tensor AddRowBroadcast(Tensor a, Tensor row);
+  /// (1 x d) -> (count x d).
+  Tensor RepeatRow(Tensor row, int count);
+  /// Horizontal concatenation [a | b].
+  Tensor ConcatCols(Tensor a, Tensor b);
+  /// Row range [start, start+count).
+  Tensor SliceRows(Tensor a, int start, int count);
+  /// (m x d) -> (m x 1) row sums.
+  Tensor RowSum(Tensor a);
+
+  Tensor Relu(Tensor a);
+  Tensor Sigmoid(Tensor a);
+  Tensor Tanh(Tensor a);
+
+  /// Constant CSR matrix times dense tensor; the sparse matrix must
+  /// outlive the graph. Gradient is A^T * upstream.
+  Tensor Spmm(const SparseMatrix* sparse, Tensor dense);
+
+  /// Mean of several same-shaped tensors (GCN layer aggregation).
+  Tensor MeanOf(const std::vector<Tensor>& tensors);
+
+  const Matrix& value(const Tensor& t) const;
+
+  /// Reverse sweep from the given seed gradients (pairs of tensor and
+  /// dLoss/dTensor with matching shape). May be called once per graph.
+  /// Fails on shape mismatches or double invocation.
+  Status Backward(const std::vector<std::pair<Tensor, Matrix>>& seeds);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;           // Allocated lazily during Backward.
+    bool has_grad = false;
+    Param* param = nullptr;
+    std::vector<int> parents;
+    // Propagates node.grad into parents' grads (and param->grad).
+    std::function<void(Graph*, int)> backward;
+  };
+
+  Tensor MakeNode(Matrix value, std::vector<int> parents,
+                  std::function<void(Graph*, int)> backward);
+  Node& node(int id) { return nodes_[static_cast<size_t>(id)]; }
+  Matrix& GradRef(int id);
+  void AccumulateGrad(int id, const Matrix& g);
+
+  std::vector<Node> nodes_;
+  bool backward_done_ = false;
+
+  friend struct Tensor;
+};
+
+}  // namespace lkpdpp::ad
+
+#endif  // LKPDPP_AUTODIFF_GRAPH_H_

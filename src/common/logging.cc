@@ -1,0 +1,62 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+
+namespace lkpdpp {
+
+namespace {
+LogLevel g_level = [] {
+  const char* env = std::getenv("LKP_LOG_LEVEL");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 3) return static_cast<LogLevel>(v);
+  }
+  return LogLevel::kInfo;
+}();
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  (level_ >= LogLevel::kWarning ? std::cerr : std::cout)
+      << stream_.str() << std::endl;
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
+  stream_ << "[FATAL " << file << ":" << line << "] Check failed: " << expr
+          << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  std::cerr << stream_.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace lkpdpp

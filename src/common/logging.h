@@ -1,0 +1,67 @@
+// Minimal leveled logging and assertion macros.
+//
+// LKP_CHECK aborts on violated invariants (programmer errors); expected
+// failures use Status/Result instead (see status.h).
+
+#ifndef LKPDPP_COMMON_LOGGING_H_
+#define LKPDPP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lkpdpp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo,
+/// overridable via the LKP_LOG_LEVEL environment variable (0-3).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define LKP_LOG(level)                                                     \
+  if (::lkpdpp::LogLevel::level >= ::lkpdpp::GetLogLevel())                \
+  ::lkpdpp::internal::LogMessage(::lkpdpp::LogLevel::level, __FILE__,      \
+                                 __LINE__)                                 \
+      .stream()
+
+#define LKP_CHECK(expr)                                                   \
+  if (!(expr))                                                            \
+  ::lkpdpp::internal::FatalMessage(__FILE__, __LINE__, #expr).stream()
+
+#define LKP_CHECK_GE(a, b) LKP_CHECK((a) >= (b))
+#define LKP_CHECK_GT(a, b) LKP_CHECK((a) > (b))
+#define LKP_CHECK_LE(a, b) LKP_CHECK((a) <= (b))
+#define LKP_CHECK_LT(a, b) LKP_CHECK((a) < (b))
+#define LKP_CHECK_EQ(a, b) LKP_CHECK((a) == (b))
+#define LKP_CHECK_NE(a, b) LKP_CHECK((a) != (b))
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_COMMON_LOGGING_H_

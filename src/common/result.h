@@ -1,0 +1,92 @@
+// Result<T>: value-or-Status, the return type of fallible factories.
+//
+// Mirrors arrow::Result. Use `LKP_ASSIGN_OR_RETURN(lhs, expr)` to unwrap
+// inside functions that themselves return Status/Result.
+
+#ifndef LKPDPP_COMMON_RESULT_H_
+#define LKPDPP_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace lkpdpp {
+
+/// Holds either a successfully produced T or the Status explaining why
+/// production failed. A Result is never "empty": default construction is
+/// disabled, and constructing from an OK status aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit: allows `return value;` from Result-returning functions.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit: allows `return Status::InvalidArgument(...)`.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      std::cerr << "Result constructed from OK status" << std::endl;
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; OK if the result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  /// Access to the value. Aborts if the Result holds an error.
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    EnsureOk();
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    EnsureOk();
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// Moves the value out. Aborts if the Result holds an error.
+  T MoveValue() {
+    EnsureOk();
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status().ToString()
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+#define LKP_CONCAT_IMPL(a, b) a##b
+#define LKP_CONCAT(a, b) LKP_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, on
+/// success binds the value to `lhs` (which may include a declaration).
+#define LKP_ASSIGN_OR_RETURN(lhs, expr)                       \
+  auto LKP_CONCAT(_result_, __LINE__) = (expr);               \
+  if (!LKP_CONCAT(_result_, __LINE__).ok())                   \
+    return LKP_CONCAT(_result_, __LINE__).status();           \
+  lhs = std::move(LKP_CONCAT(_result_, __LINE__)).ValueOrDie()
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_COMMON_RESULT_H_

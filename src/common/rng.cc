@@ -1,0 +1,133 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+namespace lkpdpp {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(&sm);
+  // Avoid the all-zero state, which is a fixed point of xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int Rng::UniformInt(int n) {
+  if (n <= 0) {
+    std::cerr << "Rng::UniformInt requires n > 0, got " << n << std::endl;
+    std::abort();
+  }
+  // Rejection sampling to remove modulo bias.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  uint64_t x;
+  do {
+    x = Next();
+  } while (x >= limit);
+  return static_cast<int>(x % un);
+}
+
+int Rng::UniformInt(int lo, int hi) { return lo + UniformInt(hi - lo + 1); }
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return UniformInt(static_cast<int>(weights.size()));
+  double target = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0.0 ? weights[i] : 0.0);
+    if (target < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int count) {
+  if (count > n) {
+    std::cerr << "SampleWithoutReplacement: count " << count << " > n " << n
+              << std::endl;
+    std::abort();
+  }
+  std::vector<int> out;
+  out.reserve(count);
+  if (count * 3 < n) {
+    // Floyd's algorithm: O(count) expected draws, no O(n) allocation.
+    std::vector<int> chosen;
+    for (int j = n - count; j < n; ++j) {
+      int t = UniformInt(j + 1);
+      bool seen = false;
+      for (int c : chosen) {
+        if (c == t) {
+          seen = true;
+          break;
+        }
+      }
+      chosen.push_back(seen ? j : t);
+    }
+    out = std::move(chosen);
+  } else {
+    std::vector<int> all(n);
+    for (int i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    out.assign(all.begin(), all.begin() + count);
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xA3C59AC2ULL); }
+
+}  // namespace lkpdpp

@@ -1,0 +1,111 @@
+// Status: lightweight error-handling type in the Arrow/RocksDB idiom.
+//
+// Library code in lkpdpp does not throw exceptions on expected failure
+// paths; fallible operations return a Status (or Result<T>, see result.h)
+// that callers must inspect. Exceptions are reserved for programmer errors
+// surfaced by LKP_CHECK in debug contexts.
+
+#ifndef LKPDPP_COMMON_STATUS_H_
+#define LKPDPP_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+
+namespace lkpdpp {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kInternal = 6,
+  kNumericalError = 7,  ///< Ill-conditioned / non-PSD / non-finite values.
+  kIOError = 8,
+};
+
+/// Returns a human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// Statuses are cheap to copy in the OK case (empty message). Use the
+/// static factories (`Status::InvalidArgument(...)` etc.) to construct
+/// errors, and `LKP_RETURN_IF_ERROR` to propagate them.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with a diagnostic if the status is not OK.
+  /// Intended for call sites where failure is a programming error.
+  void CheckOK() const {
+    if (!ok()) {
+      std::cerr << "Status not OK: " << ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define LKP_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::lkpdpp::Status _st = (expr);           \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_COMMON_STATUS_H_

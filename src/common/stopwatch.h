@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for benchmark harnesses.
+
+#ifndef LKPDPP_COMMON_STOPWATCH_H_
+#define LKPDPP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace lkpdpp {
+
+/// Measures elapsed wall time; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_COMMON_STOPWATCH_H_

@@ -1,0 +1,30 @@
+// Small string helpers used by table formatters and IO.
+
+#ifndef LKPDPP_COMMON_STRING_UTIL_H_
+#define LKPDPP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace lkpdpp {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string StrTrim(const std::string& s);
+
+/// Joins the pieces with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,207 @@
+// Baseline ranking criteria: BCE, BPR, SetRank, Set2SetRank.
+//
+// All four operate on the same k+n scored ground sets as LkP so that the
+// number and content of training instances is identical across criteria
+// (the paper's fair-comparison setup, Section III-B4).
+//
+//   BCE       pointwise binary cross-entropy on each item [He et al. 17].
+//   BPR       pairwise log-sigmoid over all (target, negative) pairs
+//             [Rendle et al. 12].
+//   SetRank   setwise permutation probability: each target should beat
+//             the whole negative set, a Plackett-Luce style softmax
+//             [Wang et al. 20].
+//   S2SRank   Set2SetRank: item-to-item comparisons across the sets plus
+//             a set-to-set distance term comparing a soft-min over
+//             targets with a soft-max over negatives [Chen et al. 21].
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/string_util.h"
+#include "core/criterion.h"
+
+namespace lkpdpp {
+
+namespace {
+
+// log(1 + exp(x)) without overflow.
+double Softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return 0.0;
+  return std::log1p(std::exp(x));
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+Status ValidateInput(const CriterionInput& in) {
+  const int m = in.scores.size();
+  if (in.num_pos < 1 || in.num_pos >= m) {
+    return Status::InvalidArgument(
+        StrFormat("num_pos=%d must lie in [1, %d)", in.num_pos, m));
+  }
+  if (!in.scores.AllFinite()) {
+    return Status::NumericalError("non-finite scores");
+  }
+  return Status::OK();
+}
+
+class BceCriterion final : public RankingCriterion {
+ public:
+  std::string name() const override { return "BCE"; }
+
+  Result<CriterionOutput> Evaluate(const CriterionInput& in) const override {
+    LKP_RETURN_IF_ERROR(ValidateInput(in));
+    const int m = in.scores.size();
+    CriterionOutput out;
+    out.dscore = Vector(m);
+    for (int i = 0; i < m; ++i) {
+      const double y = i < in.num_pos ? 1.0 : 0.0;
+      // loss_i = softplus(s) - y*s; gradient sigmoid(s) - y.
+      out.loss += Softplus(in.scores[i]) - y * in.scores[i];
+      out.dscore[i] = Sigmoid(in.scores[i]) - y;
+    }
+    return out;
+  }
+};
+
+class BprCriterion final : public RankingCriterion {
+ public:
+  std::string name() const override { return "BPR"; }
+
+  Result<CriterionOutput> Evaluate(const CriterionInput& in) const override {
+    LKP_RETURN_IF_ERROR(ValidateInput(in));
+    const int m = in.scores.size();
+    const int k = in.num_pos;
+    CriterionOutput out;
+    out.dscore = Vector(m);
+    // Average over all (i, j) pairs so the loss scale is insensitive to
+    // k and n.
+    const double w = 1.0 / (static_cast<double>(k) * (m - k));
+    for (int i = 0; i < k; ++i) {
+      for (int j = k; j < m; ++j) {
+        const double diff = in.scores[i] - in.scores[j];
+        out.loss += w * Softplus(-diff);
+        const double g = -w * Sigmoid(-diff);
+        out.dscore[i] += g;
+        out.dscore[j] -= g;
+      }
+    }
+    return out;
+  }
+};
+
+class SetRankCriterion final : public RankingCriterion {
+ public:
+  std::string name() const override { return "SetRank"; }
+
+  Result<CriterionOutput> Evaluate(const CriterionInput& in) const override {
+    LKP_RETURN_IF_ERROR(ValidateInput(in));
+    const int m = in.scores.size();
+    const int k = in.num_pos;
+    CriterionOutput out;
+    out.dscore = Vector(m);
+    const double w = 1.0 / k;
+    for (int i = 0; i < k; ++i) {
+      // loss_i = -log P(i ranks first among {i} U negatives)
+      //        = logsumexp(s_i, s_neg) - s_i.
+      double max_s = in.scores[i];
+      for (int j = k; j < m; ++j) max_s = std::max(max_s, in.scores[j]);
+      double z = std::exp(in.scores[i] - max_s);
+      for (int j = k; j < m; ++j) z += std::exp(in.scores[j] - max_s);
+      const double lse = max_s + std::log(z);
+      out.loss += w * (lse - in.scores[i]);
+      const double p_i = std::exp(in.scores[i] - lse);
+      out.dscore[i] += w * (p_i - 1.0);
+      for (int j = k; j < m; ++j) {
+        out.dscore[j] += w * std::exp(in.scores[j] - lse);
+      }
+    }
+    return out;
+  }
+};
+
+class Set2SetRankCriterion final : public RankingCriterion {
+ public:
+  explicit Set2SetRankCriterion(double set_level_weight)
+      : set_level_weight_(set_level_weight) {}
+
+  std::string name() const override { return "S2SRank"; }
+
+  Result<CriterionOutput> Evaluate(const CriterionInput& in) const override {
+    LKP_RETURN_IF_ERROR(ValidateInput(in));
+    const int m = in.scores.size();
+    const int k = in.num_pos;
+    CriterionOutput out;
+    out.dscore = Vector(m);
+
+    // (1) Item-to-item comparisons across the two sets.
+    const double w = 1.0 / (static_cast<double>(k) * (m - k));
+    for (int i = 0; i < k; ++i) {
+      for (int j = k; j < m; ++j) {
+        const double diff = in.scores[i] - in.scores[j];
+        out.loss += w * Softplus(-diff);
+        const double g = -w * Sigmoid(-diff);
+        out.dscore[i] += g;
+        out.dscore[j] -= g;
+      }
+    }
+
+    // (2) Set-to-set distance: the weakest target should still beat the
+    // strongest negative. Soft-min / soft-max keep it differentiable.
+    double lse_neg_max = in.scores[k];
+    for (int j = k; j < m; ++j) lse_neg_max = std::max(lse_neg_max,
+                                                       in.scores[j]);
+    double zneg = 0.0;
+    for (int j = k; j < m; ++j) zneg += std::exp(in.scores[j] - lse_neg_max);
+    const double softmax_neg = lse_neg_max + std::log(zneg);
+
+    double lse_pos_max = -in.scores[0];
+    for (int i = 0; i < k; ++i) lse_pos_max = std::max(lse_pos_max,
+                                                       -in.scores[i]);
+    double zpos = 0.0;
+    for (int i = 0; i < k; ++i) zpos += std::exp(-in.scores[i] - lse_pos_max);
+    const double softmin_pos = -(lse_pos_max + std::log(zpos));
+
+    const double margin = softmin_pos - softmax_neg;
+    out.loss += set_level_weight_ * Softplus(-margin);
+    const double gm = -set_level_weight_ * Sigmoid(-margin);
+    // d softmin_pos / ds_i = exp(-s_i - lse_pos_max) / zpos.
+    for (int i = 0; i < k; ++i) {
+      out.dscore[i] += gm * std::exp(-in.scores[i] - lse_pos_max) / zpos;
+    }
+    // d softmax_neg / ds_j = exp(s_j - lse_neg_max) / zneg.
+    for (int j = k; j < m; ++j) {
+      out.dscore[j] -= gm * std::exp(in.scores[j] - lse_neg_max) / zneg;
+    }
+    return out;
+  }
+
+ private:
+  double set_level_weight_;
+};
+
+}  // namespace
+
+std::unique_ptr<RankingCriterion> MakeBceCriterion() {
+  return std::make_unique<BceCriterion>();
+}
+std::unique_ptr<RankingCriterion> MakeBprCriterion() {
+  return std::make_unique<BprCriterion>();
+}
+std::unique_ptr<RankingCriterion> MakeSetRankCriterion() {
+  return std::make_unique<SetRankCriterion>();
+}
+std::unique_ptr<RankingCriterion> MakeSet2SetRankCriterion(
+    double set_level_weight) {
+  return std::make_unique<Set2SetRankCriterion>(set_level_weight);
+}
+
+}  // namespace lkpdpp

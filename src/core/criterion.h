@@ -1,0 +1,70 @@
+// The pluggable ranking-criterion interface.
+//
+// Every optimization criterion in the paper — LkP (PS/NPS) and the
+// baselines BCE, BPR, SetRank, Set2SetRank — consumes the model's raw
+// scores for one training instance's ground set (first num_pos entries
+// are observed targets) and produces a loss plus dLoss/dScore. LkP
+// variants additionally consume a diversity-kernel submatrix and can
+// emit dLoss/dKernel for the trainable E-type kernel. Models never see
+// the criterion internals, which is what makes the Table IV "rework"
+// experiments a one-line swap.
+
+#ifndef LKPDPP_CORE_CRITERION_H_
+#define LKPDPP_CORE_CRITERION_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace lkpdpp {
+
+/// Inputs a criterion sees for one training instance.
+struct CriterionInput {
+  /// Raw model scores for the ground set; entries [0, num_pos) belong to
+  /// observed targets, the rest to sampled unobserved items.
+  Vector scores;
+  int num_pos = 0;
+  /// Diversity kernel submatrix over the ground set (LkP only; may be
+  /// null for score-only criteria).
+  const Matrix* diversity = nullptr;
+  /// Request dLoss/dKernel (the E-type trainable-kernel path).
+  bool want_kernel_grad = false;
+};
+
+/// A criterion's verdict on one instance.
+struct CriterionOutput {
+  double loss = 0.0;
+  /// dLoss/dScore, same length as input scores.
+  Vector dscore;
+  /// dLoss/dKernel (ground x ground); empty unless want_kernel_grad.
+  Matrix dkernel;
+};
+
+/// Minimization objective over scored ground sets.
+class RankingCriterion {
+ public:
+  virtual ~RankingCriterion() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True if the criterion consumes a diversity kernel submatrix.
+  virtual bool NeedsDiversityKernel() const { return false; }
+
+  /// Computes loss and gradients for one instance. Implementations must
+  /// validate num_pos and sizes.
+  virtual Result<CriterionOutput> Evaluate(const CriterionInput& in) const = 0;
+};
+
+/// Factory helpers for the four baseline criteria (definitions in
+/// core/baseline_criteria.cc).
+std::unique_ptr<RankingCriterion> MakeBceCriterion();
+std::unique_ptr<RankingCriterion> MakeBprCriterion();
+std::unique_ptr<RankingCriterion> MakeSetRankCriterion();
+std::unique_ptr<RankingCriterion> MakeSet2SetRankCriterion(
+    double set_level_weight = 1.0);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_CORE_CRITERION_H_

@@ -1,0 +1,100 @@
+#include "core/esp.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lkpdpp {
+
+double ElementarySymmetric(const Vector& values, int k) {
+  LKP_CHECK(k >= 0 && k <= values.size())
+      << "k=" << k << " over " << values.size() << " values";
+  if (k == 0) return 1.0;
+  // Rolling single-row variant of Algorithm 1: e[l] holds e_l over the
+  // prefix processed so far; update high-to-low so e[l-1] is the previous
+  // prefix's value.
+  std::vector<double> e(static_cast<size_t>(k) + 1, 0.0);
+  e[0] = 1.0;
+  for (int m = 0; m < values.size(); ++m) {
+    const double lam = values[m];
+    for (int l = std::min(k, m + 1); l >= 1; --l) {
+      e[l] += lam * e[l - 1];
+    }
+  }
+  return e[k];
+}
+
+Vector AllElementarySymmetric(const Vector& values, int kmax) {
+  LKP_CHECK(kmax >= 0 && kmax <= values.size());
+  std::vector<double> e(static_cast<size_t>(kmax) + 1, 0.0);
+  e[0] = 1.0;
+  for (int m = 0; m < values.size(); ++m) {
+    const double lam = values[m];
+    for (int l = std::min(kmax, m + 1); l >= 1; --l) {
+      e[l] += lam * e[l - 1];
+    }
+  }
+  return Vector(std::move(e));
+}
+
+Matrix EspTable(const Vector& values, int k) {
+  LKP_CHECK(k >= 0 && k <= values.size());
+  const int m = values.size();
+  Matrix table(k + 1, m + 1);
+  for (int col = 0; col <= m; ++col) table(0, col) = 1.0;
+  for (int l = 1; l <= k; ++l) {
+    table(l, 0) = 0.0;
+    for (int col = 1; col <= m; ++col) {
+      table(l, col) =
+          table(l, col - 1) + values[col - 1] * table(l - 1, col - 1);
+    }
+  }
+  return table;
+}
+
+Vector ExclusionEsp(const Vector& values, int degree) {
+  const int m = values.size();
+  LKP_CHECK(degree >= 0 && degree <= m - 1)
+      << "degree=" << degree << " over " << m << " values";
+  Vector out(m);
+  std::vector<double> e(static_cast<size_t>(degree) + 1, 0.0);
+  for (int skip = 0; skip < m; ++skip) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[0] = 1.0;
+    int seen = 0;
+    for (int i = 0; i < m; ++i) {
+      if (i == skip) continue;
+      const double lam = values[i];
+      for (int l = std::min(degree, seen + 1); l >= 1; --l) {
+        e[l] += lam * e[l - 1];
+      }
+      ++seen;
+    }
+    out[skip] = e[degree];
+  }
+  return out;
+}
+
+double ElementarySymmetricBruteForce(const Vector& values, int k) {
+  const int m = values.size();
+  LKP_CHECK(k >= 0 && k <= m);
+  if (k == 0) return 1.0;
+  // Iterate all k-combinations in lexicographic order.
+  std::vector<int> idx(k);
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  double total = 0.0;
+  while (true) {
+    double prod = 1.0;
+    for (int i : idx) prod *= values[i];
+    total += prod;
+    // Advance combination.
+    int pos = k - 1;
+    while (pos >= 0 && idx[pos] == m - k + pos) --pos;
+    if (pos < 0) break;
+    ++idx[pos];
+    for (int j = pos + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return total;
+}
+
+}  // namespace lkpdpp

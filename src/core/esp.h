@@ -1,0 +1,47 @@
+// Elementary symmetric polynomials (ESP) over kernel eigenvalues.
+//
+// The k-DPP normalization constant is Z_k = e_k(lambda_1..lambda_m)
+// (Eq. 6 of the paper), computed by the O(m*k) recursion of the paper's
+// Algorithm 1. The gradient of Z_k w.r.t. the kernel additionally needs
+// the "exclusion" polynomials e_{k-1}(lambda with lambda_i removed),
+// since d e_k / d lambda_i = e_{k-1}(lambda \ i).
+
+#ifndef LKPDPP_CORE_ESP_H_
+#define LKPDPP_CORE_ESP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace lkpdpp {
+
+/// Computes e_k(values) by the Algorithm-1 recursion:
+///   e_l^m = e_l^{m-1} + lambda_m * e_{l-1}^{m-1}.
+/// Requires 0 <= k <= values.size(); e_0 = 1 by convention.
+double ElementarySymmetric(const Vector& values, int k);
+
+/// All of e_0 .. e_kmax over `values` in one pass; result has size kmax+1.
+/// Requires 0 <= kmax <= values.size().
+Vector AllElementarySymmetric(const Vector& values, int kmax);
+
+/// Full Algorithm-1 DP table: entry (l, m) holds e_l over the first m
+/// values, for l in [0, k], m in [0, size]. Row 0 is all ones. Used by the
+/// k-DPP sampler, which walks the table backwards.
+Matrix EspTable(const Vector& values, int k);
+
+/// Exclusion polynomials: out[i] = e_{degree}(values with entry i removed).
+/// This equals the partial derivative d e_{degree+1} / d lambda_i.
+///
+/// Computed by re-running the recursion per excluded index, O(m^2 k),
+/// which is exact and division-free (the classic "divide by the root"
+/// shortcut is numerically unstable when eigenvalues are near zero).
+/// Requires 0 <= degree <= values.size() - 1.
+Vector ExclusionEsp(const Vector& values, int degree);
+
+/// Brute-force ESP by subset enumeration; exponential, test-only reference.
+double ElementarySymmetricBruteForce(const Vector& values, int k);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_CORE_ESP_H_

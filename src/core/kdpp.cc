@@ -1,0 +1,222 @@
+#include "core/kdpp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+#include "core/dpp.h"
+#include "core/esp.h"
+#include "linalg/lu.h"
+
+namespace lkpdpp {
+
+namespace {
+
+// Validates a subset: sorted copy, in-range, distinct, cardinality k.
+Result<std::vector<int>> ValidateSubset(const std::vector<int>& subset, int k,
+                                        int m) {
+  if (static_cast<int>(subset.size()) != k) {
+    return Status::InvalidArgument(
+        StrFormat("k-DPP subset must have cardinality %d, got %zu", k,
+                  subset.size()));
+  }
+  std::vector<int> sorted = subset;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] < 0 || sorted[i] >= m) {
+      return Status::OutOfRange(
+          StrFormat("subset index %d outside ground set of size %d",
+                    sorted[i], m));
+    }
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate index %d in subset", sorted[i]));
+    }
+  }
+  return sorted;
+}
+
+}  // namespace
+
+KDpp::KDpp(Matrix kernel, int k, EigenDecomposition eig, double log_zk,
+           Vector esp_all)
+    : kernel_(std::move(kernel)),
+      k_(k),
+      eig_(std::move(eig)),
+      log_zk_(log_zk),
+      esp_all_(std::move(esp_all)) {}
+
+Result<KDpp> KDpp::Create(Matrix kernel, int k) {
+  if (kernel.rows() != kernel.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("k-DPP kernel must be square, got %dx%d", kernel.rows(),
+                  kernel.cols()));
+  }
+  const int m = kernel.rows();
+  if (k < 1 || k > m) {
+    return Status::InvalidArgument(
+        StrFormat("k=%d outside [1, %d]", k, m));
+  }
+  if (!kernel.AllFinite()) {
+    return Status::NumericalError("k-DPP kernel contains non-finite values");
+  }
+  LKP_ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(kernel));
+  // Clamp small negative eigenvalues introduced by round-off; genuinely
+  // indefinite kernels are rejected.
+  const double neg_tol = -1e-8 * std::max(1.0, eig.eigenvalues.Max());
+  for (int i = 0; i < eig.eigenvalues.size(); ++i) {
+    if (eig.eigenvalues[i] < neg_tol) {
+      return Status::NumericalError(
+          StrFormat("kernel is not PSD: eigenvalue %d = %.3e", i,
+                    eig.eigenvalues[i]));
+    }
+    if (eig.eigenvalues[i] < 0.0) eig.eigenvalues[i] = 0.0;
+  }
+  Vector esp_all = AllElementarySymmetric(eig.eigenvalues, k);
+  const double zk = esp_all[k];
+  if (!(zk > 0.0) || !std::isfinite(zk)) {
+    return Status::NumericalError(
+        StrFormat("k-DPP normalizer e_%d = %.3e is not positive/finite "
+                  "(kernel rank < k?)",
+                  k, zk));
+  }
+  return KDpp(std::move(kernel), k, std::move(eig), std::log(zk),
+              std::move(esp_all));
+}
+
+Result<double> KDpp::LogProb(const std::vector<int>& subset) const {
+  LKP_ASSIGN_OR_RETURN(std::vector<int> sorted,
+                       ValidateSubset(subset, k_, ground_size()));
+  const Matrix sub = kernel_.PrincipalSubmatrix(sorted);
+  LKP_ASSIGN_OR_RETURN(double det, Determinant(sub));
+  if (det <= 0.0) {
+    // PSD principal minors are >= 0; tiny negatives are round-off.
+    return -std::numeric_limits<double>::infinity();
+  }
+  return std::log(det) - log_zk_;
+}
+
+Result<double> KDpp::Prob(const std::vector<int>& subset) const {
+  LKP_ASSIGN_OR_RETURN(double lp, LogProb(subset));
+  return std::exp(lp);
+}
+
+Result<std::vector<std::pair<std::vector<int>, double>>>
+KDpp::EnumerateProbabilities(long max_subsets) const {
+  const int m = ground_size();
+  const double count = BinomialCoefficient(m, k_);
+  if (count > static_cast<double>(max_subsets)) {
+    return Status::FailedPrecondition(
+        StrFormat("C(%d,%d) = %.0f exceeds enumeration limit %ld", m, k_,
+                  count, max_subsets));
+  }
+  std::vector<std::pair<std::vector<int>, double>> out;
+  out.reserve(static_cast<size_t>(count));
+  std::vector<int> idx(k_);
+  for (int i = 0; i < k_; ++i) idx[i] = i;
+  while (true) {
+    LKP_ASSIGN_OR_RETURN(double p, Prob(idx));
+    out.emplace_back(idx, p);
+    if (!NextCombination(&idx, m)) break;
+  }
+  return out;
+}
+
+Result<std::vector<int>> KDpp::Sample(Rng* rng) const {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  const int m = ground_size();
+  const Vector& lambda = eig_.eigenvalues;
+
+  // Phase 1 (Kulesza & Taskar Alg. 8): choose k eigenvector indices J,
+  // P(n in J) proportional to products of eigenvalues, by walking the
+  // ESP table backwards.
+  const Matrix table = EspTable(lambda, k_);
+  std::vector<int> selected;
+  selected.reserve(k_);
+  int l = k_;
+  for (int col = m; col >= 1 && l > 0; --col) {
+    if (l > col) {
+      return Status::Internal("k-DPP sampler ran out of eigenvalues");
+    }
+    const double denom = table(l, col);
+    if (denom <= 0.0) {
+      return Status::NumericalError("zero mass in ESP table during sampling");
+    }
+    const double p_include = lambda[col - 1] * table(l - 1, col - 1) / denom;
+    if (rng->Uniform() < p_include) {
+      selected.push_back(col - 1);
+      --l;
+    }
+  }
+  if (l != 0) {
+    return Status::Internal("k-DPP sampler selected fewer than k vectors");
+  }
+
+  // Phase 2: sample the elementary DPP spanned by the selected
+  // eigenvectors (shared with the standard DPP sampler in dpp.h).
+  Matrix v(m, k_);
+  for (int c = 0; c < k_; ++c) {
+    v.SetCol(c, eig_.eigenvectors.Col(selected[static_cast<size_t>(c)]));
+  }
+  return SampleElementaryDpp(std::move(v), rng);
+}
+
+Matrix KDpp::MarginalKernel() const {
+  const int m = ground_size();
+  const Vector& lambda = eig_.eigenvalues;
+  const double zk = std::exp(log_zk_);
+  const Vector excl = ExclusionEsp(lambda, k_ - 1);
+  Matrix scaled(m, m);
+  for (int c = 0; c < m; ++c) {
+    const double w = lambda[c] * excl[c] / zk;
+    for (int r = 0; r < m; ++r) {
+      scaled(r, c) = eig_.eigenvectors(r, c) * w;
+    }
+  }
+  Matrix out = MatMulTransB(scaled, eig_.eigenvectors);
+  out.Symmetrize();
+  return out;
+}
+
+Matrix KDpp::NormalizerGradient() const {
+  const int m = ground_size();
+  const Vector excl = ExclusionEsp(eig_.eigenvalues, k_ - 1);
+  Matrix scaled(m, m);
+  for (int c = 0; c < m; ++c) {
+    for (int r = 0; r < m; ++r) {
+      scaled(r, c) = eig_.eigenvectors(r, c) * excl[c];
+    }
+  }
+  Matrix out = MatMulTransB(scaled, eig_.eigenvectors);
+  out.Symmetrize();
+  return out;
+}
+
+Matrix KDpp::LogNormalizerGradient() const {
+  Matrix g = NormalizerGradient();
+  g *= std::exp(-log_zk_);
+  return g;
+}
+
+double BinomialCoefficient(int m, int k) {
+  if (k < 0 || k > m) return 0.0;
+  k = std::min(k, m - k);
+  double out = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    out = out * static_cast<double>(m - k + i) / static_cast<double>(i);
+  }
+  return out;
+}
+
+bool NextCombination(std::vector<int>* idx, int m) {
+  const int k = static_cast<int>(idx->size());
+  int pos = k - 1;
+  while (pos >= 0 && (*idx)[pos] == m - k + pos) --pos;
+  if (pos < 0) return false;
+  ++(*idx)[pos];
+  for (int j = pos + 1; j < k; ++j) (*idx)[j] = (*idx)[j - 1] + 1;
+  return true;
+}
+
+}  // namespace lkpdpp

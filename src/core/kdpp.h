@@ -1,0 +1,96 @@
+// The tailored k-DPP distribution over a small ground set.
+//
+// Given a PSD kernel L over a ground set of m = k+n items, a k-DPP assigns
+// to every subset S of cardinality exactly k the probability
+//   P(S) = det(L_S) / e_k(lambda(L))            (paper Eq. 4, 6)
+// where e_k is the k-th elementary symmetric polynomial of the kernel's
+// eigenvalues. This file provides exact probabilities, exhaustive
+// enumeration (the ground sets in LkP are small by construction), exact
+// sampling (Kulesza & Taskar, Alg. 8), the k-DPP marginal kernel, and the
+// gradient of the normalizer needed by the LkP criterion.
+
+#ifndef LKPDPP_CORE_KDPP_H_
+#define LKPDPP_CORE_KDPP_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+
+namespace lkpdpp {
+
+/// An exact k-DPP over a ground set {0, .., m-1} with PSD kernel L.
+class KDpp {
+ public:
+  /// Builds the distribution. Fails if the kernel is not square/symmetric,
+  /// if k is outside [1, m], or if e_k underflows to zero (kernel rank
+  /// < k), in which case no cardinality-k subset has positive probability.
+  /// Slightly negative eigenvalues from round-off are clamped to zero.
+  static Result<KDpp> Create(Matrix kernel, int k);
+
+  int k() const { return k_; }
+  int ground_size() const { return kernel_.rows(); }
+
+  const Matrix& kernel() const { return kernel_; }
+  const Vector& eigenvalues() const { return eig_.eigenvalues; }
+  const Matrix& eigenvectors() const { return eig_.eigenvectors; }
+
+  /// log Z_k = log e_k(lambda).
+  double LogNormalizer() const { return log_zk_; }
+
+  /// log P(S) for a subset of cardinality k. Fails for wrong cardinality,
+  /// duplicate or out-of-range indices. Singular det(L_S) yields -inf.
+  Result<double> LogProb(const std::vector<int>& subset) const;
+
+  /// P(S) = exp(LogProb).
+  Result<double> Prob(const std::vector<int>& subset) const;
+
+  /// Enumerates every cardinality-k subset with its probability,
+  /// in lexicographic subset order. Fails if C(m, k) exceeds `max_subsets`
+  /// (guards accidental exponential blowups).
+  Result<std::vector<std::pair<std::vector<int>, double>>>
+  EnumerateProbabilities(long max_subsets = 1000000) const;
+
+  /// Exact sample of a cardinality-k subset (ascending indices).
+  /// Two-phase algorithm: select an elementary DPP (eigenvector subset of
+  /// size k) by walking the ESP table, then sample the elementary DPP by
+  /// iterative projection.
+  Result<std::vector<int>> Sample(Rng* rng) const;
+
+  /// Marginal kernel M with M_ii = P(i in S); in general
+  ///   M = sum_n [lambda_n * e_{k-1}(lambda \ n) / e_k] u_n u_n^T,
+  /// whose trace is exactly k.
+  Matrix MarginalKernel() const;
+
+  /// Gradient of the normalizer: d Z_k / d L
+  ///   = sum_n e_{k-1}(lambda \ n) u_n u_n^T.
+  Matrix NormalizerGradient() const;
+
+  /// Gradient of log Z_k w.r.t. L (NormalizerGradient / Z_k).
+  Matrix LogNormalizerGradient() const;
+
+ private:
+  KDpp(Matrix kernel, int k, EigenDecomposition eig, double log_zk,
+       Vector esp_all);
+
+  Matrix kernel_;
+  int k_;
+  EigenDecomposition eig_;
+  double log_zk_;
+  Vector esp_all_;  // e_0..e_k over all eigenvalues.
+};
+
+/// Number of cardinality-k subsets of an m-set, as a double (exact for the
+/// small m used here).
+double BinomialCoefficient(int m, int k);
+
+/// Iterates lexicographic k-combinations of {0..m-1}. Returns false when
+/// `idx` was the last combination. `idx` must hold a valid combination.
+bool NextCombination(std::vector<int>* idx, int m);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_CORE_KDPP_H_

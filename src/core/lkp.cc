@@ -1,0 +1,172 @@
+#include "core/lkp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "core/kdpp.h"
+#include "linalg/cholesky.h"
+
+namespace lkpdpp {
+
+namespace {
+
+// Cholesky with escalating jitter: DPP submatrices are PSD by
+// construction but can be numerically semi-definite (low-rank diversity
+// kernels); a vanishing diagonal boost restores factorability without
+// visibly perturbing the objective.
+Result<Cholesky> RobustCholesky(const Matrix& a, double jitter) {
+  double j = jitter;
+  const double scale = std::max(1.0, a.Trace() / std::max(1, a.rows()));
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Result<Cholesky> chol = Cholesky::Compute(a, j);
+    if (chol.ok()) return chol;
+    j = std::max(j * 100.0, 1e-10 * scale);
+  }
+  return Cholesky::Compute(a, 1e-4 * scale);
+}
+
+// Adds the inverse of the principal submatrix indexed by `idx` into the
+// full-size gradient accumulator with the given sign.
+void AccumulatePaddedInverse(const Matrix& inv, const std::vector<int>& idx,
+                             double sign, Matrix* acc) {
+  const int s = static_cast<int>(idx.size());
+  for (int i = 0; i < s; ++i) {
+    for (int j = 0; j < s; ++j) {
+      (*acc)(idx[i], idx[j]) += sign * inv(i, j);
+    }
+  }
+}
+
+}  // namespace
+
+const char* LkpModeName(LkpMode mode) {
+  switch (mode) {
+    case LkpMode::kPositiveOnly:
+      return "PS";
+    case LkpMode::kNegativeAndPositive:
+      return "NPS";
+  }
+  return "?";
+}
+
+std::string LkpCriterion::name() const {
+  return StrFormat("LkP-%s(%s)", LkpModeName(config_.mode),
+                   QualityTransformName(config_.quality));
+}
+
+Result<CriterionOutput> LkpCriterion::Evaluate(
+    const CriterionInput& in) const {
+  const int m = in.scores.size();
+  const int k = in.num_pos;
+  if (in.diversity == nullptr) {
+    return Status::InvalidArgument("LkP requires a diversity kernel");
+  }
+  if (in.diversity->rows() != m || in.diversity->cols() != m) {
+    return Status::InvalidArgument(
+        StrFormat("diversity kernel is %dx%d but ground set has %d items",
+                  in.diversity->rows(), in.diversity->cols(), m));
+  }
+  if (k < 1 || k >= m) {
+    return Status::InvalidArgument(
+        StrFormat("num_pos=%d must lie in [1, %d)", k, m));
+  }
+  const bool exclusion = config_.mode == LkpMode::kNegativeAndPositive;
+  if (exclusion && m - k != k) {
+    return Status::InvalidArgument(
+        StrFormat("NPS requires n == k for the ranking interpretation "
+                  "(got k=%d, n=%d)",
+                  k, m - k));
+  }
+  if (!in.scores.AllFinite()) {
+    return Status::NumericalError("non-finite scores passed to LkP");
+  }
+
+  const Vector q = ApplyQuality(in.scores, config_.quality);
+  const Vector t = QualityLogDerivative(in.scores, config_.quality);
+  const Matrix kernel = AssembleKernel(q, *in.diversity);
+
+  // Tailored k-DPP over the ground set: eigenvalues feed Z_k (Eq. 6) and
+  // eigenvectors feed its gradient. The normalize=false ablation drops
+  // both (raw unnormalized determinants).
+  double log_zk = 0.0;
+  Matrix dlogz(m, m);
+  if (config_.normalize) {
+    LKP_ASSIGN_OR_RETURN(KDpp kdpp, KDpp::Create(kernel, k));
+    log_zk = kdpp.LogNormalizer();
+    dlogz = kdpp.LogNormalizerGradient();
+  }
+
+  std::vector<int> pos_idx(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) pos_idx[static_cast<size_t>(i)] = i;
+  const Matrix l_pos = kernel.PrincipalSubmatrix(pos_idx);
+  LKP_ASSIGN_OR_RETURN(Cholesky chol_pos,
+                       RobustCholesky(l_pos, config_.jitter));
+  const double logdet_pos = chol_pos.LogDet();
+  const Matrix inv_pos = chol_pos.Inverse();
+
+  // loss = -(log det(L_{S+}) - log Z_k)  [+ exclusion term below]
+  double loss = -(logdet_pos - log_zk);
+  // dloss/dL accumulator: +dlogZ from the normalizer, -Pad(L_{S+}^{-1}).
+  Matrix g = dlogz;
+  AccumulatePaddedInverse(inv_pos, pos_idx, -1.0, &g);
+
+  if (exclusion) {
+    std::vector<int> neg_idx(static_cast<size_t>(m - k));
+    for (int i = k; i < m; ++i) neg_idx[static_cast<size_t>(i - k)] = i;
+    const Matrix l_neg = kernel.PrincipalSubmatrix(neg_idx);
+    LKP_ASSIGN_OR_RETURN(Cholesky chol_neg,
+                         RobustCholesky(l_neg, config_.jitter));
+    const double log_p_neg = chol_neg.LogDet() - log_zk;
+    const double p_neg = std::exp(std::min(log_p_neg, 0.0));
+    const double one_minus =
+        std::max(1.0 - p_neg, config_.exclusion_floor);
+    loss += -std::log(one_minus);
+    // d(-log(1-P-))/dL = [P-/(1-P-)] * (Pad(L_{S-}^{-1}) - dlogZ).
+    const double c = p_neg / one_minus;
+    if (c > 0.0) {
+      const Matrix inv_neg = chol_neg.Inverse();
+      AccumulatePaddedInverse(inv_neg, neg_idx, c, &g);
+      Matrix scaled_dlogz = dlogz;
+      scaled_dlogz *= -c;
+      g += scaled_dlogz;
+    }
+  }
+
+  CriterionOutput out;
+  out.loss = loss;
+  out.dscore = Vector(m);
+  // Chain rule into raw scores: dL_ij/ds_m = L_ij t_m (1[i=m] + 1[j=m]).
+  for (int i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < m; ++j) s += g(i, j) * kernel(i, j);
+    out.dscore[i] = 2.0 * t[i] * s;
+  }
+  if (in.want_kernel_grad) {
+    out.dkernel = Matrix(m, m);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j) {
+        out.dkernel(i, j) = g(i, j) * q[i] * q[j];
+      }
+    }
+    // The diagonal of the diversity kernel is structurally 1 (unit-norm
+    // rows / Gaussian kernel), so no gradient flows through it.
+    for (int i = 0; i < m; ++i) out.dkernel(i, i) = 0.0;
+  }
+  if (!out.dscore.AllFinite()) {
+    return Status::NumericalError("LkP produced non-finite gradients");
+  }
+  return out;
+}
+
+Result<double> LkpCriterion::TargetSubsetProbability(
+    const Vector& scores, const Matrix& diversity, int num_pos) const {
+  const Vector q = ApplyQuality(scores, config_.quality);
+  const Matrix kernel = AssembleKernel(q, diversity);
+  LKP_ASSIGN_OR_RETURN(KDpp kdpp, KDpp::Create(kernel, num_pos));
+  std::vector<int> idx(static_cast<size_t>(num_pos));
+  for (int i = 0; i < num_pos; ++i) idx[static_cast<size_t>(i)] = i;
+  return kdpp.Prob(idx);
+}
+
+}  // namespace lkpdpp

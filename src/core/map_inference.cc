@@ -1,0 +1,92 @@
+#include "core/map_inference.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/string_util.h"
+#include "kernels/quality_diversity.h"
+
+namespace lkpdpp {
+
+Result<std::vector<int>> GreedyMapInference(const Matrix& kernel,
+                                            const GreedyMapOptions& options) {
+  const int m = kernel.rows();
+  if (kernel.cols() != m) {
+    return Status::InvalidArgument(
+        StrFormat("MAP inference needs a square kernel, got %dx%d",
+                  kernel.rows(), kernel.cols()));
+  }
+  if (!kernel.IsSymmetric(1e-8 * std::max(1.0, kernel.MaxAbs()))) {
+    return Status::InvalidArgument("MAP inference needs a symmetric kernel");
+  }
+  if (options.max_size < 1) {
+    return Status::InvalidArgument("max_size must be positive");
+  }
+
+  // Incremental Cholesky (Chen et al. 2018): for each candidate i we
+  // maintain c_i, the row of the Cholesky factor of L_{S u {i}}
+  // restricted to the selected set, and d2_i = L_ii - ||c_i||^2, the
+  // squared pivot = marginal determinant gain of adding i.
+  std::vector<double> d2(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) d2[static_cast<size_t>(i)] = kernel(i, i);
+  std::vector<std::vector<double>> c(static_cast<size_t>(m));
+  std::vector<bool> selected(static_cast<size_t>(m), false);
+  std::vector<int> out;
+
+  const int limit = std::min(options.max_size, m);
+  while (static_cast<int>(out.size()) < limit) {
+    int best = -1;
+    double best_d2 = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (selected[static_cast<size_t>(i)]) continue;
+      if (d2[static_cast<size_t>(i)] > best_d2) {
+        best_d2 = d2[static_cast<size_t>(i)];
+        best = i;
+      }
+    }
+    // Vanishing gains: adding any remaining item zeroes the determinant.
+    if (best < 0 || best_d2 <= 1e-15 ||
+        std::log(best_d2) < options.min_log_gain) {
+      break;
+    }
+    selected[static_cast<size_t>(best)] = true;
+    out.push_back(best);
+    const double dj = std::sqrt(best_d2);
+    const std::vector<double>& cj = c[static_cast<size_t>(best)];
+    for (int i = 0; i < m; ++i) {
+      if (selected[static_cast<size_t>(i)]) continue;
+      std::vector<double>& ci = c[static_cast<size_t>(i)];
+      double dot = 0.0;
+      for (size_t t = 0; t < cj.size(); ++t) dot += cj[t] * ci[t];
+      const double e = (kernel(best, i) - dot) / dj;
+      ci.push_back(e);
+      d2[static_cast<size_t>(i)] -= e * e;
+    }
+  }
+  if (out.empty()) {
+    return Status::NumericalError(
+        "greedy MAP: no item has positive determinant gain");
+  }
+  return out;
+}
+
+Result<std::vector<int>> DiversifiedRerank(const Vector& quality,
+                                           const Matrix& diversity,
+                                           int top_n) {
+  if (quality.size() != diversity.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("quality size %d does not match kernel %dx%d",
+                  quality.size(), diversity.rows(), diversity.cols()));
+  }
+  for (int i = 0; i < quality.size(); ++i) {
+    if (!(quality[i] > 0.0)) {
+      return Status::InvalidArgument("quality entries must be positive");
+    }
+  }
+  const Matrix l = AssembleKernel(quality, diversity);
+  GreedyMapOptions options;
+  options.max_size = top_n;
+  return GreedyMapInference(l, options);
+}
+
+}  // namespace lkpdpp

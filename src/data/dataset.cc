@@ -1,0 +1,187 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace lkpdpp {
+
+Result<Dataset> Dataset::FromRatings(const std::vector<RatingEvent>& events,
+                                     CategoryTable categories,
+                                     std::string name,
+                                     double positive_threshold,
+                                     int min_interactions,
+                                     double train_frac, double val_frac,
+                                     uint64_t split_seed) {
+  if (train_frac <= 0.0 || val_frac < 0.0 ||
+      train_frac + val_frac >= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("invalid split fractions train=%.2f val=%.2f", train_frac,
+                  val_frac));
+  }
+
+  // Binarize.
+  std::vector<RatingEvent> positives;
+  positives.reserve(events.size());
+  for (const RatingEvent& e : events) {
+    if (e.rating >= positive_threshold) positives.push_back(e);
+  }
+
+  // Filter users/items below the interaction floor (single pass, as the
+  // paper describes "filter out long-tailed users and items with fewer
+  // than 10 interactions").
+  std::map<int, int> user_count;
+  std::map<int, int> item_count;
+  for (const RatingEvent& e : positives) {
+    ++user_count[e.user];
+    ++item_count[e.item];
+  }
+  std::vector<RatingEvent> kept;
+  kept.reserve(positives.size());
+  for (const RatingEvent& e : positives) {
+    if (user_count[e.user] >= min_interactions &&
+        item_count[e.item] >= min_interactions) {
+      kept.push_back(e);
+    }
+  }
+  if (kept.empty()) {
+    return Status::FailedPrecondition(
+        "no interactions survive thresholding and filtering");
+  }
+
+  // Dense re-indexing.
+  std::map<int, int> user_map;
+  std::map<int, int> item_map;
+  for (const RatingEvent& e : kept) {
+    user_map.emplace(e.user, 0);
+    item_map.emplace(e.item, 0);
+  }
+  int next = 0;
+  for (auto& [orig, dense] : user_map) dense = next++;
+  next = 0;
+  for (auto& [orig, dense] : item_map) dense = next++;
+
+  Dataset ds;
+  ds.name_ = std::move(name);
+  ds.num_users_ = static_cast<int>(user_map.size());
+  ds.num_items_ = static_cast<int>(item_map.size());
+
+  // Remap the category table onto the dense item ids. Items unseen in the
+  // category table get an empty category list.
+  CategoryTable remapped;
+  remapped.num_categories = categories.num_categories;
+  remapped.item_categories.resize(static_cast<size_t>(ds.num_items_));
+  for (const auto& [orig, dense] : item_map) {
+    if (orig >= 0 &&
+        orig < static_cast<int>(categories.item_categories.size())) {
+      auto cats = categories.item_categories[static_cast<size_t>(orig)];
+      std::sort(cats.begin(), cats.end());
+      cats.erase(std::unique(cats.begin(), cats.end()), cats.end());
+      remapped.item_categories[static_cast<size_t>(dense)] = std::move(cats);
+    }
+  }
+  ds.categories_ = std::move(remapped);
+
+  // Group per user, order by timestamp (stable on ties).
+  std::vector<std::vector<std::pair<long, int>>> per_user(
+      static_cast<size_t>(ds.num_users_));
+  for (const RatingEvent& e : kept) {
+    per_user[static_cast<size_t>(user_map[e.user])].emplace_back(
+        e.timestamp, item_map[e.item]);
+  }
+
+  ds.train_.resize(static_cast<size_t>(ds.num_users_));
+  ds.val_.resize(static_cast<size_t>(ds.num_users_));
+  ds.test_.resize(static_cast<size_t>(ds.num_users_));
+  ds.observed_sorted_.resize(static_cast<size_t>(ds.num_users_));
+  long total = 0;
+
+  for (int u = 0; u < ds.num_users_; ++u) {
+    auto& evts = per_user[static_cast<size_t>(u)];
+    std::stable_sort(evts.begin(), evts.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    // Deduplicate repeated (user, item) positives, keeping first
+    // occurrence to preserve chronology.
+    std::vector<int> items;
+    items.reserve(evts.size());
+    std::vector<int> seen;
+    for (const auto& [ts, item] : evts) {
+      if (std::find(seen.begin(), seen.end(), item) == seen.end()) {
+        seen.push_back(item);
+        items.push_back(item);
+      }
+    }
+    const int count = static_cast<int>(items.size());
+    total += count;
+    int n_train = static_cast<int>(train_frac * count);
+    int n_val = static_cast<int>(val_frac * count);
+    if (n_train == 0 && count > 0) n_train = 1;
+    if (n_train + n_val > count) n_val = count - n_train;
+
+    // Random per-user assignment (paper protocol: test items are chosen
+    // at random), with chronological order preserved inside each split.
+    Rng split_rng(split_seed ^ (0x9E3779B97F4A7C15ULL *
+                                (static_cast<uint64_t>(u) + 1)));
+    std::vector<int> order(items.size());
+    for (size_t i = 0; i < items.size(); ++i) order[i] = static_cast<int>(i);
+    split_rng.Shuffle(&order);
+    // role: 0 = train, 1 = val, 2 = test, assigned by shuffled position.
+    std::vector<int> role(items.size(), 2);
+    for (int i = 0; i < n_train; ++i) role[static_cast<size_t>(order[i])] = 0;
+    for (int i = n_train; i < n_train + n_val; ++i) {
+      role[static_cast<size_t>(order[i])] = 1;
+    }
+
+    auto& tr = ds.train_[static_cast<size_t>(u)];
+    auto& va = ds.val_[static_cast<size_t>(u)];
+    auto& te = ds.test_[static_cast<size_t>(u)];
+    for (size_t i = 0; i < items.size(); ++i) {
+      switch (role[i]) {
+        case 0:
+          tr.push_back(items[i]);
+          break;
+        case 1:
+          va.push_back(items[i]);
+          break;
+        default:
+          te.push_back(items[i]);
+          break;
+      }
+    }
+
+    auto& obs = ds.observed_sorted_[static_cast<size_t>(u)];
+    obs = tr;
+    obs.insert(obs.end(), va.begin(), va.end());
+    std::sort(obs.begin(), obs.end());
+  }
+  ds.num_interactions_ = total;
+  return ds;
+}
+
+double Dataset::Density() const {
+  if (num_users_ == 0 || num_items_ == 0) return 0.0;
+  return static_cast<double>(num_interactions_) /
+         (static_cast<double>(num_users_) * num_items_);
+}
+
+bool Dataset::IsObserved(int user, int item) const {
+  const auto& obs = observed_sorted_[static_cast<size_t>(user)];
+  return std::binary_search(obs.begin(), obs.end(), item);
+}
+
+std::vector<int> Dataset::EvaluableUsers() const {
+  std::vector<int> out;
+  for (int u = 0; u < num_users_; ++u) {
+    if (!train_[static_cast<size_t>(u)].empty() &&
+        !test_[static_cast<size_t>(u)].empty()) {
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+}  // namespace lkpdpp

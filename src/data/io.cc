@@ -1,0 +1,115 @@
+#include "data/io.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace lkpdpp {
+
+Result<std::vector<RatingEvent>> LoadRatingsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<RatingEvent> events;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = StrTrim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> fields = StrSplit(trimmed, ',');
+    if (fields.size() != 4) {
+      return Status::IOError(
+          StrFormat("%s:%d: expected 4 fields, got %zu", path.c_str(),
+                    line_no, fields.size()));
+    }
+    RatingEvent e;
+    try {
+      e.user = std::stoi(fields[0]);
+      e.item = std::stoi(fields[1]);
+      e.rating = std::stod(fields[2]);
+      e.timestamp = std::stol(fields[3]);
+    } catch (const std::exception&) {
+      return Status::IOError(
+          StrFormat("%s:%d: malformed numeric field", path.c_str(),
+                    line_no));
+    }
+    events.push_back(e);
+  }
+  return events;
+}
+
+Status SaveRatingsCsv(const std::string& path,
+                      const std::vector<RatingEvent>& events) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# user,item,rating,timestamp\n";
+  for (const RatingEvent& e : events) {
+    out << e.user << ',' << e.item << ',' << e.rating << ',' << e.timestamp
+        << '\n';
+  }
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<CategoryTable> LoadCategoriesCsv(const std::string& path,
+                                        int num_categories_hint) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  CategoryTable table;
+  table.num_categories = num_categories_hint;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = StrTrim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> fields = StrSplit(trimmed, ',');
+    if (fields.size() != 2) {
+      return Status::IOError(
+          StrFormat("%s:%d: expected 2 fields, got %zu", path.c_str(),
+                    line_no, fields.size()));
+    }
+    int item = 0;
+    std::vector<int> cats;
+    try {
+      item = std::stoi(fields[0]);
+      for (const std::string& c : StrSplit(fields[1], ';')) {
+        if (!StrTrim(c).empty()) cats.push_back(std::stoi(c));
+      }
+    } catch (const std::exception&) {
+      return Status::IOError(
+          StrFormat("%s:%d: malformed numeric field", path.c_str(),
+                    line_no));
+    }
+    if (item < 0) {
+      return Status::IOError(
+          StrFormat("%s:%d: negative item id", path.c_str(), line_no));
+    }
+    if (item >= static_cast<int>(table.item_categories.size())) {
+      table.item_categories.resize(static_cast<size_t>(item) + 1);
+    }
+    for (int c : cats) {
+      table.num_categories = std::max(table.num_categories, c + 1);
+    }
+    table.item_categories[static_cast<size_t>(item)] = std::move(cats);
+  }
+  return table;
+}
+
+Status SaveCategoriesCsv(const std::string& path,
+                         const CategoryTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# item,categories(;-separated)\n";
+  for (size_t i = 0; i < table.item_categories.size(); ++i) {
+    out << i << ',';
+    const auto& cats = table.item_categories[i];
+    for (size_t c = 0; c < cats.size(); ++c) {
+      if (c > 0) out << ';';
+      out << cats[c];
+    }
+    out << '\n';
+  }
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace lkpdpp

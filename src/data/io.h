@@ -1,0 +1,39 @@
+// CSV import/export of rating logs and category tables.
+//
+// Lets users run the library on real dataset dumps (e.g. an actual
+// MovieLens export) with the same pipeline the synthetic generator feeds.
+// Format:
+//   ratings CSV:    user,item,rating,timestamp   (one event per line)
+//   categories CSV: item,cat0[;cat1;cat2...]     (one item per line)
+
+#ifndef LKPDPP_DATA_IO_H_
+#define LKPDPP_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace lkpdpp {
+
+/// Parses a ratings CSV. Lines starting with '#' and blank lines are
+/// skipped. Fails on malformed rows with the offending line number.
+Result<std::vector<RatingEvent>> LoadRatingsCsv(const std::string& path);
+
+/// Writes a ratings CSV.
+Status SaveRatingsCsv(const std::string& path,
+                      const std::vector<RatingEvent>& events);
+
+/// Parses a category CSV; `num_categories` is inferred as max id + 1
+/// unless a larger value is given.
+Result<CategoryTable> LoadCategoriesCsv(const std::string& path,
+                                        int num_categories_hint = 0);
+
+/// Writes a category CSV.
+Status SaveCategoriesCsv(const std::string& path,
+                         const CategoryTable& table);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_DATA_IO_H_

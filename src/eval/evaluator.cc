@@ -1,0 +1,84 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+
+namespace lkpdpp {
+
+std::vector<bool> Evaluator::ExclusionMask(int user) const {
+  std::vector<bool> excluded(static_cast<size_t>(dataset_->num_items()),
+                             false);
+  for (int i : dataset_->TrainItems(user)) {
+    excluded[static_cast<size_t>(i)] = true;
+  }
+  for (int i : dataset_->ValItems(user)) {
+    excluded[static_cast<size_t>(i)] = true;
+  }
+  return excluded;
+}
+
+std::map<int, MetricSet> Evaluator::Evaluate(
+    RecModel* model, const std::vector<int>& cutoffs) const {
+  model->PrepareForEval();
+  std::map<int, MetricSet> totals;
+  for (int n : cutoffs) totals[n] = MetricSet{};
+
+  const std::vector<int> users = dataset_->EvaluableUsers();
+  const int max_n =
+      *std::max_element(cutoffs.begin(), cutoffs.end());
+  for (int u : users) {
+    const Vector scores = model->ScoreAllItems(u);
+    const std::vector<int> ranked =
+        TopNExcluding(scores, max_n, ExclusionMask(u));
+    const std::vector<int>& test = dataset_->TestItems(u);
+    for (int n : cutoffs) {
+      MetricSet& m = totals[n];
+      const double re = RecallAtN(ranked, test, n);
+      const double nd = NdcgAtN(ranked, test, n);
+      const double cc = CategoryCoverageAtN(ranked, n, *dataset_);
+      m.recall += re;
+      m.ndcg += nd;
+      m.category_coverage += cc;
+      m.f_score += FScore(re, nd, cc);
+      m.ild += IntraListDistanceAtN(ranked, n, *dataset_);
+    }
+  }
+  const double inv = users.empty() ? 0.0 : 1.0 / users.size();
+  for (auto& [n, m] : totals) {
+    m.recall *= inv;
+    m.ndcg *= inv;
+    m.category_coverage *= inv;
+    m.f_score *= inv;
+    m.ild *= inv;
+  }
+  return totals;
+}
+
+double Evaluator::ValidationNdcg(RecModel* model, int cutoff) const {
+  model->PrepareForEval();
+  double total = 0.0;
+  int count = 0;
+  for (int u = 0; u < dataset_->num_users(); ++u) {
+    const std::vector<int>& val = dataset_->ValItems(u);
+    if (val.empty() || dataset_->TrainItems(u).empty()) continue;
+    // Exclude only train positives: validation items are the targets.
+    std::vector<bool> excluded(
+        static_cast<size_t>(dataset_->num_items()), false);
+    for (int i : dataset_->TrainItems(u)) {
+      excluded[static_cast<size_t>(i)] = true;
+    }
+    const Vector scores = model->ScoreAllItems(u);
+    const std::vector<int> ranked = TopNExcluding(scores, cutoff, excluded);
+    total += NdcgAtN(ranked, val, cutoff);
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+std::vector<int> Evaluator::TopNForUser(RecModel* model, int user,
+                                        int n) const {
+  model->PrepareForEval();
+  const Vector scores = model->ScoreAllItems(user);
+  return TopNExcluding(scores, n, ExclusionMask(user));
+}
+
+}  // namespace lkpdpp

@@ -1,0 +1,43 @@
+// Whole-catalog top-N evaluation against held-out test positives.
+
+#ifndef LKPDPP_EVAL_EVALUATOR_H_
+#define LKPDPP_EVAL_EVALUATOR_H_
+
+#include <map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "models/rec_model.h"
+
+namespace lkpdpp {
+
+/// Scores every evaluable user's full catalog (excluding their train and
+/// validation positives from the candidates, the standard protocol),
+/// extracts top-N lists, and averages the metrics.
+class Evaluator {
+ public:
+  explicit Evaluator(const Dataset* dataset) : dataset_(dataset) {}
+
+  /// Metrics averaged over evaluable users, keyed by cutoff N.
+  /// Calls model->PrepareForEval() once.
+  std::map<int, MetricSet> Evaluate(RecModel* model,
+                                    const std::vector<int>& cutoffs) const;
+
+  /// Single-number validation criterion (NDCG at the given cutoff), used
+  /// for early stopping / best-epoch tracking against the validation
+  /// split.
+  double ValidationNdcg(RecModel* model, int cutoff) const;
+
+  /// The ranked top-N list of one user (post-exclusion); exposed for the
+  /// Figure 5 case study.
+  std::vector<int> TopNForUser(RecModel* model, int user, int n) const;
+
+ private:
+  std::vector<bool> ExclusionMask(int user) const;
+  const Dataset* dataset_;
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_EVAL_EVALUATOR_H_

@@ -1,0 +1,123 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lkpdpp {
+
+double RecallAtN(const std::vector<int>& ranked,
+                 const std::vector<int>& test_items, int n) {
+  if (test_items.empty()) return 0.0;
+  const int limit = std::min<int>(n, static_cast<int>(ranked.size()));
+  int hits = 0;
+  for (int i = 0; i < limit; ++i) {
+    if (std::find(test_items.begin(), test_items.end(), ranked[i]) !=
+        test_items.end()) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(test_items.size());
+}
+
+double NdcgAtN(const std::vector<int>& ranked,
+               const std::vector<int>& test_items, int n) {
+  if (test_items.empty()) return 0.0;
+  const int limit = std::min<int>(n, static_cast<int>(ranked.size()));
+  double dcg = 0.0;
+  for (int i = 0; i < limit; ++i) {
+    if (std::find(test_items.begin(), test_items.end(), ranked[i]) !=
+        test_items.end()) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  const int ideal_hits =
+      std::min<int>(n, static_cast<int>(test_items.size()));
+  double idcg = 0.0;
+  for (int i = 0; i < ideal_hits; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double CategoryCoverageAtN(const std::vector<int>& ranked, int n,
+                           const Dataset& dataset) {
+  if (dataset.num_categories() == 0) return 0.0;
+  const int limit = std::min<int>(n, static_cast<int>(ranked.size()));
+  std::vector<bool> covered(static_cast<size_t>(dataset.num_categories()),
+                            false);
+  int count = 0;
+  for (int i = 0; i < limit; ++i) {
+    for (int c : dataset.ItemCategories(ranked[i])) {
+      if (!covered[static_cast<size_t>(c)]) {
+        covered[static_cast<size_t>(c)] = true;
+        ++count;
+      }
+    }
+  }
+  return static_cast<double>(count) /
+         static_cast<double>(dataset.num_categories());
+}
+
+double FScore(double recall, double ndcg, double category_coverage) {
+  const double acc = 0.5 * (recall + ndcg);
+  const double denom = acc + category_coverage;
+  if (denom <= 0.0) return 0.0;
+  return 2.0 * acc * category_coverage / denom;
+}
+
+double IntraListDistanceAtN(const std::vector<int>& ranked, int n,
+                            const Dataset& dataset) {
+  const int limit = std::min<int>(n, static_cast<int>(ranked.size()));
+  if (limit < 2) return 0.0;
+  double total = 0.0;
+  int pairs = 0;
+  for (int i = 0; i < limit; ++i) {
+    const auto& ci = dataset.ItemCategories(ranked[i]);
+    for (int j = i + 1; j < limit; ++j) {
+      const auto& cj = dataset.ItemCategories(ranked[j]);
+      // Jaccard distance between the two sorted category lists.
+      size_t a = 0, b = 0;
+      int inter = 0;
+      while (a < ci.size() && b < cj.size()) {
+        if (ci[a] == cj[b]) {
+          ++inter;
+          ++a;
+          ++b;
+        } else if (ci[a] < cj[b]) {
+          ++a;
+        } else {
+          ++b;
+        }
+      }
+      const int uni =
+          static_cast<int>(ci.size() + cj.size()) - inter;
+      total += uni > 0 ? 1.0 - static_cast<double>(inter) / uni : 0.0;
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? total / pairs : 0.0;
+}
+
+std::vector<int> TopNExcluding(const Vector& scores, int n,
+                               const std::vector<bool>& excluded) {
+  LKP_CHECK_EQ(static_cast<int>(excluded.size()), scores.size());
+  std::vector<int> candidates;
+  candidates.reserve(static_cast<size_t>(scores.size()));
+  for (int i = 0; i < scores.size(); ++i) {
+    if (!excluded[static_cast<size_t>(i)]) candidates.push_back(i);
+  }
+  const int take = std::min<int>(n, static_cast<int>(candidates.size()));
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end(), [&](int a, int b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  candidates.resize(static_cast<size_t>(take));
+  return candidates;
+}
+
+}  // namespace lkpdpp

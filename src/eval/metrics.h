@@ -1,0 +1,60 @@
+// Ranking metrics (Section IV-A2 of the paper).
+//
+//   Recall@N   |top-N ∩ test| / |test|
+//   NDCG@N     binary-relevance DCG over the top-N, normalized by the
+//              ideal DCG for this user's test-set size
+//   CC@N       category coverage: |union of categories of top-N| / |C|
+//   F@N        harmonic mean between accuracy and diversity, with
+//              accuracy = (Recall@N + NDCG@N)/2 and diversity = CC@N
+//              (this composition reproduces the paper's reported F
+//              values from its Re/Nd/CC columns)
+//   ILD@N      intra-list distance over item category sets (Jaccard
+//              distance); reported by the library though the paper omits
+//              it for implicit feedback.
+
+#ifndef LKPDPP_EVAL_METRICS_H_
+#define LKPDPP_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+
+namespace lkpdpp {
+
+/// Per-cutoff metric bundle, averaged over users by the evaluator.
+struct MetricSet {
+  double recall = 0.0;
+  double ndcg = 0.0;
+  double category_coverage = 0.0;
+  double f_score = 0.0;
+  double ild = 0.0;
+};
+
+/// Recall@N given a ranked list and the user's test positives.
+double RecallAtN(const std::vector<int>& ranked,
+                 const std::vector<int>& test_items, int n);
+
+/// NDCG@N with binary relevance.
+double NdcgAtN(const std::vector<int>& ranked,
+               const std::vector<int>& test_items, int n);
+
+/// Category coverage of the first n recommendations.
+double CategoryCoverageAtN(const std::vector<int>& ranked, int n,
+                           const Dataset& dataset);
+
+/// Harmonic mean of accuracy ((recall+ndcg)/2) and coverage.
+double FScore(double recall, double ndcg, double category_coverage);
+
+/// Mean pairwise Jaccard distance between category sets of the top n.
+double IntraListDistanceAtN(const std::vector<int>& ranked, int n,
+                            const Dataset& dataset);
+
+/// Indices of the top-n scores, descending, excluding `excluded` items
+/// (partial selection; ties broken by smaller index for determinism).
+std::vector<int> TopNExcluding(const Vector& scores, int n,
+                               const std::vector<bool>& excluded);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_EVAL_METRICS_H_

@@ -1,0 +1,139 @@
+#include "exp/probes.h"
+
+#include <algorithm>
+
+#include "core/kdpp.h"
+#include "kernels/quality_diversity.h"
+
+namespace lkpdpp {
+
+namespace {
+
+// Ground-set kernel from the model's current scores and the diversity
+// kernel, as LkP assembles it during training.
+Result<Matrix> InstanceKernel(RecModel* model, const DiversityKernel& kernel,
+                              const TrainingInstance& inst,
+                              QualityTransform quality) {
+  const Vector all_scores = model->ScoreAllItems(inst.user);
+  Vector scores(inst.ground_size());
+  for (int i = 0; i < inst.ground_size(); ++i) {
+    scores[i] = all_scores[inst.items[static_cast<size_t>(i)]];
+  }
+  const Vector q = ApplyQuality(scores, quality);
+  return AssembleKernel(q, kernel.Submatrix(inst.items));
+}
+
+}  // namespace
+
+Result<TargetCountProbe> ProbeProbabilityByTargetCount(
+    RecModel* model, const Dataset& dataset, const DiversityKernel& kernel,
+    int k, int n, int num_instances, QualityTransform quality, Rng* rng) {
+  GroundSetBuilder builder(&dataset, k, n, TargetSelection::kSequential);
+  model->PrepareForEval();
+
+  TargetCountProbe probe;
+  probe.mean_probability.assign(static_cast<size_t>(k) + 1, 0.0);
+  std::vector<long> group_sizes(static_cast<size_t>(k) + 1, 0);
+
+  int used = 0;
+  int attempts = 0;
+  while (used < num_instances && attempts < num_instances * 20) {
+    ++attempts;
+    const int user = rng->UniformInt(dataset.num_users());
+    LKP_ASSIGN_OR_RETURN(std::vector<TrainingInstance> insts,
+                         builder.BuildForUser(user, rng));
+    if (insts.empty()) continue;
+    const TrainingInstance& inst =
+        insts[static_cast<size_t>(rng->UniformInt(
+            static_cast<int>(insts.size())))];
+
+    LKP_ASSIGN_OR_RETURN(Matrix l,
+                         InstanceKernel(model, kernel, inst, quality));
+    Result<KDpp> kdpp = KDpp::Create(std::move(l), k);
+    if (!kdpp.ok()) continue;  // Rank-deficient corner; skip.
+    LKP_ASSIGN_OR_RETURN(auto subsets, kdpp->EnumerateProbabilities());
+    for (const auto& [subset, prob] : subsets) {
+      int targets = 0;
+      for (int idx : subset) {
+        if (idx < k) ++targets;
+      }
+      probe.mean_probability[static_cast<size_t>(targets)] += prob;
+      ++group_sizes[static_cast<size_t>(targets)];
+    }
+    ++used;
+  }
+  if (used == 0) {
+    return Status::FailedPrecondition(
+        "no usable ground sets for the probability probe");
+  }
+  for (size_t g = 0; g < probe.mean_probability.size(); ++g) {
+    if (group_sizes[g] > 0) {
+      probe.mean_probability[g] /= static_cast<double>(group_sizes[g]);
+    }
+  }
+  probe.instances_used = used;
+  return probe;
+}
+
+Result<DiversityProbe> ProbeDiverseVsMonotonous(
+    RecModel* model, const Dataset& dataset, const DiversityKernel& kernel,
+    int k, int n, int num_instances, QualityTransform quality,
+    int low_categories, int high_categories, Rng* rng) {
+  GroundSetBuilder builder(&dataset, k, n, TargetSelection::kSequential);
+  model->PrepareForEval();
+
+  DiversityProbe probe;
+  int used = 0;
+  int attempts = 0;
+  while (used < num_instances && attempts < num_instances * 40) {
+    ++attempts;
+    const int user = rng->UniformInt(dataset.num_users());
+    LKP_ASSIGN_OR_RETURN(std::vector<TrainingInstance> insts,
+                         builder.BuildForUser(user, rng));
+    if (insts.empty()) continue;
+    const TrainingInstance& inst =
+        insts[static_cast<size_t>(rng->UniformInt(
+            static_cast<int>(insts.size())))];
+
+    // Count distinct categories across the k targets.
+    std::vector<bool> seen(static_cast<size_t>(dataset.num_categories()),
+                           false);
+    int categories = 0;
+    for (int i = 0; i < inst.num_pos; ++i) {
+      for (int c :
+           dataset.ItemCategories(inst.items[static_cast<size_t>(i)])) {
+        if (!seen[static_cast<size_t>(c)]) {
+          seen[static_cast<size_t>(c)] = true;
+          ++categories;
+        }
+      }
+    }
+    const bool diverse = categories >= high_categories;
+    const bool monotonous = categories <= low_categories;
+    if (!diverse && !monotonous) continue;
+
+    LKP_ASSIGN_OR_RETURN(Matrix l,
+                         InstanceKernel(model, kernel, inst, quality));
+    Result<KDpp> kdpp = KDpp::Create(std::move(l), k);
+    if (!kdpp.ok()) continue;
+    std::vector<int> target_idx(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) target_idx[static_cast<size_t>(i)] = i;
+    LKP_ASSIGN_OR_RETURN(double prob, kdpp->Prob(target_idx));
+
+    if (diverse) {
+      probe.diverse_mean += prob;
+      ++probe.diverse_count;
+    } else {
+      probe.monotonous_mean += prob;
+      ++probe.monotonous_count;
+    }
+    ++used;
+  }
+  if (probe.diverse_count > 0) probe.diverse_mean /= probe.diverse_count;
+  if (probe.monotonous_count > 0) {
+    probe.monotonous_mean /= probe.monotonous_count;
+  }
+  return probe;
+}
+
+}  // namespace lkpdpp

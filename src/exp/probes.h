@@ -1,0 +1,58 @@
+// Probability-ranking probes behind Figure 4 and the Section IV-B2
+// diversity analysis.
+//
+// Figure 4 groups all C(k+n, k) subsets of sampled ground sets by how
+// many targets they contain and plots the mean k-DPP probability per
+// group across training epochs: relevance-ranking interpretation means
+// the all-target group's probability grows past uniform (1/C(k+n,k))
+// while mostly-negative groups sink. The diversity probe contrasts the
+// mean target-set probability of category-diverse vs monotonous target
+// sets across distinct k-DPP distributions.
+
+#ifndef LKPDPP_EXP_PROBES_H_
+#define LKPDPP_EXP_PROBES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "kernels/diversity_kernel.h"
+#include "kernels/quality_diversity.h"
+#include "models/rec_model.h"
+#include "sampling/ground_set_builder.h"
+
+namespace lkpdpp {
+
+/// Mean k-DPP probability of subsets grouped by target count (index g =
+/// number of targets in the subset, g in [0, k]); averaged over
+/// `num_instances` sampled ground sets.
+struct TargetCountProbe {
+  /// mean_probability[g] for g targets; sums over groups weighted by
+  /// group sizes to ~1.
+  std::vector<double> mean_probability;
+  int instances_used = 0;
+};
+
+Result<TargetCountProbe> ProbeProbabilityByTargetCount(
+    RecModel* model, const Dataset& dataset, const DiversityKernel& kernel,
+    int k, int n, int num_instances, QualityTransform quality, Rng* rng);
+
+/// Mean target-subset probability for diverse (>= `high_categories`
+/// distinct categories in the target set) vs monotonous (<=
+/// `low_categories`) training instances.
+struct DiversityProbe {
+  double diverse_mean = 0.0;
+  double monotonous_mean = 0.0;
+  int diverse_count = 0;
+  int monotonous_count = 0;
+};
+
+Result<DiversityProbe> ProbeDiverseVsMonotonous(
+    RecModel* model, const Dataset& dataset, const DiversityKernel& kernel,
+    int k, int n, int num_instances, QualityTransform quality,
+    int low_categories, int high_categories, Rng* rng);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_EXP_PROBES_H_

@@ -1,0 +1,78 @@
+// Experiment runner: spec -> trained model -> metrics.
+//
+// Owns the training loop shared by every bench binary: per-epoch
+// ground-set construction, per-batch autodiff graph, criterion gradient
+// injection, Adam updates, periodic validation with best-parameter
+// snapshots, and final test-set evaluation. The diversity kernel is
+// trained once per (dataset, rank) and cached across specs, mirroring the
+// paper's "pre-trained and fixed" protocol.
+
+#ifndef LKPDPP_EXP_RUNNER_H_
+#define LKPDPP_EXP_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/criterion.h"
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+#include "exp/spec.h"
+#include "kernels/diversity_kernel.h"
+#include "models/rec_model.h"
+
+namespace lkpdpp {
+
+struct ExperimentResult {
+  /// Test metrics at each requested cutoff, from the best-validation
+  /// parameter snapshot.
+  std::map<int, MetricSet> test_metrics;
+  /// Epoch (1-based) whose snapshot won on validation.
+  int best_epoch = 0;
+  int epochs_run = 0;
+  double best_validation_ndcg = 0.0;
+  /// Mean training loss of the final epoch.
+  double final_train_loss = 0.0;
+  /// Validation NDCG trace (one entry per evaluation round).
+  std::vector<double> validation_history;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(const Dataset* dataset)
+      : dataset_(dataset), evaluator_(dataset) {}
+
+  /// Trains per `spec` and evaluates at `cutoffs` (default 5/10/20).
+  Result<ExperimentResult> Run(const ExperimentSpec& spec,
+                               const std::vector<int>& cutoffs = {5, 10,
+                                                                  20});
+
+  /// Like Run, but also hands back the trained model (used by the case
+  /// study and the probability probes).
+  Result<ExperimentResult> RunAndKeepModel(
+      const ExperimentSpec& spec, std::unique_ptr<RecModel>* model_out,
+      const std::vector<int>& cutoffs = {5, 10, 20});
+
+  /// The cached pre-learned diversity kernel for this dataset (training
+  /// it on first use).
+  Result<const DiversityKernel*> GetDiversityKernel();
+
+  /// Builds the backbone for a spec (exposed for examples/tests).
+  Result<std::unique_ptr<RecModel>> MakeModel(
+      const ExperimentSpec& spec) const;
+
+  /// Builds the criterion for a spec given the model's preferred quality
+  /// transform.
+  std::unique_ptr<RankingCriterion> MakeCriterion(
+      const ExperimentSpec& spec, QualityTransform quality) const;
+
+ private:
+  const Dataset* dataset_;
+  Evaluator evaluator_;
+  std::unique_ptr<DiversityKernel> cached_kernel_;
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_EXP_RUNNER_H_

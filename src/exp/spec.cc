@@ -1,0 +1,47 @@
+#include "exp/spec.h"
+
+namespace lkpdpp {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kMf:
+      return "MF";
+    case ModelKind::kGcn:
+      return "GCN";
+    case ModelKind::kNeuMf:
+      return "NeuMF";
+    case ModelKind::kGcmc:
+      return "GCMC";
+  }
+  return "?";
+}
+
+const char* CriterionKindName(CriterionKind kind) {
+  switch (kind) {
+    case CriterionKind::kBce:
+      return "BCE";
+    case CriterionKind::kBpr:
+      return "BPR";
+    case CriterionKind::kSetRank:
+      return "SetRank";
+    case CriterionKind::kSet2SetRank:
+      return "S2SRank";
+    case CriterionKind::kLkp:
+      return "LkP";
+  }
+  return "?";
+}
+
+std::string ExperimentSpec::VariantName() const {
+  if (criterion != CriterionKind::kLkp) {
+    return CriterionKindName(criterion);
+  }
+  std::string name;
+  if (lkp_mode == LkpMode::kNegativeAndPositive) name += "N";
+  name += "P";
+  name += (target_mode == TargetSelection::kSequential) ? "S" : "R";
+  if (kernel_source == KernelSource::kEmbedding) name += "E";
+  return name;
+}
+
+}  // namespace lkpdpp

@@ -1,0 +1,95 @@
+#include "exp/table.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace lkpdpp {
+
+namespace {
+
+double Pick(const MetricSet& m, int which) {
+  switch (which) {
+    case 0:
+      return m.recall;
+    case 1:
+      return m.ndcg;
+    case 2:
+      return m.category_coverage;
+    default:
+      return m.f_score;
+  }
+}
+
+const char* MetricShortName(int which) {
+  switch (which) {
+    case 0:
+      return "Re";
+    case 1:
+      return "Nd";
+    case 2:
+      return "CC";
+    default:
+      return "F";
+  }
+}
+
+}  // namespace
+
+void PrintMetricTable(const std::string& title,
+                      const std::vector<TableRow>& rows,
+                      const std::vector<int>& cutoffs) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-14s", "Method");
+  for (int which = 0; which < 4; ++which) {
+    for (int n : cutoffs) {
+      std::printf(" %9s", StrFormat("%s@%d", MetricShortName(which), n)
+                              .c_str());
+    }
+  }
+  std::printf("\n");
+
+  // Column-wise best for the '*' marker.
+  std::vector<double> best(4 * cutoffs.size(), -1.0);
+  for (const TableRow& row : rows) {
+    int col = 0;
+    for (int which = 0; which < 4; ++which) {
+      for (int n : cutoffs) {
+        const auto it = row.metrics.find(n);
+        if (it != row.metrics.end()) {
+          best[static_cast<size_t>(col)] =
+              std::max(best[static_cast<size_t>(col)],
+                       Pick(it->second, which));
+        }
+        ++col;
+      }
+    }
+  }
+
+  for (const TableRow& row : rows) {
+    std::printf("%-14s", row.label.c_str());
+    int col = 0;
+    for (int which = 0; which < 4; ++which) {
+      for (int n : cutoffs) {
+        const auto it = row.metrics.find(n);
+        if (it == row.metrics.end()) {
+          std::printf(" %9s", "-");
+        } else {
+          const double v = Pick(it->second, which);
+          const bool is_best = v >= best[static_cast<size_t>(col)] - 1e-12;
+          std::printf(" %8.4f%s", v, is_best ? "*" : " ");
+        }
+        ++col;
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+double ImprovementPercent(double ours, double base) {
+  if (base == 0.0) return 0.0;
+  return 100.0 * (ours - base) / base;
+}
+
+}  // namespace lkpdpp

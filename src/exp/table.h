@@ -1,0 +1,31 @@
+// Paper-style metric table formatting shared by the bench binaries.
+
+#ifndef LKPDPP_EXP_TABLE_H_
+#define LKPDPP_EXP_TABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace lkpdpp {
+
+/// One method's row in a Table II/III/IV style report.
+struct TableRow {
+  std::string label;
+  std::map<int, MetricSet> metrics;  // keyed by cutoff N
+};
+
+/// Prints "Method | Re@5 .. Re@20 | Nd@5 .. | CC@5 .. | F@5 .." with the
+/// best value per column marked by '*'.
+void PrintMetricTable(const std::string& title,
+                      const std::vector<TableRow>& rows,
+                      const std::vector<int>& cutoffs);
+
+/// Percentage improvement of `ours` over `base` (positive = better).
+double ImprovementPercent(double ours, double base);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_EXP_TABLE_H_

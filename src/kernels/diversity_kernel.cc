@@ -1,0 +1,156 @@
+#include "kernels/diversity_kernel.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "linalg/cholesky.h"
+#include "sampling/diverse_pairs.h"
+
+namespace lkpdpp {
+
+namespace {
+
+void NormalizeRows(Matrix* m) {
+  for (int r = 0; r < m->rows(); ++r) {
+    double norm = 0.0;
+    for (int c = 0; c < m->cols(); ++c) norm += (*m)(r, c) * (*m)(r, c);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      (*m)(r, 0) = 1.0;
+      for (int c = 1; c < m->cols(); ++c) (*m)(r, c) = 0.0;
+    } else {
+      for (int c = 0; c < m->cols(); ++c) (*m)(r, c) /= norm;
+    }
+  }
+}
+
+// Accumulates d log det(V_S V_S^T + jitter I) / d V_S = 2 (K_S)^{-1} V_S
+// into the rows of `grad` selected by `items`, scaled by `sign`.
+Status AccumulateLogDetGrad(const Matrix& factors,
+                            const std::vector<int>& items, double jitter,
+                            double sign, Matrix* grad) {
+  const int s = static_cast<int>(items.size());
+  const int r = factors.cols();
+  Matrix vs(s, r);
+  for (int i = 0; i < s; ++i) {
+    for (int c = 0; c < r; ++c) vs(i, c) = factors(items[i], c);
+  }
+  Matrix ks = MatMulTransB(vs, vs);
+  ks.AddDiagonal(jitter);
+  LKP_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::Compute(ks));
+  const Matrix kinv = chol.Inverse();
+  const Matrix g = MatMul(kinv, vs);  // (K_S^{-1} V_S), times 2 below.
+  for (int i = 0; i < s; ++i) {
+    for (int c = 0; c < r; ++c) {
+      (*grad)(items[i], c) += sign * 2.0 * g(i, c);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+DiversityKernel DiversityKernel::Random(int num_items, int rank,
+                                        uint64_t seed) {
+  LKP_CHECK_GT(num_items, 0);
+  LKP_CHECK_GT(rank, 0);
+  Rng rng(seed);
+  Matrix factors(num_items, rank);
+  for (int r = 0; r < num_items; ++r) {
+    for (int c = 0; c < rank; ++c) factors(r, c) = rng.Normal();
+  }
+  NormalizeRows(&factors);
+  return DiversityKernel(std::move(factors));
+}
+
+Result<DiversityKernel> DiversityKernel::Train(const Dataset& dataset,
+                                               const TrainConfig& config) {
+  if (config.rank <= 0 || config.set_size <= 0) {
+    return Status::InvalidArgument("rank and set_size must be positive");
+  }
+  if (config.set_size > config.rank) {
+    return Status::InvalidArgument(
+        "set_size must not exceed rank (determinants would vanish)");
+  }
+  DiversityKernel kernel =
+      Random(dataset.num_items(), config.rank, config.seed);
+  Rng rng(config.seed ^ 0x5bd1e995ULL);
+  DiversePairSampler sampler(&dataset, config.set_size);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    LKP_ASSIGN_OR_RETURN(
+        std::vector<DiverseSetPair> pairs,
+        sampler.SamplePairs(config.pairs_per_epoch, &rng));
+    for (const DiverseSetPair& pair : pairs) {
+      Matrix grad(kernel.factors_.rows(), kernel.factors_.cols());
+      // Ascend J: +grad for T+, -grad for T-.
+      LKP_RETURN_IF_ERROR(AccumulateLogDetGrad(
+          kernel.factors_, pair.positive, config.jitter, +1.0, &grad));
+      LKP_RETURN_IF_ERROR(AccumulateLogDetGrad(
+          kernel.factors_, pair.negative, config.jitter, -1.0, &grad));
+      // Sparse row update + projection back to the unit sphere.
+      for (const std::vector<int>* items : {&pair.positive, &pair.negative}) {
+        for (int item : *items) {
+          for (int c = 0; c < kernel.factors_.cols(); ++c) {
+            kernel.factors_(item, c) +=
+                config.learning_rate * grad(item, c);
+          }
+          double norm = 0.0;
+          for (int c = 0; c < kernel.factors_.cols(); ++c) {
+            norm += kernel.factors_(item, c) * kernel.factors_(item, c);
+          }
+          norm = std::sqrt(norm);
+          if (norm > 1e-12) {
+            for (int c = 0; c < kernel.factors_.cols(); ++c) {
+              kernel.factors_(item, c) /= norm;
+            }
+          }
+        }
+      }
+    }
+  }
+  return kernel;
+}
+
+double DiversityKernel::Entry(int i, int j) const {
+  double s = 0.0;
+  for (int c = 0; c < factors_.cols(); ++c) {
+    s += factors_(i, c) * factors_(j, c);
+  }
+  return s;
+}
+
+Matrix DiversityKernel::Submatrix(const std::vector<int>& items) const {
+  const int s = static_cast<int>(items.size());
+  Matrix out(s, s);
+  for (int i = 0; i < s; ++i) {
+    out(i, i) = Entry(items[i], items[i]);
+    for (int j = i + 1; j < s; ++j) {
+      const double v = Entry(items[i], items[j]);
+      out(i, j) = v;
+      out(j, i) = v;
+    }
+  }
+  return out;
+}
+
+Result<double> DiversityKernel::Objective(const Dataset& dataset,
+                                          int num_pairs, double jitter,
+                                          Rng* rng) const {
+  DiversePairSampler sampler(&dataset, 5);
+  LKP_ASSIGN_OR_RETURN(std::vector<DiverseSetPair> pairs,
+                       sampler.SamplePairs(num_pairs, rng));
+  double total = 0.0;
+  for (const DiverseSetPair& pair : pairs) {
+    Matrix kp = Submatrix(pair.positive);
+    Matrix kn = Submatrix(pair.negative);
+    kp.AddDiagonal(jitter);
+    kn.AddDiagonal(jitter);
+    LKP_ASSIGN_OR_RETURN(double lp, LogDetSpd(kp));
+    LKP_ASSIGN_OR_RETURN(double ln, LogDetSpd(kn));
+    total += lp - ln;
+  }
+  return total / num_pairs;
+}
+
+}  // namespace lkpdpp

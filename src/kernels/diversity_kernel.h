@@ -1,0 +1,72 @@
+// Pre-learned low-rank diversity kernel K = V^T V (paper Eq. 3).
+//
+// K models item-item diversity independently of any user. It is trained
+// once per dataset by maximizing
+//   J = sum_{(T+,T-)} log det(K_{T+}) - log det(K_{T-})
+// over category-diverse positive sets T+ and negative sets T-, then kept
+// FIXED while optimizing LkP (Section III-B3: "the diverse kernel K is
+// pre-trained and remains fixed"). Rows of the factor matrix are kept on
+// the unit sphere so K_ii = 1 and K_ij is a cosine similarity, matching
+// the DPP convention that kernel entries measure pairwise similarity.
+
+#ifndef LKPDPP_KERNELS_DIVERSITY_KERNEL_H_
+#define LKPDPP_KERNELS_DIVERSITY_KERNEL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+
+namespace lkpdpp {
+
+/// Low-rank PSD kernel over the item catalog.
+class DiversityKernel {
+ public:
+  struct TrainConfig {
+    /// Rank of the factorization; must exceed the largest k used by LkP
+    /// or target-set determinants vanish.
+    int rank = 16;
+    int epochs = 20;
+    int pairs_per_epoch = 400;
+    /// Cardinality of T+ / T- sets.
+    int set_size = 5;
+    double learning_rate = 0.05;
+    /// Added to K_S diagonals during training for invertibility.
+    double jitter = 1e-4;
+    uint64_t seed = 7;
+  };
+
+  /// Random unit-row factors (the untrained starting point; also useful
+  /// as a control in ablations).
+  static DiversityKernel Random(int num_items, int rank, uint64_t seed);
+
+  /// Trains on contrastive diverse pairs from `dataset` (Eq. 3).
+  static Result<DiversityKernel> Train(const Dataset& dataset,
+                                       const TrainConfig& config);
+
+  int num_items() const { return factors_.rows(); }
+  int rank() const { return factors_.cols(); }
+
+  /// K_ij = <v_i, v_j>.
+  double Entry(int i, int j) const;
+
+  /// Principal submatrix K_S for the given items.
+  Matrix Submatrix(const std::vector<int>& items) const;
+
+  /// Item factor rows (num_items x rank).
+  const Matrix& factors() const { return factors_; }
+
+  /// Eq. 3 objective on freshly sampled pairs — a training diagnostic.
+  Result<double> Objective(const Dataset& dataset, int num_pairs,
+                           double jitter, Rng* rng) const;
+
+ private:
+  explicit DiversityKernel(Matrix factors) : factors_(std::move(factors)) {}
+  Matrix factors_;  // num_items x rank, unit rows.
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_KERNELS_DIVERSITY_KERNEL_H_

@@ -1,0 +1,58 @@
+#include "kernels/gaussian_embedding.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lkpdpp {
+
+Matrix GaussianKernel(const Matrix& embeddings, double sigma) {
+  LKP_CHECK_GT(sigma, 0.0);
+  const int m = embeddings.rows();
+  const int d = embeddings.cols();
+  const double inv = 1.0 / (2.0 * sigma * sigma);
+  Matrix out(m, m);
+  for (int i = 0; i < m; ++i) {
+    out(i, i) = 1.0;
+    const double* ei = embeddings.RowPtr(i);
+    for (int j = i + 1; j < m; ++j) {
+      const double* ej = embeddings.RowPtr(j);
+      double dist2 = 0.0;
+      for (int c = 0; c < d; ++c) {
+        const double diff = ei[c] - ej[c];
+        dist2 += diff * diff;
+      }
+      const double v = std::exp(-dist2 * inv);
+      out(i, j) = v;
+      out(j, i) = v;
+    }
+  }
+  return out;
+}
+
+Matrix GaussianKernelBackward(const Matrix& embeddings, const Matrix& kernel,
+                              const Matrix& dloss_dkernel, double sigma) {
+  LKP_CHECK_EQ(kernel.rows(), embeddings.rows());
+  LKP_CHECK_EQ(dloss_dkernel.rows(), kernel.rows());
+  LKP_CHECK_EQ(dloss_dkernel.cols(), kernel.cols());
+  const int m = embeddings.rows();
+  const int d = embeddings.cols();
+  const double inv_s2 = 1.0 / (sigma * sigma);
+  Matrix demb(m, d);
+  for (int i = 0; i < m; ++i) {
+    const double* ei = embeddings.RowPtr(i);
+    double* gi = demb.RowPtr(i);
+    for (int j = 0; j < m; ++j) {
+      if (j == i) continue;  // dK_ii/de = 0.
+      // K_ij appears at (i,j) and (j,i); both entries' loss-gradients
+      // push on e_i through dK_ij/de_i = K_ij (e_j - e_i)/sigma^2.
+      const double w =
+          (dloss_dkernel(i, j) + dloss_dkernel(j, i)) * kernel(i, j) * inv_s2;
+      const double* ej = embeddings.RowPtr(j);
+      for (int c = 0; c < d; ++c) gi[c] += w * (ej[c] - ei[c]);
+    }
+  }
+  return demb;
+}
+
+}  // namespace lkpdpp

@@ -1,0 +1,32 @@
+// E-type diversity kernel: Gaussian similarity of trainable embeddings.
+//
+// The paper's "E" variants (PSE, NPSE) replace the pre-learned kernel K
+// with a Gaussian kernel over the model's own item embeddings,
+//   K_ij = exp(-||e_i - e_j||^2 / (2 sigma^2)),
+// so the diversity factor participates in optimization (Section IV-A2).
+// Because the kernel is trainable, the criterion's gradient w.r.t. K must
+// be chained into the embeddings; GaussianKernelBackward provides that.
+
+#ifndef LKPDPP_KERNELS_GAUSSIAN_EMBEDDING_H_
+#define LKPDPP_KERNELS_GAUSSIAN_EMBEDDING_H_
+
+#include "linalg/matrix.h"
+
+namespace lkpdpp {
+
+/// K_ij = exp(-||row_i - row_j||^2 / (2 sigma^2)) over the rows of
+/// `embeddings` (m x d). K_ii = 1 by construction; the result is PSD for
+/// any sigma > 0 (Gaussian kernels are positive definite).
+Matrix GaussianKernel(const Matrix& embeddings, double sigma);
+
+/// Chain rule through the Gaussian kernel: given dLoss/dK (m x m),
+/// returns dLoss/dEmbeddings (m x d):
+///   dK_ij/de_i = K_ij * (e_j - e_i) / sigma^2.
+/// `kernel` must be the matrix produced by GaussianKernel for the same
+/// embeddings and sigma.
+Matrix GaussianKernelBackward(const Matrix& embeddings, const Matrix& kernel,
+                              const Matrix& dloss_dkernel, double sigma);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_KERNELS_GAUSSIAN_EMBEDDING_H_

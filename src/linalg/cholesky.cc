@@ -1,0 +1,83 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace lkpdpp {
+
+Result<Cholesky> Cholesky::Compute(const Matrix& a, double jitter) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("Cholesky requires square matrix, got %dx%d", a.rows(),
+                  a.cols()));
+  }
+  if (!a.IsSymmetric(1e-8 * std::max(1.0, a.MaxAbs()))) {
+    return Status::InvalidArgument("Cholesky requires symmetric matrix");
+  }
+  const int n = a.rows();
+  Matrix l(n, n);
+  for (int j = 0; j < n; ++j) {
+    double d = a(j, j) + jitter;
+    for (int k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) {
+      return Status::NumericalError(
+          StrFormat("matrix not positive definite at pivot %d (d=%.3e)", j,
+                    d));
+    }
+    const double ljj = std::sqrt(d);
+    l(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (int k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+double Cholesky::LogDet() const {
+  double s = 0.0;
+  for (int i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+double Cholesky::Det() const { return std::exp(LogDet()); }
+
+Vector Cholesky::Solve(const Vector& b) const {
+  const int n = size();
+  LKP_CHECK_EQ(b.size(), n);
+  // Forward solve L y = b.
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    double s = b[i];
+    for (int k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  // Backward solve L^T x = y.
+  Vector x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double s = y[i];
+    for (int k = i + 1; k < n; ++k) s -= l_(k, i) * x[k];
+    x[i] = s / l_(i, i);
+  }
+  return x;
+}
+
+Matrix Cholesky::Solve(const Matrix& b) const {
+  LKP_CHECK_EQ(b.rows(), size());
+  Matrix out(b.rows(), b.cols());
+  for (int c = 0; c < b.cols(); ++c) {
+    out.SetCol(c, Solve(b.Col(c)));
+  }
+  return out;
+}
+
+Matrix Cholesky::Inverse() const { return Solve(Matrix::Identity(size())); }
+
+Result<double> LogDetSpd(const Matrix& a, double jitter) {
+  LKP_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::Compute(a, jitter));
+  return chol.LogDet();
+}
+
+}  // namespace lkpdpp

@@ -1,0 +1,56 @@
+// Cholesky factorization of symmetric positive-definite matrices.
+//
+// This is the workhorse for DPP kernels: log-determinants of kernel
+// submatrices (Eq. 5 of the paper) and inverses L_S^{-1} appearing in the
+// criterion gradient (Eq. 12) both come from a Cholesky factor.
+
+#ifndef LKPDPP_LINALG_CHOLESKY_H_
+#define LKPDPP_LINALG_CHOLESKY_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace lkpdpp {
+
+/// Lower-triangular Cholesky factor of an SPD matrix, with derived
+/// quantities (log-determinant, solves, inverse).
+class Cholesky {
+ public:
+  /// Factors `a` = L L^T. Fails with NumericalError if `a` is not
+  /// (numerically) positive definite or not symmetric. `jitter`, if
+  /// positive, is added to the diagonal before factoring (a standard
+  /// regularization for nearly singular kernels).
+  static Result<Cholesky> Compute(const Matrix& a, double jitter = 0.0);
+
+  /// Lower-triangular factor L with a = L L^T.
+  const Matrix& factor() const { return l_; }
+
+  int size() const { return l_.rows(); }
+
+  /// log det(a) = 2 * sum_i log L_ii.
+  double LogDet() const;
+
+  /// det(a) = exp(LogDet()); may overflow for large well-scaled kernels,
+  /// prefer LogDet.
+  double Det() const;
+
+  /// Solves a x = b.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves a X = B column-wise.
+  Matrix Solve(const Matrix& b) const;
+
+  /// a^{-1} via two triangular solves against the identity.
+  Matrix Inverse() const;
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// Convenience: log det of an SPD matrix. Fails if not SPD.
+Result<double> LogDetSpd(const Matrix& a, double jitter = 0.0);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_LINALG_CHOLESKY_H_

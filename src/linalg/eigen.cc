@@ -1,0 +1,117 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace lkpdpp {
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("SymmetricEigen requires square matrix, got %dx%d",
+                  a.rows(), a.cols()));
+  }
+  if (!a.IsSymmetric(1e-8 * std::max(1.0, a.MaxAbs()))) {
+    return Status::InvalidArgument("SymmetricEigen requires symmetric input");
+  }
+  const int n = a.rows();
+  Matrix m = a;
+  m.Symmetrize();
+  Matrix v = Matrix::Identity(n);
+
+  if (n <= 1) {
+    EigenDecomposition out;
+    out.eigenvalues = Vector(n);
+    if (n == 1) out.eigenvalues[0] = m(0, 0);
+    out.eigenvectors = v;
+    return out;
+  }
+
+  const double scale = std::max(1.0, m.MaxAbs());
+  const double tol = 1e-14 * scale;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius mass; convergence when negligible.
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    }
+    if (std::sqrt(off) <= tol * n) {
+      EigenDecomposition out;
+      out.eigenvalues = m.Diag();
+      out.eigenvectors = v;
+      // Sort ascending, permuting eigenvector columns to match.
+      std::vector<int> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](int x, int y) {
+        return out.eigenvalues[x] < out.eigenvalues[y];
+      });
+      Vector sorted_vals(n);
+      Matrix sorted_vecs(n, n);
+      for (int i = 0; i < n; ++i) {
+        sorted_vals[i] = out.eigenvalues[order[i]];
+        sorted_vecs.SetCol(i, out.eigenvectors.Col(order[i]));
+      }
+      out.eigenvalues = std::move(sorted_vals);
+      out.eigenvectors = std::move(sorted_vecs);
+      return out;
+    }
+
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) <= tol * 1e-2) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        // Classic Jacobi rotation (Golub & Van Loan 8.4).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (int i = 0; i < n; ++i) {
+          const double mip = m(i, p);
+          const double miq = m(i, q);
+          m(i, p) = c * mip - s * miq;
+          m(i, q) = s * mip + c * miq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double mpi = m(p, i);
+          const double mqi = m(q, i);
+          m(p, i) = c * mpi - s * mqi;
+          m(q, i) = s * mpi + c * mqi;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  return Status::NumericalError(
+      StrFormat("Jacobi failed to converge in %d sweeps (n=%d)", max_sweeps,
+                n));
+}
+
+Result<Matrix> ProjectToPsd(const Matrix& a, double floor) {
+  LKP_ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(a));
+  const int n = a.rows();
+  Matrix scaled(n, n);
+  for (int c = 0; c < n; ++c) {
+    const double lam = std::max(eig.eigenvalues[c], floor);
+    for (int r = 0; r < n; ++r) scaled(r, c) = eig.eigenvectors(r, c) * lam;
+  }
+  Matrix out = MatMulTransB(scaled, eig.eigenvectors);
+  out.Symmetrize();
+  return out;
+}
+
+}  // namespace lkpdpp

@@ -1,0 +1,38 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// k-DPP normalization (Eq. 6 of the paper) needs all eigenvalues of the
+// (k+n)x(k+n) kernel, and the normalizer gradient needs the eigenvectors
+// too. Ground sets are small (<= ~32), where Jacobi is simple, accurate to
+// machine precision, and plenty fast.
+
+#ifndef LKPDPP_LINALG_EIGEN_H_
+#define LKPDPP_LINALG_EIGEN_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace lkpdpp {
+
+/// Eigendecomposition A = V diag(lambda) V^T of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in ascending order.
+  Vector eigenvalues;
+  /// Column i of `eigenvectors` is the unit eigenvector for eigenvalues[i].
+  Matrix eigenvectors;
+};
+
+/// Computes the full eigendecomposition of symmetric `a`.
+///
+/// Fails with InvalidArgument for non-square or non-symmetric input and
+/// with NumericalError if Jacobi fails to converge within `max_sweeps`.
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          int max_sweeps = 64);
+
+/// Projects a symmetric matrix to the PSD cone by clamping negative
+/// eigenvalues to `floor` (>= 0). Used to keep assembled DPP kernels
+/// factorable in the presence of round-off.
+Result<Matrix> ProjectToPsd(const Matrix& a, double floor = 0.0);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_LINALG_EIGEN_H_

@@ -1,0 +1,102 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace lkpdpp {
+
+Result<Lu> Lu::Compute(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("LU requires square matrix, got %dx%d", a.rows(),
+                  a.cols()));
+  }
+  const int n = a.rows();
+  Matrix lu = a;
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+  bool singular = false;
+
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot: largest |entry| in the column at or below the diagonal.
+    int pivot = col;
+    double best = std::fabs(lu(col, col));
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::fabs(lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) {
+      singular = true;
+      continue;
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(lu(col, c), lu(pivot, c));
+      std::swap(perm[col], perm[pivot]);
+      sign = -sign;
+    }
+    const double d = lu(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      const double f = lu(r, col) / d;
+      lu(r, col) = f;
+      if (f == 0.0) continue;
+      for (int c = col + 1; c < n; ++c) lu(r, c) -= f * lu(col, c);
+    }
+  }
+  return Lu(std::move(lu), std::move(perm), sign, singular);
+}
+
+double Lu::Det() const {
+  if (singular_) return 0.0;
+  double d = static_cast<double>(sign_);
+  for (int i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+Result<Vector> Lu::Solve(const Vector& b) const {
+  if (singular_) return Status::NumericalError("LU solve on singular matrix");
+  const int n = lu_.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("LU solve: size mismatch");
+  }
+  // Apply permutation, then forward/backward substitution.
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (int k = 0; k < i; ++k) s -= lu_(i, k) * y[k];
+    y[i] = s;
+  }
+  Vector x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double s = y[i];
+    for (int k = i + 1; k < n; ++k) s -= lu_(i, k) * x[k];
+    x[i] = s / lu_(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> Lu::Inverse() const {
+  if (singular_) {
+    return Status::NumericalError("LU inverse on singular matrix");
+  }
+  const int n = lu_.rows();
+  Matrix out(n, n);
+  Vector e(n);
+  for (int c = 0; c < n; ++c) {
+    for (int i = 0; i < n; ++i) e[i] = (i == c) ? 1.0 : 0.0;
+    LKP_ASSIGN_OR_RETURN(Vector col, Solve(e));
+    out.SetCol(c, col);
+  }
+  return out;
+}
+
+Result<double> Determinant(const Matrix& a) {
+  LKP_ASSIGN_OR_RETURN(Lu lu, Lu::Compute(a));
+  return lu.Det();
+}
+
+}  // namespace lkpdpp

@@ -1,0 +1,54 @@
+// LU factorization with partial pivoting for general square matrices.
+//
+// Used where kernels may be merely positive semi-definite (determinants of
+// rank-deficient submatrices are legitimately zero) and as an independent
+// cross-check of the Cholesky path in tests.
+
+#ifndef LKPDPP_LINALG_LU_H_
+#define LKPDPP_LINALG_LU_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace lkpdpp {
+
+/// PA = LU factorization with partial pivoting.
+class Lu {
+ public:
+  /// Factors `a`. Singular matrices factor successfully (their determinant
+  /// is 0); only shape errors fail.
+  static Result<Lu> Compute(const Matrix& a);
+
+  /// det(a), including pivot sign. Exactly 0 for singular input.
+  double Det() const;
+
+  /// True if a zero pivot was encountered.
+  bool IsSingular() const { return singular_; }
+
+  /// Solves a x = b. Fails for singular matrices.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// a^{-1}. Fails for singular matrices.
+  Result<Matrix> Inverse() const;
+
+ private:
+  Lu(Matrix lu, std::vector<int> perm, int sign, bool singular)
+      : lu_(std::move(lu)),
+        perm_(std::move(perm)),
+        sign_(sign),
+        singular_(singular) {}
+
+  Matrix lu_;              // Packed L (unit diag, below) and U (on/above).
+  std::vector<int> perm_;  // Row permutation.
+  int sign_;               // Permutation parity (+1/-1).
+  bool singular_;
+};
+
+/// Convenience: determinant of a general square matrix.
+Result<double> Determinant(const Matrix& a);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_LINALG_LU_H_

@@ -1,0 +1,353 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lkpdpp {
+
+Vector& Vector::operator+=(const Vector& other) {
+  LKP_CHECK_EQ(size(), other.size());
+  for (int i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  LKP_CHECK_EQ(size(), other.size());
+  for (int i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+double Vector::Sum() const {
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s;
+}
+
+double Vector::Norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Vector::Dot(const Vector& other) const {
+  LKP_CHECK_EQ(size(), other.size());
+  double s = 0.0;
+  for (int i = 0; i < size(); ++i) s += data_[i] * other.data_[i];
+  return s;
+}
+
+double Vector::Max() const {
+  LKP_CHECK(!empty());
+  double m = data_[0];
+  for (double x : data_) m = std::max(m, x);
+  return m;
+}
+
+double Vector::Min() const {
+  LKP_CHECK(!empty());
+  double m = data_[0];
+  for (double x : data_) m = std::min(m, x);
+  return m;
+}
+
+bool Vector::AllFinite() const {
+  for (double x : data_) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+std::string Vector::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (int i = 0; i < size(); ++i) {
+    if (i > 0) os << ", ";
+    os << StrFormat("%.4g", data_[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+Vector operator+(Vector a, const Vector& b) { return a += b; }
+Vector operator-(Vector a, const Vector& b) { return a -= b; }
+Vector operator*(Vector a, double s) { return a *= s; }
+Vector operator*(double s, Vector a) { return a *= s; }
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = static_cast<int>(init.size());
+  cols_ = rows_ > 0 ? static_cast<int>(init.begin()->size()) : 0;
+  data_.reserve(static_cast<size_t>(rows_) * cols_);
+  for (const auto& row : init) {
+    LKP_CHECK_EQ(static_cast<int>(row.size()), cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (int i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::Outer(const Vector& a, const Vector& b) {
+  Matrix m(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    for (int j = 0; j < b.size(); ++j) m(i, j) = a[i] * b[j];
+  }
+  return m;
+}
+
+double& Matrix::at(int r, int c) {
+  LKP_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+      << "(" << r << "," << c << ") shape " << rows_ << "x" << cols_;
+  return (*this)(r, c);
+}
+
+double Matrix::at(int r, int c) const {
+  LKP_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+      << "(" << r << "," << c << ") shape " << rows_ << "x" << cols_;
+  return (*this)(r, c);
+}
+
+Vector Matrix::Row(int r) const {
+  LKP_CHECK(r >= 0 && r < rows_);
+  Vector v(cols_);
+  for (int c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vector Matrix::Col(int c) const {
+  LKP_CHECK(c >= 0 && c < cols_);
+  Vector v(rows_);
+  for (int r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::SetRow(int r, const Vector& v) {
+  LKP_CHECK(r >= 0 && r < rows_);
+  LKP_CHECK_EQ(v.size(), cols_);
+  for (int c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+void Matrix::SetCol(int c, const Vector& v) {
+  LKP_CHECK(c >= 0 && c < cols_);
+  LKP_CHECK_EQ(v.size(), rows_);
+  for (int r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+Vector Matrix::Diag() const {
+  const int n = std::min(rows_, cols_);
+  Vector v(n);
+  for (int i = 0; i < n; ++i) v[i] = (*this)(i, i);
+  return v;
+}
+
+Matrix Matrix::Submatrix(const std::vector<int>& row_idx,
+                         const std::vector<int>& col_idx) const {
+  Matrix out(static_cast<int>(row_idx.size()),
+             static_cast<int>(col_idx.size()));
+  for (size_t i = 0; i < row_idx.size(); ++i) {
+    LKP_CHECK(row_idx[i] >= 0 && row_idx[i] < rows_);
+    for (size_t j = 0; j < col_idx.size(); ++j) {
+      LKP_CHECK(col_idx[j] >= 0 && col_idx[j] < cols_);
+      out(static_cast<int>(i), static_cast<int>(j)) =
+          (*this)(row_idx[i], col_idx[j]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::PrincipalSubmatrix(const std::vector<int>& idx) const {
+  return Submatrix(idx, idx);
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  LKP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  LKP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix& Matrix::HadamardInPlace(const Matrix& other) {
+  LKP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+void Matrix::AddDiagonal(double s) {
+  const int n = std::min(rows_, cols_);
+  for (int i = 0; i < n; ++i) (*this)(i, i) += s;
+}
+
+double Matrix::Trace() const {
+  double t = 0.0;
+  const int n = std::min(rows_, cols_);
+  for (int i = 0; i < n; ++i) t += (*this)(i, i);
+  return t;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+bool Matrix::AllFinite() const {
+  for (double x : data_) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = r + 1; c < cols_; ++c) {
+      if (std::fabs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+void Matrix::Symmetrize() {
+  LKP_CHECK_EQ(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = r + 1; c < cols_; ++c) {
+      const double avg = 0.5 * ((*this)(r, c) + (*this)(c, r));
+      (*this)(r, c) = avg;
+      (*this)(c, r) = avg;
+    }
+  }
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  for (int r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[[" : " [");
+    for (int c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << StrFormat("%.*g", precision, (*this)(r, c));
+    }
+    os << (r == rows_ - 1 ? "]]" : "]\n");
+  }
+  return os.str();
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+Matrix operator*(double s, Matrix a) { return a *= s; }
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  LKP_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (int i = 0; i < a.rows(); ++i) {
+    double* out_row = out.RowPtr(i);
+    const double* a_row = a.RowPtr(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const double* b_row = b.RowPtr(k);
+      for (int j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  LKP_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.RowPtr(k);
+    const double* b_row = b.RowPtr(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out.RowPtr(i);
+      for (int j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  LKP_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.RowPtr(i);
+    double* out_row = out.RowPtr(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.RowPtr(j);
+      double s = 0.0;
+      for (int k = 0; k < a.cols(); ++k) s += a_row[k] * b_row[k];
+      out_row[j] = s;
+    }
+  }
+  return out;
+}
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  LKP_CHECK_EQ(a.cols(), x.size());
+  Vector out(a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    double s = 0.0;
+    for (int j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+Vector MatVecTransA(const Matrix& a, const Vector& x) {
+  LKP_CHECK_EQ(a.rows(), x.size());
+  Vector out(a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (int j = 0; j < a.cols(); ++j) out[j] += row[j] * xi;
+  }
+  return out;
+}
+
+Matrix Hadamard(Matrix a, const Matrix& b) { return a.HadamardInPlace(b); }
+
+}  // namespace lkpdpp

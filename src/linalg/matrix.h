@@ -1,0 +1,193 @@
+// Dense row-major matrix and vector types.
+//
+// lkpdpp operates on small-to-medium dense matrices (DPP kernels over
+// k+n <= ~32 ground sets, embedding tables of a few thousand rows), so a
+// straightforward cache-friendly row-major layout with explicit loops is
+// both sufficient and easy to verify. All numerics are double precision:
+// determinant ratios in k-DPP normalization lose accuracy fast in float.
+
+#ifndef LKPDPP_LINALG_MATRIX_H_
+#define LKPDPP_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lkpdpp {
+
+/// Dense column vector of doubles.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(int size, double fill = 0.0)
+      : data_(static_cast<size_t>(size), fill) {
+    LKP_CHECK_GE(size, 0);
+  }
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+  int size() const { return static_cast<int>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](int i) { return data_[static_cast<size_t>(i)]; }
+  double operator[](int i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Bounds-checked access.
+  double& at(int i) {
+    LKP_CHECK(i >= 0 && i < size()) << "index " << i << " size " << size();
+    return data_[static_cast<size_t>(i)];
+  }
+  double at(int i) const {
+    LKP_CHECK(i >= 0 && i < size()) << "index " << i << " size " << size();
+    return data_[static_cast<size_t>(i)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  const std::vector<double>& raw() const { return data_; }
+
+  /// In-place elementwise operations.
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double s);
+
+  /// Sum of entries.
+  double Sum() const;
+  /// Euclidean norm.
+  double Norm() const;
+  /// Dot product. Sizes must match.
+  double Dot(const Vector& other) const;
+  /// Largest entry (requires non-empty).
+  double Max() const;
+  /// Smallest entry (requires non-empty).
+  double Min() const;
+  /// True if every entry is finite.
+  bool AllFinite() const;
+
+  std::string ToString() const;
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator+(Vector a, const Vector& b);
+Vector operator-(Vector a, const Vector& b);
+Vector operator*(Vector a, double s);
+Vector operator*(double s, Vector a);
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+    LKP_CHECK_GE(rows, 0);
+    LKP_CHECK_GE(cols, 0);
+  }
+  /// Builds from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix Identity(int n);
+  static Matrix Diagonal(const Vector& d);
+  /// Outer product a * b^T.
+  static Matrix Outer(const Vector& a, const Vector& b);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Bounds-checked access.
+  double& at(int r, int c);
+  double at(int r, int c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* RowPtr(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  /// Copies row r into a Vector.
+  Vector Row(int r) const;
+  /// Copies column c into a Vector.
+  Vector Col(int c) const;
+  /// Overwrites row r.
+  void SetRow(int r, const Vector& v);
+  /// Overwrites column c.
+  void SetCol(int c, const Vector& v);
+  /// The main diagonal (length min(rows, cols)).
+  Vector Diag() const;
+
+  /// Submatrix indexed by `row_idx` x `col_idx` (general gather).
+  Matrix Submatrix(const std::vector<int>& row_idx,
+                   const std::vector<int>& col_idx) const;
+  /// Principal submatrix indexed by `idx` on both axes.
+  Matrix PrincipalSubmatrix(const std::vector<int>& idx) const;
+
+  Matrix Transpose() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+  /// Elementwise (Hadamard) product in place.
+  Matrix& HadamardInPlace(const Matrix& other);
+
+  /// Adds s to every diagonal entry (jitter).
+  void AddDiagonal(double s);
+
+  double Trace() const;
+  double FrobeniusNorm() const;
+  /// Largest absolute entry.
+  double MaxAbs() const;
+  bool AllFinite() const;
+  /// True if max |A - A^T| entry <= tol.
+  bool IsSymmetric(double tol = 1e-10) const;
+  /// Symmetrizes in place: A <- (A + A^T) / 2. Requires square.
+  void Symmetrize();
+
+  std::string ToString(int precision = 4) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+
+/// Dense matrix product a (m x k) * b (k x n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// a^T * b without forming the transpose.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+/// a * b^T without forming the transpose.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+/// Matrix-vector product (m x n) * (n) -> (m).
+Vector MatVec(const Matrix& a, const Vector& x);
+/// a^T * x.
+Vector MatVecTransA(const Matrix& a, const Vector& x);
+/// Elementwise product.
+Matrix Hadamard(Matrix a, const Matrix& b);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_LINALG_MATRIX_H_

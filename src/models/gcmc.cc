@@ -1,0 +1,120 @@
+#include "models/gcmc.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "models/graph_utils.h"
+
+namespace lkpdpp {
+
+namespace {
+Matrix RandomInit(int rows, int cols, double scale, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng->Normal(0.0, scale);
+  }
+  return m;
+}
+}  // namespace
+
+GcmcModel::GcmcModel(int num_users, int num_items, SparseMatrix adjacency,
+                     const Config& config)
+    : num_users_(num_users),
+      num_items_(num_items),
+      adjacency_(std::move(adjacency)),
+      features_("gcmc.features", Matrix()),
+      w_conv_("gcmc.w_conv", Matrix()),
+      w_self_("gcmc.w_self", Matrix()),
+      decoder_("gcmc.decoder", Matrix()) {
+  Rng rng(config.seed);
+  features_.value = RandomInit(num_users + num_items, config.embedding_dim,
+                               config.init_scale, &rng);
+  const double wscale =
+      std::sqrt(2.0 / (config.embedding_dim + config.hidden_dim));
+  w_conv_.value =
+      RandomInit(config.embedding_dim, config.hidden_dim, wscale, &rng);
+  w_self_.value =
+      RandomInit(config.embedding_dim, config.hidden_dim, wscale, &rng);
+  decoder_.value = RandomInit(config.hidden_dim, config.hidden_dim,
+                              1.0 / std::sqrt(config.hidden_dim), &rng);
+  for (ad::Param* p : Params()) p->ZeroGrad();
+}
+
+Result<std::unique_ptr<GcmcModel>> GcmcModel::Create(const Dataset& dataset,
+                                                     const Config& config) {
+  LKP_ASSIGN_OR_RETURN(SparseMatrix adj, BuildNormalizedAdjacency(dataset));
+  return std::unique_ptr<GcmcModel>(new GcmcModel(
+      dataset.num_users(), dataset.num_items(), std::move(adj), config));
+}
+
+void GcmcModel::StartBatch(ad::Graph* graph) {
+  ad::Tensor x = graph->Parameter(&features_);
+  ad::Tensor wc = graph->Parameter(&w_conv_);
+  ad::Tensor ws = graph->Parameter(&w_self_);
+  // H = relu(A_hat X W_c + X W_s).
+  ad::Tensor agg = graph->MatMul(graph->Spmm(&adjacency_, x), wc);
+  ad::Tensor self = graph->MatMul(x, ws);
+  encoded_ = graph->Relu(graph->Add(agg, self));
+}
+
+ad::Tensor GcmcModel::ScoreItems(ad::Graph* graph, int user,
+                                 const std::vector<int>& items) {
+  LKP_CHECK(encoded_.valid()) << "StartBatch not called";
+  const int m = static_cast<int>(items.size());
+  ad::Tensor qd = graph->Parameter(&decoder_);
+  ad::Tensor hu =
+      graph->RepeatRow(graph->GatherRows(encoded_, {user}), m);
+  std::vector<int> shifted(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    shifted[i] = num_users_ + items[i];
+  }
+  ad::Tensor hi = graph->GatherRows(encoded_, shifted);
+  // score_i = h_u^T Q h_i, batched as rowsum(h_u_rep ⊙ (h_i Q^T)).
+  ad::Tensor proj = graph->MatMulTransB(hi, qd);
+  return graph->RowSum(graph->Mul(hu, proj));
+}
+
+ad::Tensor GcmcModel::ItemRepresentations(ad::Graph* graph,
+                                          const std::vector<int>& items) {
+  LKP_CHECK(encoded_.valid()) << "StartBatch not called";
+  std::vector<int> shifted(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    shifted[i] = num_users_ + items[i];
+  }
+  return graph->GatherRows(encoded_, shifted);
+}
+
+Matrix GcmcModel::EncodeEval() const {
+  Matrix agg = MatMul(adjacency_.Multiply(features_.value), w_conv_.value);
+  Matrix self = MatMul(features_.value, w_self_.value);
+  agg += self;
+  for (int r = 0; r < agg.rows(); ++r) {
+    for (int c = 0; c < agg.cols(); ++c) {
+      if (agg(r, c) < 0.0) agg(r, c) = 0.0;
+    }
+  }
+  return agg;
+}
+
+void GcmcModel::PrepareForEval() { eval_cache_ = EncodeEval(); }
+
+Vector GcmcModel::ScoreAllItems(int user) const {
+  LKP_CHECK(!eval_cache_.empty()) << "PrepareForEval not called";
+  const Vector hu = eval_cache_.Row(user);
+  const Vector proj = MatVecTransA(decoder_.value, hu);  // Q^T h_u.
+  Vector out(num_items_);
+  for (int i = 0; i < num_items_; ++i) {
+    const double* hi = eval_cache_.RowPtr(num_users_ + i);
+    double s = 0.0;
+    for (int c = 0; c < eval_cache_.cols(); ++c) s += hi[c] * proj[c];
+    out[i] = s;
+  }
+  return out;
+}
+
+std::vector<ad::Param*> GcmcModel::Params() {
+  return {&features_, &w_conv_, &w_self_, &decoder_};
+}
+
+}  // namespace lkpdpp

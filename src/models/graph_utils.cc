@@ -1,0 +1,44 @@
+#include "models/graph_utils.h"
+
+#include <cmath>
+#include <vector>
+
+namespace lkpdpp {
+
+Result<SparseMatrix> BuildNormalizedAdjacency(const Dataset& dataset,
+                                              bool add_self_loops) {
+  const int n = dataset.num_users();
+  const int m = dataset.num_items();
+  const int size = n + m;
+
+  std::vector<int> user_deg(static_cast<size_t>(n), 0);
+  std::vector<int> item_deg(static_cast<size_t>(m), 0);
+  for (int u = 0; u < n; ++u) {
+    for (int i : dataset.TrainItems(u)) {
+      ++user_deg[static_cast<size_t>(u)];
+      ++item_deg[static_cast<size_t>(i)];
+    }
+  }
+
+  std::vector<SparseMatrix::Triplet> triplets;
+  for (int u = 0; u < n; ++u) {
+    for (int i : dataset.TrainItems(u)) {
+      const double w =
+          1.0 / std::sqrt(static_cast<double>(user_deg[u]) *
+                          static_cast<double>(item_deg[i]));
+      triplets.push_back({u, n + i, w});
+      triplets.push_back({n + i, u, w});
+    }
+  }
+  if (add_self_loops) {
+    for (int v = 0; v < size; ++v) {
+      const int deg =
+          v < n ? user_deg[static_cast<size_t>(v)]
+                : item_deg[static_cast<size_t>(v - n)];
+      triplets.push_back({v, v, 1.0 / (1.0 + deg)});
+    }
+  }
+  return SparseMatrix::FromTriplets(size, size, std::move(triplets));
+}
+
+}  // namespace lkpdpp

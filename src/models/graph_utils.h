@@ -1,0 +1,22 @@
+// Bipartite interaction-graph construction for graph-based models.
+
+#ifndef LKPDPP_MODELS_GRAPH_UTILS_H_
+#define LKPDPP_MODELS_GRAPH_UTILS_H_
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "linalg/sparse.h"
+
+namespace lkpdpp {
+
+/// Builds the symmetrically normalized adjacency of the user-item train
+/// graph on the joint node set [users | items] (size N+M):
+///   A_hat[u, N+i] = A_hat[N+i, u] = 1 / sqrt(deg(u) * deg(i)).
+/// Isolated nodes simply have empty rows. `add_self_loops` optionally
+/// adds D^-1-style self connections (GCMC encoder variant).
+Result<SparseMatrix> BuildNormalizedAdjacency(const Dataset& dataset,
+                                              bool add_self_loops = false);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_MODELS_GRAPH_UTILS_H_

@@ -1,0 +1,59 @@
+#include "models/mf.h"
+
+#include "common/logging.h"
+
+namespace lkpdpp {
+
+namespace {
+Matrix RandomInit(int rows, int cols, double scale, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng->Normal(0.0, scale);
+  }
+  return m;
+}
+}  // namespace
+
+MfModel::MfModel(int num_users, int num_items, const Config& config)
+    : num_users_(num_users),
+      num_items_(num_items),
+      user_emb_("mf.user_emb", Matrix()),
+      item_emb_("mf.item_emb", Matrix()) {
+  LKP_CHECK_GT(num_users, 0);
+  LKP_CHECK_GT(num_items, 0);
+  Rng rng(config.seed);
+  user_emb_.value =
+      RandomInit(num_users, config.embedding_dim, config.init_scale, &rng);
+  item_emb_.value =
+      RandomInit(num_items, config.embedding_dim, config.init_scale, &rng);
+  user_emb_.ZeroGrad();
+  item_emb_.ZeroGrad();
+}
+
+void MfModel::StartBatch(ad::Graph* graph) {
+  user_t_ = graph->Parameter(&user_emb_);
+  item_t_ = graph->Parameter(&item_emb_);
+}
+
+ad::Tensor MfModel::ScoreItems(ad::Graph* graph, int user,
+                               const std::vector<int>& items) {
+  ad::Tensor u_row = graph->GatherRows(user_t_, {user});
+  ad::Tensor rows = graph->GatherRows(item_t_, items);
+  return graph->MatMulTransB(rows, u_row);  // (|items| x 1)
+}
+
+ad::Tensor MfModel::ItemRepresentations(ad::Graph* graph,
+                                        const std::vector<int>& items) {
+  return graph->GatherRows(item_t_, items);
+}
+
+Vector MfModel::ScoreAllItems(int user) const {
+  LKP_CHECK(user >= 0 && user < num_users_);
+  return MatVec(item_emb_.value, user_emb_.value.Row(user));
+}
+
+std::vector<ad::Param*> MfModel::Params() {
+  return {&user_emb_, &item_emb_};
+}
+
+}  // namespace lkpdpp

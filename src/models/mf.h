@@ -1,0 +1,49 @@
+// Matrix factorization: the basic inner-product CF model (Table III).
+
+#ifndef LKPDPP_MODELS_MF_H_
+#define LKPDPP_MODELS_MF_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "models/rec_model.h"
+
+namespace lkpdpp {
+
+/// y_hat(u, i) = <p_u, q_i>. Scores are unbounded inner products, so LkP
+/// quality uses exp (Eq. 13).
+class MfModel final : public RecModel {
+ public:
+  struct Config {
+    int embedding_dim = 16;
+    double init_scale = 0.1;
+    uint64_t seed = 1;
+  };
+
+  MfModel(int num_users, int num_items, const Config& config);
+
+  std::string name() const override { return "MF"; }
+  int num_users() const override { return num_users_; }
+  int num_items() const override { return num_items_; }
+
+  void StartBatch(ad::Graph* graph) override;
+  ad::Tensor ScoreItems(ad::Graph* graph, int user,
+                        const std::vector<int>& items) override;
+  ad::Tensor ItemRepresentations(ad::Graph* graph,
+                                 const std::vector<int>& items) override;
+  void PrepareForEval() override {}
+  Vector ScoreAllItems(int user) const override;
+  std::vector<ad::Param*> Params() override;
+
+ private:
+  int num_users_;
+  int num_items_;
+  ad::Param user_emb_;
+  ad::Param item_emb_;
+  ad::Tensor user_t_;
+  ad::Tensor item_t_;
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_MODELS_MF_H_

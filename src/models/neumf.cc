@@ -1,0 +1,138 @@
+#include "models/neumf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lkpdpp {
+
+namespace {
+Matrix RandomInit(int rows, int cols, double scale, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng->Normal(0.0, scale);
+  }
+  return m;
+}
+}  // namespace
+
+NeuMfModel::NeuMfModel(int num_users, int num_items, const Config& config)
+    : num_users_(num_users),
+      num_items_(num_items),
+      user_gmf_("neumf.user_gmf", Matrix()),
+      item_gmf_("neumf.item_gmf", Matrix()),
+      user_mlp_("neumf.user_mlp", Matrix()),
+      item_mlp_("neumf.item_mlp", Matrix()),
+      w1_("neumf.w1", Matrix()),
+      b1_("neumf.b1", Matrix()),
+      w2_("neumf.w2", Matrix()),
+      b2_("neumf.b2", Matrix()),
+      h_out_("neumf.h_out", Matrix()) {
+  LKP_CHECK_GT(num_users, 0);
+  LKP_CHECK_GT(num_items, 0);
+  Rng rng(config.seed);
+  const int d = config.embedding_dim;
+  user_gmf_.value = RandomInit(num_users, d, config.init_scale, &rng);
+  item_gmf_.value = RandomInit(num_items, d, config.init_scale, &rng);
+  user_mlp_.value = RandomInit(num_users, d, config.init_scale, &rng);
+  item_mlp_.value = RandomInit(num_items, d, config.init_scale, &rng);
+  // Xavier-ish scaling for the dense layers.
+  w1_.value = RandomInit(2 * d, config.hidden1,
+                         std::sqrt(2.0 / (2 * d + config.hidden1)), &rng);
+  b1_.value = Matrix(1, config.hidden1);
+  w2_.value =
+      RandomInit(config.hidden1, config.hidden2,
+                 std::sqrt(2.0 / (config.hidden1 + config.hidden2)), &rng);
+  b2_.value = Matrix(1, config.hidden2);
+  h_out_.value = RandomInit(d + config.hidden2, 1,
+                            std::sqrt(2.0 / (d + config.hidden2)), &rng);
+  for (ad::Param* p : Params()) p->ZeroGrad();
+}
+
+void NeuMfModel::StartBatch(ad::Graph* graph) {
+  batch_.user_gmf = graph->Parameter(&user_gmf_);
+  batch_.item_gmf = graph->Parameter(&item_gmf_);
+  batch_.user_mlp = graph->Parameter(&user_mlp_);
+  batch_.item_mlp = graph->Parameter(&item_mlp_);
+  batch_.w1 = graph->Parameter(&w1_);
+  batch_.b1 = graph->Parameter(&b1_);
+  batch_.w2 = graph->Parameter(&w2_);
+  batch_.b2 = graph->Parameter(&b2_);
+  batch_.h_out = graph->Parameter(&h_out_);
+}
+
+ad::Tensor NeuMfModel::ScoreItems(ad::Graph* graph, int user,
+                                  const std::vector<int>& items) {
+  const int m = static_cast<int>(items.size());
+  // GMF branch: p_u ⊙ q_i.
+  ad::Tensor pu_g = graph->RepeatRow(
+      graph->GatherRows(batch_.user_gmf, {user}), m);
+  ad::Tensor qi_g = graph->GatherRows(batch_.item_gmf, items);
+  ad::Tensor gmf = graph->Mul(pu_g, qi_g);
+  // MLP branch over [p_u | q_i].
+  ad::Tensor pu_m = graph->RepeatRow(
+      graph->GatherRows(batch_.user_mlp, {user}), m);
+  ad::Tensor qi_m = graph->GatherRows(batch_.item_mlp, items);
+  ad::Tensor x = graph->ConcatCols(pu_m, qi_m);
+  ad::Tensor z1 = graph->Relu(
+      graph->AddRowBroadcast(graph->MatMul(x, batch_.w1), batch_.b1));
+  ad::Tensor z2 = graph->Relu(
+      graph->AddRowBroadcast(graph->MatMul(z1, batch_.w2), batch_.b2));
+  // Fusion head.
+  ad::Tensor fused = graph->ConcatCols(gmf, z2);
+  return graph->MatMul(fused, batch_.h_out);
+}
+
+ad::Tensor NeuMfModel::ItemRepresentations(ad::Graph* graph,
+                                           const std::vector<int>& items) {
+  return graph->GatherRows(batch_.item_mlp, items);
+}
+
+Vector NeuMfModel::ScoreAllItems(int user) const {
+  const int m = num_items_;
+  const int d = user_gmf_.value.cols();
+  const Vector pu_g = user_gmf_.value.Row(user);
+  const Vector pu_m = user_mlp_.value.Row(user);
+
+  // MLP input [p_u | q_i] for all items, then two ReLU layers.
+  Matrix x(m, 2 * d);
+  for (int i = 0; i < m; ++i) {
+    for (int c = 0; c < d; ++c) {
+      x(i, c) = pu_m[c];
+      x(i, d + c) = item_mlp_.value(i, c);
+    }
+  }
+  Matrix z1 = MatMul(x, w1_.value);
+  for (int i = 0; i < z1.rows(); ++i) {
+    for (int c = 0; c < z1.cols(); ++c) {
+      z1(i, c) = std::max(0.0, z1(i, c) + b1_.value(0, c));
+    }
+  }
+  Matrix z2 = MatMul(z1, w2_.value);
+  for (int i = 0; i < z2.rows(); ++i) {
+    for (int c = 0; c < z2.cols(); ++c) {
+      z2(i, c) = std::max(0.0, z2(i, c) + b2_.value(0, c));
+    }
+  }
+
+  Vector out(m);
+  for (int i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (int c = 0; c < d; ++c) {
+      s += pu_g[c] * item_gmf_.value(i, c) * h_out_.value(c, 0);
+    }
+    for (int c = 0; c < z2.cols(); ++c) {
+      s += z2(i, c) * h_out_.value(d + c, 0);
+    }
+    out[i] = s;
+  }
+  return out;
+}
+
+std::vector<ad::Param*> NeuMfModel::Params() {
+  return {&user_gmf_, &item_gmf_, &user_mlp_, &item_mlp_, &w1_,
+          &b1_,       &w2_,       &b2_,       &h_out_};
+}
+
+}  // namespace lkpdpp

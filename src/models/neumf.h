@@ -1,0 +1,67 @@
+// NeuMF: GMF + MLP neural collaborative filtering [He et al. 2017].
+//
+// The classic two-tower model the paper uses in Table IV: a generalized
+// matrix factorization branch (elementwise product of embeddings) fused
+// with an MLP branch over concatenated embeddings. Raw output is a
+// classification logit, so its native objective is BCE and LkP quality
+// uses sigmoid.
+
+#ifndef LKPDPP_MODELS_NEUMF_H_
+#define LKPDPP_MODELS_NEUMF_H_
+
+#include <vector>
+
+#include "models/rec_model.h"
+
+namespace lkpdpp {
+
+class NeuMfModel final : public RecModel {
+ public:
+  struct Config {
+    int embedding_dim = 16;
+    int hidden1 = 32;
+    int hidden2 = 16;
+    double init_scale = 0.1;
+    uint64_t seed = 3;
+  };
+
+  NeuMfModel(int num_users, int num_items, const Config& config);
+
+  std::string name() const override { return "NeuMF"; }
+  int num_users() const override { return num_users_; }
+  int num_items() const override { return num_items_; }
+
+  void StartBatch(ad::Graph* graph) override;
+  ad::Tensor ScoreItems(ad::Graph* graph, int user,
+                        const std::vector<int>& items) override;
+  ad::Tensor ItemRepresentations(ad::Graph* graph,
+                                 const std::vector<int>& items) override;
+  void PrepareForEval() override {}
+  Vector ScoreAllItems(int user) const override;
+  std::vector<ad::Param*> Params() override;
+  QualityTransform PreferredQuality() const override {
+    return QualityTransform::kSigmoid;
+  }
+
+ private:
+  int num_users_;
+  int num_items_;
+  ad::Param user_gmf_;
+  ad::Param item_gmf_;
+  ad::Param user_mlp_;
+  ad::Param item_mlp_;
+  ad::Param w1_;
+  ad::Param b1_;
+  ad::Param w2_;
+  ad::Param b2_;
+  ad::Param h_out_;
+  // Per-batch parameter tensors.
+  struct BatchTensors {
+    ad::Tensor user_gmf, item_gmf, user_mlp, item_mlp, w1, b1, w2, b2, h_out;
+  };
+  BatchTensors batch_;
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_MODELS_NEUMF_H_

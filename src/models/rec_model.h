@@ -1,0 +1,63 @@
+// The recommendation-model interface criteria plug into.
+//
+// A RecModel owns trainable parameters and exposes two views:
+//   * a differentiable view (StartBatch + ScoreItems/ItemRepresentations)
+//     used during training — scores come back as autodiff tensors so a
+//     criterion's dLoss/dScore seed can flow back to parameters;
+//   * a plain evaluation view (PrepareForEval + ScoreAllItems) used by
+//     the metric pipeline, which needs scores for the whole catalog.
+// Keeping criteria and models decoupled behind this interface is what
+// the paper's Table IV "rework" experiments exercise: swapping a model's
+// native objective for LkP without touching the model.
+
+#ifndef LKPDPP_MODELS_REC_MODEL_H_
+#define LKPDPP_MODELS_REC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "autodiff/graph.h"
+#include "kernels/quality_diversity.h"
+
+namespace lkpdpp {
+
+class RecModel {
+ public:
+  virtual ~RecModel() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_users() const = 0;
+  virtual int num_items() const = 0;
+
+  /// Binds parameters into the given per-batch graph and builds any
+  /// shared forward structure (e.g. GCN propagation). Must be called
+  /// before ScoreItems / ItemRepresentations on that graph.
+  virtual void StartBatch(ad::Graph* graph) = 0;
+
+  /// Raw scores of `user` for `items`, shape (|items| x 1).
+  virtual ad::Tensor ScoreItems(ad::Graph* graph, int user,
+                                const std::vector<int>& items) = 0;
+
+  /// Final item representations (|items| x d), consumed by the E-type
+  /// Gaussian diversity kernel.
+  virtual ad::Tensor ItemRepresentations(ad::Graph* graph,
+                                         const std::vector<int>& items) = 0;
+
+  /// Refreshes any cached forward state used by ScoreAllItems.
+  virtual void PrepareForEval() = 0;
+
+  /// No-grad scores of `user` for every catalog item.
+  virtual Vector ScoreAllItems(int user) const = 0;
+
+  virtual std::vector<ad::Param*> Params() = 0;
+
+  /// The quality transform LkP should apply to this model's raw scores
+  /// (exp for inner-product scores, sigmoid for classifier logits).
+  virtual QualityTransform PreferredQuality() const {
+    return QualityTransform::kExp;
+  }
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_MODELS_REC_MODEL_H_

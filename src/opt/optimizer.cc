@@ -1,0 +1,73 @@
+#include "opt/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lkpdpp {
+
+double Optimizer::ClipGlobalNorm(const std::vector<ad::Param*>& params,
+                                 double clip_norm) {
+  double total = 0.0;
+  for (ad::Param* p : params) {
+    const double n = p->grad.FrobeniusNorm();
+    total += n * n;
+  }
+  total = std::sqrt(total);
+  if (clip_norm > 0.0 && total > clip_norm) {
+    const double scale = clip_norm / total;
+    for (ad::Param* p : params) p->grad *= scale;
+  }
+  return total;
+}
+
+void SgdOptimizer::Step(const std::vector<ad::Param*>& params) {
+  ClipGlobalNorm(params, options_.clip_norm);
+  for (ad::Param* p : params) {
+    for (int r = 0; r < p->value.rows(); ++r) {
+      for (int c = 0; c < p->value.cols(); ++c) {
+        const double g =
+            p->grad(r, c) + options_.weight_decay * p->value(r, c);
+        p->value(r, c) -= options_.learning_rate * g;
+      }
+    }
+    p->ZeroGrad();
+  }
+}
+
+AdamOptimizer::State& AdamOptimizer::StateFor(ad::Param* p) {
+  for (auto& [param, state] : states_) {
+    if (param == p) return state;
+  }
+  states_.push_back(
+      {p, State{Matrix(p->value.rows(), p->value.cols()),
+                Matrix(p->value.rows(), p->value.cols())}});
+  return states_.back().second;
+}
+
+void AdamOptimizer::Step(const std::vector<ad::Param*>& params) {
+  ClipGlobalNorm(params, options_.clip_norm);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (ad::Param* p : params) {
+    State& s = StateFor(p);
+    for (int r = 0; r < p->value.rows(); ++r) {
+      for (int c = 0; c < p->value.cols(); ++c) {
+        const double g =
+            p->grad(r, c) + options_.weight_decay * p->value(r, c);
+        s.m(r, c) = options_.beta1 * s.m(r, c) + (1.0 - options_.beta1) * g;
+        s.v(r, c) =
+            options_.beta2 * s.v(r, c) + (1.0 - options_.beta2) * g * g;
+        const double mhat = s.m(r, c) / bc1;
+        const double vhat = s.v(r, c) / bc2;
+        p->value(r, c) -=
+            options_.learning_rate * mhat /
+            (std::sqrt(vhat) + options_.epsilon);
+      }
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace lkpdpp

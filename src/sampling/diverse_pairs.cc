@@ -1,0 +1,86 @@
+#include "sampling/diverse_pairs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "sampling/negative_sampler.h"
+
+namespace lkpdpp {
+
+DiversePairSampler::DiversePairSampler(const Dataset* dataset, int set_size)
+    : dataset_(dataset), set_size_(set_size) {
+  LKP_CHECK_GT(set_size, 0);
+}
+
+std::vector<int> GreedyDiverseSubset(const Dataset& dataset,
+                                     const std::vector<int>& pool, int count,
+                                     Rng* rng) {
+  std::vector<int> shuffled = pool;
+  rng->Shuffle(&shuffled);
+
+  std::vector<int> chosen;
+  std::vector<bool> covered(static_cast<size_t>(dataset.num_categories()),
+                            false);
+  std::vector<bool> used(shuffled.size(), false);
+
+  while (static_cast<int>(chosen.size()) < count) {
+    int best = -1;
+    int best_gain = -1;
+    for (size_t i = 0; i < shuffled.size(); ++i) {
+      if (used[i]) continue;
+      int gain = 0;
+      for (int c : dataset.ItemCategories(shuffled[i])) {
+        if (!covered[static_cast<size_t>(c)]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;  // Pool exhausted.
+    used[static_cast<size_t>(best)] = true;
+    chosen.push_back(shuffled[static_cast<size_t>(best)]);
+    for (int c : dataset.ItemCategories(shuffled[static_cast<size_t>(best)])) {
+      covered[static_cast<size_t>(c)] = true;
+    }
+  }
+  return chosen;
+}
+
+Result<DiverseSetPair> DiversePairSampler::SamplePair(Rng* rng) const {
+  const int user = rng->UniformInt(dataset_->num_users());
+  const std::vector<int>& positives = dataset_->TrainItems(user);
+  if (static_cast<int>(positives.size()) < set_size_) {
+    return Status::FailedPrecondition(
+        StrFormat("user %d has %zu < %d train positives", user,
+                  positives.size(), set_size_));
+  }
+  DiverseSetPair pair;
+  pair.positive = GreedyDiverseSubset(*dataset_, positives, set_size_, rng);
+  NegativeSampler negatives(dataset_);
+  LKP_ASSIGN_OR_RETURN(
+      pair.negative,
+      negatives.Sample(user, set_size_, pair.positive, rng));
+  return pair;
+}
+
+Result<std::vector<DiverseSetPair>> DiversePairSampler::SamplePairs(
+    int count, Rng* rng) const {
+  std::vector<DiverseSetPair> out;
+  out.reserve(static_cast<size_t>(count));
+  int failures = 0;
+  const int max_failures = 50 * count + 100;
+  while (static_cast<int>(out.size()) < count) {
+    Result<DiverseSetPair> pair = SamplePair(rng);
+    if (pair.ok()) {
+      out.push_back(std::move(pair).ValueOrDie());
+    } else if (++failures > max_failures) {
+      return Status::FailedPrecondition(
+          "too few users with enough positives for diverse-pair sampling");
+    }
+  }
+  return out;
+}
+
+}  // namespace lkpdpp

@@ -1,0 +1,53 @@
+// Sampling (T+, T-) set pairs for diversity-kernel training.
+//
+// Equation 3 of the paper trains the diversity kernel K by contrasting
+// log det(K_{T+}) against log det(K_{T-}), where T+ is a category-diverse
+// subset of a user's observed items (broad coverage) and T- contains
+// negative items. This sampler produces those pairs from the dataset.
+
+#ifndef LKPDPP_SAMPLING_DIVERSE_PAIRS_H_
+#define LKPDPP_SAMPLING_DIVERSE_PAIRS_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace lkpdpp {
+
+/// A contrastive pair of item sets used by the Eq. 3 objective.
+struct DiverseSetPair {
+  std::vector<int> positive;  ///< Category-diverse observed items (T+).
+  std::vector<int> negative;  ///< Items with unobserved/monotonous mix (T-).
+};
+
+class DiversePairSampler {
+ public:
+  /// Pairs have `set_size` items each.
+  DiversePairSampler(const Dataset* dataset, int set_size);
+
+  /// Builds one pair from a random user: T+ greedily maximizes category
+  /// coverage over the user's train positives (ties randomized); T- mixes
+  /// random unobserved items. Fails for users with too few positives, in
+  /// which case callers should retry with another draw.
+  Result<DiverseSetPair> SamplePair(Rng* rng) const;
+
+  /// Draws `count` pairs, skipping infeasible users (retries bounded).
+  Result<std::vector<DiverseSetPair>> SamplePairs(int count, Rng* rng) const;
+
+ private:
+  const Dataset* dataset_;
+  int set_size_;
+};
+
+/// Greedy max-coverage selection of `count` items from `pool` by their
+/// category sets (exposed for tests and for the Figure 5 case study).
+std::vector<int> GreedyDiverseSubset(const Dataset& dataset,
+                                     const std::vector<int>& pool, int count,
+                                     Rng* rng);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_SAMPLING_DIVERSE_PAIRS_H_

@@ -1,0 +1,75 @@
+#include "sampling/ground_set_builder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lkpdpp {
+
+const char* TargetSelectionName(TargetSelection mode) {
+  switch (mode) {
+    case TargetSelection::kSequential:
+      return "S";
+    case TargetSelection::kRandom:
+      return "R";
+  }
+  return "?";
+}
+
+GroundSetBuilder::GroundSetBuilder(const Dataset* dataset, int k, int n,
+                                   TargetSelection mode)
+    : dataset_(dataset), negatives_(dataset), k_(k), n_(n), mode_(mode) {
+  LKP_CHECK_GT(k, 0);
+  LKP_CHECK_GT(n, 0);
+}
+
+Result<std::vector<TrainingInstance>> GroundSetBuilder::BuildForUser(
+    int user, Rng* rng) const {
+  const std::vector<int>& positives = dataset_->TrainItems(user);
+  const int t = static_cast<int>(positives.size());
+  std::vector<TrainingInstance> out;
+  if (t < k_) return out;
+
+  // Window start offsets with stride k; back-shift the last window so it
+  // ends exactly at the last positive.
+  std::vector<int> starts;
+  for (int s = 0; s + k_ <= t; s += k_) starts.push_back(s);
+  if (starts.empty() || starts.back() + k_ < t) starts.push_back(t - k_);
+
+  out.reserve(starts.size());
+  for (int start : starts) {
+    TrainingInstance inst;
+    inst.user = user;
+    inst.num_pos = k_;
+    if (mode_ == TargetSelection::kSequential) {
+      inst.items.assign(positives.begin() + start,
+                        positives.begin() + start + k_);
+    } else {
+      // R mode: targets drawn uniformly without replacement; the window
+      // machinery still fixes the per-epoch instance count.
+      std::vector<int> pick = rng->SampleWithoutReplacement(t, k_);
+      inst.items.reserve(static_cast<size_t>(k_ + n_));
+      for (int p : pick) inst.items.push_back(positives[p]);
+    }
+    LKP_ASSIGN_OR_RETURN(std::vector<int> negs,
+                         negatives_.Sample(user, n_, inst.items, rng));
+    inst.items.insert(inst.items.end(), negs.begin(), negs.end());
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+Result<std::vector<TrainingInstance>> GroundSetBuilder::BuildEpoch(
+    Rng* rng) const {
+  std::vector<TrainingInstance> out;
+  for (int u = 0; u < dataset_->num_users(); ++u) {
+    LKP_ASSIGN_OR_RETURN(std::vector<TrainingInstance> user_insts,
+                         BuildForUser(u, rng));
+    for (TrainingInstance& inst : user_insts) {
+      out.push_back(std::move(inst));
+    }
+  }
+  return out;
+}
+
+}  // namespace lkpdpp

@@ -1,0 +1,67 @@
+// Ground-set construction: the S and R training-instance modes.
+//
+// Section IV-A2 of the paper defines two instance-construction modes:
+//   S (sequential): k targets selected in the order they occurred using a
+//     sliding window over the user's chronological positives, plus n
+//     random unobserved items;
+//   R (random): k targets and n unobserved items drawn at random.
+// Both guarantee every target item of a user appears in at least one
+// instance per epoch, keeping the number of set-level instances no larger
+// than the pointwise/BPR instance count (fair-comparison argument in
+// Section III-B4).
+
+#ifndef LKPDPP_SAMPLING_GROUND_SET_BUILDER_H_
+#define LKPDPP_SAMPLING_GROUND_SET_BUILDER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "sampling/instance.h"
+#include "sampling/negative_sampler.h"
+
+namespace lkpdpp {
+
+/// How the k targets of an instance are chosen.
+enum class TargetSelection {
+  kSequential,  ///< "S": sliding window over chronological positives.
+  kRandom,      ///< "R": uniform sample of k positives.
+};
+
+const char* TargetSelectionName(TargetSelection mode);
+
+/// Builds one epoch's worth of k+n ground sets.
+class GroundSetBuilder {
+ public:
+  /// `k` targets and `n` negatives per instance. Users with fewer than k
+  /// train positives produce no instances (they still participate in
+  /// evaluation).
+  GroundSetBuilder(const Dataset* dataset, int k, int n,
+                   TargetSelection mode);
+
+  int k() const { return k_; }
+  int n() const { return n_; }
+  TargetSelection mode() const { return mode_; }
+
+  /// All instances for `user` in this epoch: ceil(T / k) windows covering
+  /// every target at least once (the final window is back-shifted to stay
+  /// in range rather than padded). Fails only on negative-sampling
+  /// exhaustion.
+  Result<std::vector<TrainingInstance>> BuildForUser(int user,
+                                                     Rng* rng) const;
+
+  /// Instances for every user, in user order (callers shuffle).
+  Result<std::vector<TrainingInstance>> BuildEpoch(Rng* rng) const;
+
+ private:
+  const Dataset* dataset_;
+  NegativeSampler negatives_;
+  int k_;
+  int n_;
+  TargetSelection mode_;
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_SAMPLING_GROUND_SET_BUILDER_H_

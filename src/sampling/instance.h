@@ -1,0 +1,27 @@
+// Training instances: the k+n ground sets LkP trains on.
+//
+// A training instance pairs a user with a ground set of k observed
+// (target) items and n unobserved items (Section III-B1 of the paper).
+// The first `num_pos` entries of `items` are the targets.
+
+#ifndef LKPDPP_SAMPLING_INSTANCE_H_
+#define LKPDPP_SAMPLING_INSTANCE_H_
+
+#include <vector>
+
+namespace lkpdpp {
+
+struct TrainingInstance {
+  int user = 0;
+  /// Global item ids; entries [0, num_pos) are observed targets, entries
+  /// [num_pos, size) are sampled unobserved items. All distinct.
+  std::vector<int> items;
+  int num_pos = 0;
+
+  int ground_size() const { return static_cast<int>(items.size()); }
+  int num_neg() const { return ground_size() - num_pos; }
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_SAMPLING_INSTANCE_H_

@@ -1,0 +1,41 @@
+#include "sampling/negative_sampler.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace lkpdpp {
+
+Result<std::vector<int>> NegativeSampler::Sample(
+    int user, int count, const std::vector<int>& exclude, Rng* rng) const {
+  const int m = dataset_->num_items();
+  const int observed =
+      static_cast<int>(dataset_->TrainItems(user).size() +
+                       dataset_->ValItems(user).size());
+  if (m - observed - static_cast<int>(exclude.size()) < count) {
+    return Status::FailedPrecondition(
+        StrFormat("user %d has fewer than %d unobserved items", user,
+                  count));
+  }
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(count));
+  // Rejection sampling; the unobserved pool is large relative to count in
+  // any realistic recommendation dataset, so this terminates quickly.
+  int attempts = 0;
+  const int max_attempts = 1000 * count + 1000;
+  while (static_cast<int>(out.size()) < count) {
+    if (++attempts > max_attempts) {
+      return Status::Internal("negative sampling failed to terminate");
+    }
+    const int item = rng->UniformInt(m);
+    if (dataset_->IsObserved(user, item)) continue;
+    if (std::find(exclude.begin(), exclude.end(), item) != exclude.end()) {
+      continue;
+    }
+    if (std::find(out.begin(), out.end(), item) != out.end()) continue;
+    out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace lkpdpp

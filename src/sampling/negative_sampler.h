@@ -1,0 +1,32 @@
+// Uniform negative sampling over each user's unobserved items.
+
+#ifndef LKPDPP_SAMPLING_NEGATIVE_SAMPLER_H_
+#define LKPDPP_SAMPLING_NEGATIVE_SAMPLER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace lkpdpp {
+
+/// Draws distinct unobserved items for a user, uniformly at random.
+class NegativeSampler {
+ public:
+  explicit NegativeSampler(const Dataset* dataset) : dataset_(dataset) {}
+
+  /// Samples `count` distinct items that are neither observed by `user`
+  /// (train or validation positives) nor contained in `exclude`.
+  /// Fails if the user's unobserved pool is smaller than `count`.
+  Result<std::vector<int>> Sample(int user, int count,
+                                  const std::vector<int>& exclude,
+                                  Rng* rng) const;
+
+ private:
+  const Dataset* dataset_;
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_SAMPLING_NEGATIVE_SAMPLER_H_

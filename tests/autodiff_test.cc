@@ -1,0 +1,304 @@
+// Tests for the reverse-mode autodiff tape: forward values and gradients
+// of every op against central finite differences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autodiff/graph.h"
+#include "common/rng.h"
+#include "linalg/sparse.h"
+
+namespace lkpdpp {
+namespace {
+
+using ad::Graph;
+using ad::Param;
+using ad::Tensor;
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng->Normal();
+  }
+  return m;
+}
+
+// Numerically checks dSum(f(params))/dparam against param.grad for a
+// forward function rebuilt per perturbation.
+void GradCheck(std::vector<Param*> params,
+               const std::function<Tensor(Graph*)>& forward,
+               double tol = 1e-5) {
+  // Analytic pass: seed with ones (loss = sum of outputs).
+  Graph g;
+  Tensor out = forward(&g);
+  Matrix seed(out.rows(), out.cols());
+  for (int r = 0; r < seed.rows(); ++r) {
+    for (int c = 0; c < seed.cols(); ++c) seed(r, c) = 1.0;
+  }
+  for (Param* p : params) p->ZeroGrad();
+  ASSERT_TRUE(g.Backward({{out, seed}}).ok());
+
+  auto loss_value = [&]() {
+    Graph fresh;
+    Tensor t = forward(&fresh);
+    double total = 0.0;
+    const Matrix& v = t.value();
+    for (int r = 0; r < v.rows(); ++r) {
+      for (int c = 0; c < v.cols(); ++c) total += v(r, c);
+    }
+    return total;
+  };
+
+  const double h = 1e-6;
+  for (Param* p : params) {
+    for (int r = 0; r < p->value.rows(); ++r) {
+      for (int c = 0; c < p->value.cols(); ++c) {
+        const double orig = p->value(r, c);
+        p->value(r, c) = orig + h;
+        const double plus = loss_value();
+        p->value(r, c) = orig - h;
+        const double minus = loss_value();
+        p->value(r, c) = orig;
+        const double fd = (plus - minus) / (2.0 * h);
+        EXPECT_NEAR(p->grad(r, c), fd, tol * std::max(1.0, std::fabs(fd)))
+            << p->name << "(" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(AutodiffForwardTest, ConstantHoldsValue) {
+  Graph g;
+  Tensor t = g.Constant(Matrix{{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(t.value()(1, 0), 3.0);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 2);
+}
+
+TEST(AutodiffForwardTest, ArithmeticValues) {
+  Graph g;
+  Tensor a = g.Constant(Matrix{{1, 2}});
+  Tensor b = g.Constant(Matrix{{3, 5}});
+  EXPECT_DOUBLE_EQ(g.Add(a, b).value()(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(g.Sub(a, b).value()(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(g.Mul(a, b).value()(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(g.Scale(a, -2.0).value()(0, 0), -2.0);
+}
+
+TEST(AutodiffForwardTest, ActivationValues) {
+  Graph g;
+  Tensor x = g.Constant(Matrix{{-1.0, 0.0, 2.0}});
+  const Matrix relu = g.Relu(x).value();
+  EXPECT_DOUBLE_EQ(relu(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(relu(0, 2), 2.0);
+  const Matrix sig = g.Sigmoid(x).value();
+  EXPECT_NEAR(sig(0, 1), 0.5, 1e-12);
+  const Matrix th = g.Tanh(x).value();
+  EXPECT_NEAR(th(0, 2), std::tanh(2.0), 1e-12);
+}
+
+TEST(AutodiffForwardTest, StructuralOps) {
+  Graph g;
+  Tensor a = g.Constant(Matrix{{1, 2}, {3, 4}, {5, 6}});
+  const Matrix gathered = g.GatherRows(a, {2, 0}).value();
+  EXPECT_DOUBLE_EQ(gathered(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(gathered(1, 0), 1.0);
+
+  const Matrix sliced = g.SliceRows(a, 1, 2).value();
+  EXPECT_DOUBLE_EQ(sliced(0, 0), 3.0);
+
+  Tensor row = g.Constant(Matrix{{10, 20}});
+  const Matrix repeated = g.RepeatRow(row, 3).value();
+  EXPECT_EQ(repeated.rows(), 3);
+  EXPECT_DOUBLE_EQ(repeated(2, 1), 20.0);
+
+  const Matrix cat = g.ConcatCols(a, a).value();
+  EXPECT_EQ(cat.cols(), 4);
+  EXPECT_DOUBLE_EQ(cat(1, 3), 4.0);
+
+  const Matrix rs = g.RowSum(a).value();
+  EXPECT_EQ(rs.cols(), 1);
+  EXPECT_DOUBLE_EQ(rs(2, 0), 11.0);
+
+  const Matrix broad = g.AddRowBroadcast(a, row).value();
+  EXPECT_DOUBLE_EQ(broad(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(broad(2, 1), 26.0);
+}
+
+TEST(AutodiffGradTest, MatMul) {
+  Rng rng(1);
+  Param a("a", RandomMatrix(3, 4, &rng));
+  Param b("b", RandomMatrix(4, 2, &rng));
+  GradCheck({&a, &b}, [&](Graph* g) {
+    return g->MatMul(g->Parameter(&a), g->Parameter(&b));
+  });
+}
+
+TEST(AutodiffGradTest, MatMulTransB) {
+  Rng rng(2);
+  Param a("a", RandomMatrix(3, 4, &rng));
+  Param b("b", RandomMatrix(5, 4, &rng));
+  GradCheck({&a, &b}, [&](Graph* g) {
+    return g->MatMulTransB(g->Parameter(&a), g->Parameter(&b));
+  });
+}
+
+TEST(AutodiffGradTest, ElementwiseChain) {
+  Rng rng(3);
+  Param a("a", RandomMatrix(3, 3, &rng));
+  Param b("b", RandomMatrix(3, 3, &rng));
+  GradCheck({&a, &b}, [&](Graph* g) {
+    Tensor x = g->Mul(g->Parameter(&a), g->Parameter(&b));
+    return g->Sub(g->Scale(x, 1.5), g->Parameter(&a));
+  });
+}
+
+TEST(AutodiffGradTest, Activations) {
+  Rng rng(4);
+  Param a("a", RandomMatrix(4, 3, &rng));
+  GradCheck({&a}, [&](Graph* g) {
+    return g->Sigmoid(g->Tanh(g->Parameter(&a)));
+  });
+  // ReLU checked away from the kink.
+  Param b("b", RandomMatrix(4, 3, &rng));
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      if (std::fabs(b.value(r, c)) < 0.05) b.value(r, c) = 0.5;
+    }
+  }
+  GradCheck({&b}, [&](Graph* g) { return g->Relu(g->Parameter(&b)); });
+}
+
+TEST(AutodiffGradTest, GatherAndSlice) {
+  Rng rng(5);
+  Param a("a", RandomMatrix(5, 3, &rng));
+  GradCheck({&a}, [&](Graph* g) {
+    Tensor gathered = g->GatherRows(g->Parameter(&a), {0, 2, 2, 4});
+    return g->SliceRows(gathered, 1, 3);
+  });
+}
+
+TEST(AutodiffGradTest, BroadcastRepeatConcatRowSum) {
+  Rng rng(6);
+  Param a("a", RandomMatrix(4, 3, &rng));
+  Param row("row", RandomMatrix(1, 3, &rng));
+  GradCheck({&a, &row}, [&](Graph* g) {
+    Tensor broad = g->AddRowBroadcast(g->Parameter(&a), g->Parameter(&row));
+    Tensor rep = g->RepeatRow(g->Parameter(&row), 4);
+    Tensor cat = g->ConcatCols(broad, rep);
+    return g->RowSum(cat);
+  });
+}
+
+TEST(AutodiffGradTest, SpmmMatchesDense) {
+  Rng rng(7);
+  auto sparse = SparseMatrix::FromTriplets(
+      3, 4,
+      {{0, 1, 2.0}, {1, 0, -1.0}, {1, 3, 0.5}, {2, 2, 3.0}});
+  ASSERT_TRUE(sparse.ok());
+  Param x("x", RandomMatrix(4, 2, &rng));
+
+  // Forward matches dense multiply.
+  Graph g;
+  Tensor out = g.Spmm(&*sparse, g.Parameter(&x));
+  const Matrix dense = MatMul(sparse->ToDense(), x.value);
+  EXPECT_LT((out.value() - dense).MaxAbs(), 1e-12);
+
+  GradCheck({&x}, [&](Graph* g2) {
+    return g2->Spmm(&*sparse, g2->Parameter(&x));
+  });
+}
+
+TEST(AutodiffGradTest, MeanOfLayers) {
+  Rng rng(8);
+  Param a("a", RandomMatrix(3, 2, &rng));
+  GradCheck({&a}, [&](Graph* g) {
+    Tensor t = g->Parameter(&a);
+    Tensor s = g->Scale(t, 2.0);
+    return g->MeanOf({t, s, g->Mul(t, t)});
+  });
+}
+
+TEST(AutodiffGradTest, DeepCompositeNetwork) {
+  // NeuMF-shaped pipeline: gather -> concat -> affine -> relu -> affine.
+  Rng rng(9);
+  Param emb("emb", RandomMatrix(6, 4, &rng));
+  Param w1("w1", RandomMatrix(8, 5, &rng));
+  Param b1("b1", RandomMatrix(1, 5, &rng));
+  Param w2("w2", RandomMatrix(5, 1, &rng));
+  GradCheck(
+      {&emb, &w1, &b1, &w2},
+      [&](Graph* g) {
+        Tensor u = g->RepeatRow(g->GatherRows(g->Parameter(&emb), {1}), 3);
+        Tensor items = g->GatherRows(g->Parameter(&emb), {0, 3, 5});
+        Tensor x = g->ConcatCols(u, items);
+        Tensor z = g->Relu(
+            g->AddRowBroadcast(g->MatMul(x, g->Parameter(&w1)),
+                               g->Parameter(&b1)));
+        return g->MatMul(z, g->Parameter(&w2));
+      },
+      1e-4);
+}
+
+TEST(AutodiffBackwardTest, MultipleSeedsAccumulate) {
+  Param a("a", Matrix{{1.0, 2.0}});
+  Graph g;
+  Tensor t = g.Parameter(&a);
+  Tensor x = g.Scale(t, 2.0);
+  Tensor y = g.Scale(t, 3.0);
+  a.ZeroGrad();
+  ASSERT_TRUE(
+      g.Backward({{x, Matrix{{1.0, 1.0}}}, {y, Matrix{{1.0, 1.0}}}}).ok());
+  // d(2a + 3a)/da = 5.
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.grad(0, 1), 5.0);
+}
+
+TEST(AutodiffBackwardTest, SharedSubexpressionGradientsSum) {
+  Param a("a", Matrix{{2.0}});
+  Graph g;
+  Tensor t = g.Parameter(&a);
+  Tensor sq = g.Mul(t, t);  // a^2; d/da = 2a = 4.
+  a.ZeroGrad();
+  ASSERT_TRUE(g.Backward({{sq, Matrix{{1.0}}}}).ok());
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 4.0);
+}
+
+TEST(AutodiffBackwardTest, SecondBackwardFails) {
+  Param a("a", Matrix{{1.0}});
+  Graph g;
+  Tensor t = g.Parameter(&a);
+  ASSERT_TRUE(g.Backward({{t, Matrix{{1.0}}}}).ok());
+  EXPECT_EQ(g.Backward({{t, Matrix{{1.0}}}}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AutodiffBackwardTest, SeedShapeMismatchFails) {
+  Param a("a", Matrix{{1.0, 2.0}});
+  Graph g;
+  Tensor t = g.Parameter(&a);
+  EXPECT_EQ(g.Backward({{t, Matrix{{1.0}}}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AutodiffBackwardTest, ForeignTensorRejected) {
+  Graph g1, g2;
+  Tensor t = g1.Constant(Matrix{{1.0}});
+  EXPECT_FALSE(g2.Backward({{t, Matrix{{1.0}}}}).ok());
+}
+
+TEST(AutodiffBackwardTest, ParamGradAccumulatesAcrossGraphs) {
+  Param a("a", Matrix{{1.0}});
+  a.ZeroGrad();
+  for (int i = 0; i < 3; ++i) {
+    Graph g;
+    Tensor t = g.Parameter(&a);
+    ASSERT_TRUE(g.Backward({{t, Matrix{{1.0}}}}).ok());
+  }
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 3.0);
+}
+
+}  // namespace
+}  // namespace lkpdpp

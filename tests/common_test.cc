@@ -1,0 +1,259 @@
+// Tests for src/common: Status/Result, RNG, string utilities.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace lkpdpp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_FALSE(Status::Internal("a") == Status::Internal("b"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::NotFound("gone"); };
+  auto wrapper = [&]() -> Status {
+    LKP_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("idx"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = r.MoveValue();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto makes = []() -> Result<int> { return 7; };
+  auto wrapper = [&]() -> Result<int> {
+    LKP_ASSIGN_OR_RETURN(int x, makes());
+    return x + 1;
+  };
+  EXPECT_EQ(*wrapper(), 8);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto fails = []() -> Result<int> {
+    return Status::Internal("boom");
+  };
+  auto wrapper = [&]() -> Result<int> {
+    LKP_ASSIGN_OR_RETURN(int x, fails());
+    return x;
+  };
+  EXPECT_EQ(wrapper().status().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatesHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(13);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.UniformInt(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All values hit.
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatchStandard) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(29);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(RngTest, CategoricalIgnoresNegativeWeights) {
+  Rng rng(31);
+  std::vector<double> w = {-5.0, 1.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.Categorical(w), 1);
+}
+
+TEST(RngTest, CategoricalAllZeroFallsBackToUniform) {
+  Rng rng(37);
+  std::vector<double> w = {0.0, 0.0, 0.0};
+  std::set<int> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(rng.Categorical(w));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = rng.SampleWithoutReplacement(20, 6);
+    std::set<int> distinct(s.begin(), s.end());
+    EXPECT_EQ(distinct.size(), 6u);
+    for (int v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(43);
+  auto s = rng.SampleWithoutReplacement(5, 5);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(47);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(51);
+  Rng child = a.Fork();
+  // Child stream differs from the parent's continuation.
+  EXPECT_NE(child.Next(), a.Next());
+}
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, StrSplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, StrTrim) {
+  EXPECT_EQ(StrTrim("  x y \t\n"), "x y");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StringUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("prefix-rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+}
+
+}  // namespace
+}  // namespace lkpdpp

@@ -1,0 +1,198 @@
+// Tests for the baseline criteria (BCE, BPR, SetRank, Set2SetRank).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/criterion.h"
+
+namespace lkpdpp {
+namespace {
+
+Vector RandomScores(int m, Rng* rng) {
+  Vector s(m);
+  for (int i = 0; i < m; ++i) s[i] = rng->Normal(0.0, 1.0);
+  return s;
+}
+
+double LossOf(const RankingCriterion& crit, const Vector& scores,
+              int num_pos) {
+  CriterionInput in;
+  in.scores = scores;
+  in.num_pos = num_pos;
+  auto out = crit.Evaluate(in);
+  EXPECT_TRUE(out.ok()) << crit.name() << ": " << out.status().ToString();
+  return out->loss;
+}
+
+class BaselineCriteriaTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<RankingCriterion> Make() const {
+    switch (GetParam()) {
+      case 0:
+        return MakeBceCriterion();
+      case 1:
+        return MakeBprCriterion();
+      case 2:
+        return MakeSetRankCriterion();
+      default:
+        return MakeSet2SetRankCriterion();
+    }
+  }
+};
+
+TEST_P(BaselineCriteriaTest, GradientMatchesFiniteDifference) {
+  auto crit = Make();
+  Rng rng(1000 + GetParam());
+  const int k = 3, n = 4, m = k + n;
+  const Vector scores = RandomScores(m, &rng);
+
+  CriterionInput in;
+  in.scores = scores;
+  in.num_pos = k;
+  auto out = crit->Evaluate(in);
+  ASSERT_TRUE(out.ok());
+
+  const double h = 1e-6;
+  for (int i = 0; i < m; ++i) {
+    Vector plus = scores, minus = scores;
+    plus[i] += h;
+    minus[i] -= h;
+    const double fd =
+        (LossOf(*crit, plus, k) - LossOf(*crit, minus, k)) / (2.0 * h);
+    EXPECT_NEAR(out->dscore[i], fd, 1e-5 * std::max(1.0, std::fabs(fd)))
+        << crit->name() << " score " << i;
+  }
+}
+
+TEST_P(BaselineCriteriaTest, LossIsNonNegative) {
+  auto crit = Make();
+  Rng rng(1100 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vector scores = RandomScores(6, &rng);
+    EXPECT_GE(LossOf(*crit, scores, 3), 0.0) << crit->name();
+  }
+}
+
+TEST_P(BaselineCriteriaTest, PerfectSeparationNearZeroLoss) {
+  auto crit = Make();
+  Vector scores{20.0, 19.0, 18.0, -20.0, -19.0, -18.0};
+  EXPECT_LT(LossOf(*crit, scores, 3), 1e-4) << crit->name();
+}
+
+TEST_P(BaselineCriteriaTest, InvertedRankingHasLargeLoss) {
+  auto crit = Make();
+  Vector good{5.0, 5.0, -5.0, -5.0};
+  Vector bad{-5.0, -5.0, 5.0, 5.0};
+  EXPECT_GT(LossOf(*crit, bad, 2), LossOf(*crit, good, 2) + 1.0)
+      << crit->name();
+}
+
+TEST_P(BaselineCriteriaTest, DescentDirectionSeparatesSets) {
+  auto crit = Make();
+  CriterionInput in;
+  in.scores = Vector(6, 0.0);
+  in.num_pos = 3;
+  auto out = crit->Evaluate(in);
+  ASSERT_TRUE(out.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_LT(out->dscore[i], 1e-12) << crit->name() << " pos " << i;
+  }
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_GT(out->dscore[i], -1e-12) << crit->name() << " neg " << i;
+  }
+}
+
+TEST_P(BaselineCriteriaTest, ValidatesNumPos) {
+  auto crit = Make();
+  CriterionInput in;
+  in.scores = Vector{1, 2, 3};
+  in.num_pos = 0;
+  EXPECT_FALSE(crit->Evaluate(in).ok()) << crit->name();
+  in.num_pos = 3;
+  EXPECT_FALSE(crit->Evaluate(in).ok()) << crit->name();
+}
+
+TEST_P(BaselineCriteriaTest, RejectsNonFiniteScores) {
+  auto crit = Make();
+  CriterionInput in;
+  in.scores = Vector{1.0, std::nan(""), 0.0, 2.0};
+  in.num_pos = 2;
+  EXPECT_FALSE(crit->Evaluate(in).ok()) << crit->name();
+}
+
+TEST_P(BaselineCriteriaTest, DoesNotNeedDiversityKernel) {
+  EXPECT_FALSE(Make()->NeedsDiversityKernel());
+}
+
+TEST_P(BaselineCriteriaTest, ExtremeScoresStayFinite) {
+  auto crit = Make();
+  Vector scores{500.0, -500.0, 300.0, -300.0};
+  CriterionInput in;
+  in.scores = scores;
+  in.num_pos = 2;
+  auto out = crit->Evaluate(in);
+  ASSERT_TRUE(out.ok()) << crit->name();
+  EXPECT_TRUE(std::isfinite(out->loss));
+  EXPECT_TRUE(out->dscore.AllFinite());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineCriteriaTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(BceTest, MatchesManualBinaryCrossEntropy) {
+  auto crit = MakeBceCriterion();
+  Vector scores{0.5, -0.25};
+  const double expected =
+      std::log1p(std::exp(-0.5)) + std::log1p(std::exp(-0.25));
+  EXPECT_NEAR(LossOf(*crit, scores, 1), expected, 1e-10);
+}
+
+TEST(BprTest, SymmetricScoresGiveLog2) {
+  auto crit = MakeBprCriterion();
+  // All scores equal: every pair contributes softplus(0) = ln 2.
+  Vector scores(4, 1.0);
+  EXPECT_NEAR(LossOf(*crit, scores, 2), std::log(2.0), 1e-10);
+}
+
+TEST(SetRankTest, UniformScoresGiveLogSetSize) {
+  auto crit = MakeSetRankCriterion();
+  // Each target competes with 3 negatives at equal scores:
+  // loss = log(1 + 3) per target (averaged over targets).
+  Vector scores(5, 0.0);
+  EXPECT_NEAR(LossOf(*crit, scores, 2), std::log(4.0), 1e-10);
+}
+
+TEST(SetRankTest, OnlyNegativesInfluenceTargetLoss) {
+  auto crit = MakeSetRankCriterion();
+  // Raising one target's score should not hurt the other target.
+  Vector base{0.0, 0.0, 0.0, 0.0};
+  Vector boosted{3.0, 0.0, 0.0, 0.0};
+  EXPECT_LT(LossOf(*crit, boosted, 2), LossOf(*crit, base, 2));
+}
+
+TEST(Set2SetRankTest, SetLevelTermTightensWeakestTarget) {
+  // The weakest-target-vs-strongest-negative term must make loss depend
+  // on the min positive even when pairwise means are equal.
+  auto with_set = MakeSet2SetRankCriterion(1.0);
+  auto without_set = MakeSet2SetRankCriterion(0.0);
+  Vector spread{4.0, -2.0, 0.0, 0.0};   // Weak second target.
+  Vector tight{1.0, 1.0, 0.0, 0.0};     // Same mean, tight targets.
+  const double delta_with = LossOf(*with_set, spread, 2) -
+                            LossOf(*with_set, tight, 2);
+  const double delta_without = LossOf(*without_set, spread, 2) -
+                               LossOf(*without_set, tight, 2);
+  EXPECT_GT(delta_with, delta_without);
+}
+
+TEST(CriteriaNameTest, NamesAreStable) {
+  EXPECT_EQ(MakeBceCriterion()->name(), "BCE");
+  EXPECT_EQ(MakeBprCriterion()->name(), "BPR");
+  EXPECT_EQ(MakeSetRankCriterion()->name(), "SetRank");
+  EXPECT_EQ(MakeSet2SetRankCriterion()->name(), "S2SRank");
+}
+
+}  // namespace
+}  // namespace lkpdpp

@@ -1,0 +1,256 @@
+// Tests for dataset preparation, the synthetic generator, and CSV IO.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/io.h"
+#include "data/synthetic.h"
+
+namespace lkpdpp {
+namespace {
+
+std::vector<RatingEvent> DenseRatings(int users, int items_per_user,
+                                      double rating = 5.0) {
+  std::vector<RatingEvent> events;
+  for (int u = 0; u < users; ++u) {
+    for (int i = 0; i < items_per_user; ++i) {
+      events.push_back({u, i, rating, i});
+    }
+  }
+  return events;
+}
+
+CategoryTable UniformCategories(int items, int categories) {
+  CategoryTable t;
+  t.num_categories = categories;
+  t.item_categories.resize(items);
+  for (int i = 0; i < items; ++i) {
+    t.item_categories[i] = {i % categories};
+  }
+  return t;
+}
+
+TEST(DatasetTest, BinarizationDropsLowRatings) {
+  auto events = DenseRatings(15, 20, 5.0);
+  // Add sub-threshold ratings on otherwise unseen items: must vanish.
+  for (int u = 0; u < 15; ++u) events.push_back({u, 30 + u, 4.0, 99});
+  auto ds = Dataset::FromRatings(events, UniformCategories(60, 4), "t");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_items(), 20);  // Items 30+ filtered with their 4.0s.
+}
+
+TEST(DatasetTest, MinInteractionFilterRemovesColdUsers) {
+  auto events = DenseRatings(10, 20);
+  // One cold user with 3 interactions.
+  for (int i = 0; i < 3; ++i) events.push_back({99, i, 5.0, i});
+  auto ds = Dataset::FromRatings(events, UniformCategories(20, 4), "t",
+                                 5.0, /*min_interactions=*/10);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users(), 10);
+}
+
+TEST(DatasetTest, SplitFractionsRespected) {
+  auto ds = Dataset::FromRatings(DenseRatings(12, 20),
+                                 UniformCategories(20, 4), "t");
+  ASSERT_TRUE(ds.ok());
+  for (int u = 0; u < ds->num_users(); ++u) {
+    EXPECT_EQ(ds->TrainItems(u).size(), 14u);  // 70% of 20.
+    EXPECT_EQ(ds->ValItems(u).size(), 2u);     // 10%.
+    EXPECT_EQ(ds->TestItems(u).size(), 4u);    // Remainder.
+  }
+}
+
+TEST(DatasetTest, ChronologicalOrderPreserved) {
+  std::vector<RatingEvent> events;
+  // User 0 rates items in reverse id order; train must follow timestamps.
+  for (int i = 0; i < 12; ++i) events.push_back({0, 11 - i, 5.0, i});
+  for (int u = 1; u < 12; ++u) {
+    for (int i = 0; i < 12; ++i) events.push_back({u, i, 5.0, i});
+  }
+  auto ds = Dataset::FromRatings(events, UniformCategories(12, 3), "t");
+  ASSERT_TRUE(ds.ok());
+  const auto& train = ds->TrainItems(0);
+  for (size_t i = 1; i < train.size(); ++i) {
+    EXPECT_GT(train[i - 1], train[i]);  // Reverse-id = timestamp order.
+  }
+}
+
+TEST(DatasetTest, DuplicateInteractionsDeduplicated) {
+  std::vector<RatingEvent> events;
+  for (int u = 0; u < 10; ++u) {
+    for (int i = 0; i < 12; ++i) {
+      events.push_back({u, i, 5.0, i});
+      events.push_back({u, i, 5.0, 100 + i});  // Re-rating, same item.
+    }
+  }
+  auto ds = Dataset::FromRatings(events, UniformCategories(12, 3), "t");
+  ASSERT_TRUE(ds.ok());
+  for (int u = 0; u < ds->num_users(); ++u) {
+    std::set<int> all;
+    for (int i : ds->TrainItems(u)) all.insert(i);
+    for (int i : ds->ValItems(u)) all.insert(i);
+    for (int i : ds->TestItems(u)) all.insert(i);
+    EXPECT_EQ(all.size(), 12u);
+  }
+}
+
+TEST(DatasetTest, IsObservedCoversTrainAndValOnly) {
+  auto ds = Dataset::FromRatings(DenseRatings(12, 20),
+                                 UniformCategories(20, 4), "t");
+  ASSERT_TRUE(ds.ok());
+  const int u = 0;
+  for (int i : ds->TrainItems(u)) EXPECT_TRUE(ds->IsObserved(u, i));
+  for (int i : ds->ValItems(u)) EXPECT_TRUE(ds->IsObserved(u, i));
+  for (int i : ds->TestItems(u)) EXPECT_FALSE(ds->IsObserved(u, i));
+}
+
+TEST(DatasetTest, InvalidSplitRejected) {
+  auto events = DenseRatings(12, 20);
+  CategoryTable cats = UniformCategories(20, 4);
+  EXPECT_FALSE(Dataset::FromRatings(events, cats, "t", 5.0, 10, 0.9, 0.2)
+                   .ok());
+  EXPECT_FALSE(Dataset::FromRatings(events, cats, "t", 5.0, 10, 0.0, 0.1)
+                   .ok());
+}
+
+TEST(DatasetTest, EmptyAfterFilteringRejected) {
+  auto events = DenseRatings(3, 4);  // Only 4 interactions per user.
+  EXPECT_EQ(Dataset::FromRatings(events, UniformCategories(4, 2), "t", 5.0,
+                                 /*min_interactions=*/10)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DatasetTest, DensityMatchesCounts) {
+  auto ds = Dataset::FromRatings(DenseRatings(12, 20),
+                                 UniformCategories(20, 4), "t");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_NEAR(ds->Density(),
+              static_cast<double>(ds->num_interactions()) /
+                  (ds->num_users() * ds->num_items()),
+              1e-12);
+}
+
+TEST(DatasetTest, EvaluableUsersHaveTrainAndTest) {
+  auto ds = Dataset::FromRatings(DenseRatings(12, 15),
+                                 UniformCategories(15, 3), "t");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->EvaluableUsers().size(), 12u);
+}
+
+TEST(SyntheticTest, GeneratesNonEmptyDataset) {
+  SyntheticConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_items = 60;
+  cfg.num_categories = 8;
+  cfg.num_events = 5000;
+  auto ds = GenerateSyntheticDataset(cfg);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_GT(ds->num_users(), 10);
+  EXPECT_GT(ds->num_items(), 10);
+  EXPECT_GT(ds->num_interactions(), 200);
+  EXPECT_EQ(ds->num_categories(), 8);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_items = 50;
+  cfg.num_events = 4000;
+  cfg.seed = 7;
+  auto a = GenerateSyntheticDataset(cfg);
+  auto b = GenerateSyntheticDataset(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_users(), b->num_users());
+  EXPECT_EQ(a->num_interactions(), b->num_interactions());
+  ASSERT_GT(a->num_users(), 0);
+  EXPECT_EQ(a->TrainItems(0), b->TrainItems(0));
+}
+
+TEST(SyntheticTest, ItemsCarryCategories) {
+  SyntheticConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_items = 50;
+  cfg.num_events = 4000;
+  auto ds = GenerateSyntheticDataset(cfg);
+  ASSERT_TRUE(ds.ok());
+  for (int i = 0; i < ds->num_items(); ++i) {
+    EXPECT_GE(ds->ItemCategories(i).size(), 1u);
+    for (int c : ds->ItemCategories(i)) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, ds->num_categories());
+    }
+  }
+}
+
+TEST(SyntheticTest, PresetsPreserveSparsityOrdering) {
+  // Beauty-like must be sparser than ML-like (Table I shape).
+  auto beauty = GenerateSyntheticDataset(BeautyLikeConfig(0.6));
+  auto ml = GenerateSyntheticDataset(MlLikeConfig(0.6));
+  ASSERT_TRUE(beauty.ok());
+  ASSERT_TRUE(ml.ok());
+  EXPECT_LT(beauty->Density(), ml->Density());
+  EXPECT_GT(beauty->num_categories(), ml->num_categories());
+}
+
+TEST(SyntheticTest, RejectsInvalidConfig) {
+  SyntheticConfig cfg;
+  cfg.num_users = 0;
+  EXPECT_FALSE(GenerateSyntheticDataset(cfg).ok());
+}
+
+TEST(IoTest, RatingsRoundTrip) {
+  const std::string path = "/tmp/lkp_test_ratings.csv";
+  std::vector<RatingEvent> events = {
+      {0, 1, 5.0, 10}, {0, 2, 3.0, 11}, {4, 1, 4.5, 12}};
+  ASSERT_TRUE(SaveRatingsCsv(path, events).ok());
+  auto loaded = LoadRatingsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0].user, 0);
+  EXPECT_EQ((*loaded)[2].user, 4);
+  EXPECT_DOUBLE_EQ((*loaded)[1].rating, 3.0);
+  EXPECT_EQ((*loaded)[2].timestamp, 12);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, CategoriesRoundTrip) {
+  const std::string path = "/tmp/lkp_test_cats.csv";
+  CategoryTable t;
+  t.num_categories = 5;
+  t.item_categories = {{0, 2}, {1}, {}, {4, 3, 0}};
+  ASSERT_TRUE(SaveCategoriesCsv(path, t).ok());
+  auto loaded = LoadCategoriesCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_categories, 5);
+  ASSERT_EQ(loaded->item_categories.size(), 4u);
+  EXPECT_EQ(loaded->item_categories[0], (std::vector<int>{0, 2}));
+  EXPECT_TRUE(loaded->item_categories[2].empty());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileFails) {
+  EXPECT_EQ(LoadRatingsCsv("/nonexistent/p.csv").status().code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(LoadCategoriesCsv("/nonexistent/p.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(IoTest, MalformedRowReportsLine) {
+  const std::string path = "/tmp/lkp_test_bad.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("# header\n1,2,5.0,3\nnot,a,row\n", f);
+  fclose(f);
+  auto loaded = LoadRatingsCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lkpdpp

@@ -1,0 +1,250 @@
+// Tests for Cholesky, LU, and the symmetric Jacobi eigensolver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+
+namespace lkpdpp {
+namespace {
+
+Matrix RandomSpd(int n, Rng* rng, double ridge = 0.5) {
+  Matrix a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) a(r, c) = rng->Normal();
+  }
+  Matrix spd = MatMulTransB(a, a);
+  spd.AddDiagonal(ridge);
+  return spd;
+}
+
+TEST(CholeskyTest, KnownFactorization) {
+  // A = [[4, 2], [2, 3]] has L = [[2, 0], [1, sqrt(2)]].
+  Matrix a{{4, 2}, {2, 3}};
+  auto chol = Cholesky::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->factor()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(chol->factor()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(chol->factor()(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(CholeskyTest, LogDetMatchesKnownDeterminant) {
+  Matrix a{{4, 2}, {2, 3}};  // det = 8.
+  auto chol = Cholesky::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->LogDet(), std::log(8.0), 1e-12);
+  EXPECT_NEAR(chol->Det(), 8.0, 1e-10);
+}
+
+TEST(CholeskyTest, SolveRecoversSolution) {
+  Matrix a{{4, 2}, {2, 3}};
+  Vector x_true{1.5, -2.0};
+  Vector b = MatVec(a, x_true);
+  auto chol = Cholesky::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  Vector x = chol->Solve(b);
+  EXPECT_NEAR(x[0], x_true[0], 1e-12);
+  EXPECT_NEAR(x[1], x_true[1], 1e-12);
+}
+
+TEST(CholeskyTest, InverseTimesOriginalIsIdentity) {
+  Rng rng(31);
+  Matrix a = RandomSpd(6, &rng);
+  auto chol = Cholesky::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix prod = MatMul(chol->Inverse(), a);
+  EXPECT_LT((prod - Matrix::Identity(6)).MaxAbs(), 1e-8);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_EQ(Cholesky::Compute(a).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsAsymmetric) {
+  Matrix a{{1, 2}, {0, 1}};
+  EXPECT_EQ(Cholesky::Compute(a).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a{{1, 0}, {0, -1}};
+  EXPECT_EQ(Cholesky::Compute(a).status().code(),
+            StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, JitterRescuesSemidefinite) {
+  // Rank-1 PSD matrix: plain Cholesky fails at the second pivot.
+  Matrix a{{1, 1}, {1, 1}};
+  EXPECT_FALSE(Cholesky::Compute(a).ok());
+  EXPECT_TRUE(Cholesky::Compute(a, 1e-8).ok());
+}
+
+TEST(CholeskyTest, LogDetSpdHelper) {
+  Matrix a{{2, 0}, {0, 5}};
+  auto ld = LogDetSpd(a);
+  ASSERT_TRUE(ld.ok());
+  EXPECT_NEAR(*ld, std::log(10.0), 1e-12);
+}
+
+TEST(LuTest, KnownDeterminant) {
+  Matrix a{{1, 2}, {3, 4}};  // det = -2.
+  auto lu = Lu::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Det(), -2.0, 1e-12);
+}
+
+TEST(LuTest, SingularHasZeroDet) {
+  Matrix a{{1, 2}, {2, 4}};
+  auto lu = Lu::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_TRUE(lu->IsSingular());
+  EXPECT_DOUBLE_EQ(lu->Det(), 0.0);
+  EXPECT_FALSE(lu->Solve(Vector{1, 1}).ok());
+  EXPECT_FALSE(lu->Inverse().ok());
+}
+
+TEST(LuTest, SolveGeneralSystem) {
+  Matrix a{{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}};
+  Vector x_true{2.0, -1.0, 3.0};
+  Vector b = MatVec(a, x_true);
+  auto lu = Lu::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  auto x = lu->Solve(b);
+  ASSERT_TRUE(x.ok());
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-10);
+}
+
+TEST(LuTest, InverseProduct) {
+  Rng rng(37);
+  Matrix a(4, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) a(r, c) = rng.Normal();
+  }
+  a.AddDiagonal(3.0);
+  auto lu = Lu::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  auto inv = lu->Inverse();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_LT((MatMul(*inv, a) - Matrix::Identity(4)).MaxAbs(), 1e-9);
+}
+
+TEST(LuTest, RejectsNonSquare) {
+  EXPECT_FALSE(Lu::Compute(Matrix(2, 3)).ok());
+}
+
+TEST(LuTest, DeterminantHelper) {
+  auto det = Determinant(Matrix{{3, 0}, {0, 7}});
+  ASSERT_TRUE(det.ok());
+  EXPECT_NEAR(*det, 21.0, 1e-12);
+}
+
+// Cross-check: Cholesky log-det equals LU det on random SPD matrices.
+class DetCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DetCrossCheckTest, CholeskyVsLu) {
+  Rng rng(300 + GetParam());
+  Matrix a = RandomSpd(GetParam(), &rng);
+  auto chol = Cholesky::Compute(a);
+  auto lu = Lu::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(chol->LogDet(), std::log(lu->Det()),
+              1e-8 * std::fabs(chol->LogDet()) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DetCrossCheckTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16));
+
+TEST(EigenTest, DiagonalMatrixEigenvalues) {
+  Matrix a = Matrix::Diagonal(Vector{3.0, 1.0, 2.0});
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  Matrix a{{2, 1}, {1, 2}};
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(EigenTest, RejectsAsymmetric) {
+  Matrix a{{1, 2}, {0, 1}};
+  EXPECT_FALSE(SymmetricEigen(a).ok());
+}
+
+TEST(EigenTest, HandlesSizeOneAndEmpty) {
+  auto one = SymmetricEigen(Matrix{{4.0}});
+  ASSERT_TRUE(one.ok());
+  EXPECT_NEAR(one->eigenvalues[0], 4.0, 1e-15);
+  auto zero = SymmetricEigen(Matrix(0, 0));
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->eigenvalues.size(), 0);
+}
+
+class EigenPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenPropertyTest, ReconstructionAndOrthonormality) {
+  Rng rng(400 + GetParam());
+  const int n = GetParam();
+  Matrix a = RandomSpd(n, &rng, 0.1);
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+
+  // V^T V = I.
+  Matrix vtv = MatMulTransA(eig->eigenvectors, eig->eigenvectors);
+  EXPECT_LT((vtv - Matrix::Identity(n)).MaxAbs(), 1e-9);
+
+  // V diag(lambda) V^T = A.
+  Matrix scaled = eig->eigenvectors;
+  for (int c = 0; c < n; ++c) {
+    for (int r = 0; r < n; ++r) scaled(r, c) *= eig->eigenvalues[c];
+  }
+  Matrix rebuilt = MatMulTransB(scaled, eig->eigenvectors);
+  EXPECT_LT((rebuilt - a).MaxAbs(), 1e-8 * std::max(1.0, a.MaxAbs()));
+
+  // Ascending order, all positive for SPD input.
+  for (int i = 1; i < n; ++i) {
+    EXPECT_LE(eig->eigenvalues[i - 1], eig->eigenvalues[i] + 1e-12);
+  }
+  EXPECT_GT(eig->eigenvalues[0], 0.0);
+
+  // Eigenvalue sum equals trace; product equals determinant.
+  EXPECT_NEAR(eig->eigenvalues.Sum(), a.Trace(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
+                         ::testing::Values(2, 3, 4, 6, 10, 16));
+
+TEST(ProjectToPsdTest, ClampsNegativeEigenvalues) {
+  Matrix a{{1, 0}, {0, -2}};
+  auto psd = ProjectToPsd(a, 0.0);
+  ASSERT_TRUE(psd.ok());
+  auto eig = SymmetricEigen(*psd);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_GE(eig->eigenvalues[0], -1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(ProjectToPsdTest, LeavesPsdUntouched) {
+  Rng rng(55);
+  Matrix a = RandomSpd(5, &rng);
+  auto psd = ProjectToPsd(a);
+  ASSERT_TRUE(psd.ok());
+  EXPECT_LT((*psd - a).MaxAbs(), 1e-8 * a.MaxAbs());
+}
+
+}  // namespace
+}  // namespace lkpdpp

@@ -1,0 +1,158 @@
+// Tests for elementary symmetric polynomials (paper Algorithm 1) and
+// their derivatives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/esp.h"
+
+namespace lkpdpp {
+namespace {
+
+TEST(EspTest, DegreeZeroIsOne) {
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(Vector{2, 3, 4}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(Vector{}, 0), 1.0);
+}
+
+TEST(EspTest, DegreeOneIsSum) {
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(Vector{2, 3, 4}, 1), 9.0);
+}
+
+TEST(EspTest, FullDegreeIsProduct) {
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(Vector{2, 3, 4}, 3), 24.0);
+}
+
+TEST(EspTest, HandComputedMiddleDegree) {
+  // e_2(2,3,4) = 2*3 + 2*4 + 3*4 = 26.
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(Vector{2, 3, 4}, 2), 26.0);
+}
+
+TEST(EspTest, ZeroEigenvaluesReduceDegree) {
+  // With only two nonzeros, e_3 = 0.
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(Vector{5, 0, 7, 0}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(Vector{5, 0, 7, 0}, 2), 35.0);
+}
+
+TEST(EspTest, AllElementarySymmetricMatchesSingle) {
+  Vector vals{0.5, 1.5, 2.5, 3.5};
+  Vector all = AllElementarySymmetric(vals, 4);
+  for (int k = 0; k <= 4; ++k) {
+    EXPECT_NEAR(all[k], ElementarySymmetric(vals, k), 1e-12);
+  }
+}
+
+TEST(EspTest, TableFinalEntryMatches) {
+  Vector vals{1.0, 2.0, 3.0, 4.0, 5.0};
+  Matrix table = EspTable(vals, 3);
+  EXPECT_NEAR(table(3, 5), ElementarySymmetric(vals, 3), 1e-12);
+  // Prefix property: table(l, m) is e_l over the first m values.
+  Vector prefix{1.0, 2.0, 3.0};
+  EXPECT_NEAR(table(2, 3), ElementarySymmetric(prefix, 2), 1e-12);
+  // Row 0 all ones; column 0 zero for l >= 1.
+  for (int m = 0; m <= 5; ++m) EXPECT_DOUBLE_EQ(table(0, m), 1.0);
+  for (int l = 1; l <= 3; ++l) EXPECT_DOUBLE_EQ(table(l, 0), 0.0);
+}
+
+class EspBruteForceTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(EspBruteForceTest, MatchesBruteForce) {
+  const auto [m, k] = GetParam();
+  Rng rng(500 + m * 31 + k);
+  Vector vals(m);
+  for (int i = 0; i < m; ++i) vals[i] = rng.Uniform(0.0, 3.0);
+  const double fast = ElementarySymmetric(vals, k);
+  const double brute = ElementarySymmetricBruteForce(vals, k);
+  EXPECT_NEAR(fast, brute, 1e-9 * std::max(1.0, std::fabs(brute)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EspBruteForceTest,
+    ::testing::Values(std::pair{3, 2}, std::pair{5, 2}, std::pair{6, 3},
+                      std::pair{8, 4}, std::pair{10, 5}, std::pair{12, 6},
+                      std::pair{12, 1}, std::pair{12, 12}));
+
+TEST(ExclusionEspTest, MatchesManualExclusion) {
+  Vector vals{1.0, 2.0, 3.0, 4.0};
+  Vector excl = ExclusionEsp(vals, 2);
+  // Removing value i then computing e_2 by hand.
+  EXPECT_NEAR(excl[0], ElementarySymmetric(Vector{2, 3, 4}, 2), 1e-12);
+  EXPECT_NEAR(excl[1], ElementarySymmetric(Vector{1, 3, 4}, 2), 1e-12);
+  EXPECT_NEAR(excl[2], ElementarySymmetric(Vector{1, 2, 4}, 2), 1e-12);
+  EXPECT_NEAR(excl[3], ElementarySymmetric(Vector{1, 2, 3}, 2), 1e-12);
+}
+
+// d e_k / d lambda_i = e_{k-1}(lambda \ i): finite-difference check.
+class EspDerivativeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EspDerivativeTest, ExclusionIsDerivative) {
+  const int m = 8;
+  const int k = GetParam();
+  Rng rng(600 + k);
+  Vector vals(m);
+  for (int i = 0; i < m; ++i) vals[i] = rng.Uniform(0.1, 2.0);
+  const Vector excl = ExclusionEsp(vals, k - 1);
+  const double h = 1e-6;
+  for (int i = 0; i < m; ++i) {
+    Vector plus = vals, minus = vals;
+    plus[i] += h;
+    minus[i] -= h;
+    const double fd = (ElementarySymmetric(plus, k) -
+                       ElementarySymmetric(minus, k)) /
+                      (2.0 * h);
+    EXPECT_NEAR(excl[i], fd, 1e-5 * std::max(1.0, std::fabs(fd)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, EspDerivativeTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(EspIdentityTest, EulerIdentity) {
+  // sum_i lambda_i * e_{k-1}(lambda \ i) = k * e_k.
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int m = 4 + rng.UniformInt(8);
+    const int k = 1 + rng.UniformInt(m);
+    Vector vals(m);
+    for (int i = 0; i < m; ++i) vals[i] = rng.Uniform(0.0, 2.0);
+    const Vector excl = ExclusionEsp(vals, k - 1);
+    double lhs = 0.0;
+    for (int i = 0; i < m; ++i) lhs += vals[i] * excl[i];
+    const double rhs = k * ElementarySymmetric(vals, k);
+    EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, std::fabs(rhs)));
+  }
+}
+
+TEST(EspIdentityTest, PascalIdentity) {
+  // e_k(lambda) = e_k(lambda \ i) + lambda_i * e_{k-1}(lambda \ i).
+  Vector vals{0.7, 1.3, 2.9, 0.2, 1.1};
+  const int k = 3;
+  const Vector excl_k = ExclusionEsp(vals, k);
+  const Vector excl_km1 = ExclusionEsp(vals, k - 1);
+  const double ek = ElementarySymmetric(vals, k);
+  for (int i = 0; i < vals.size(); ++i) {
+    EXPECT_NEAR(ek, excl_k[i] + vals[i] * excl_km1[i], 1e-10);
+  }
+}
+
+TEST(EspNumericalTest, LargeValuesStayFinite) {
+  Vector vals(16);
+  for (int i = 0; i < 16; ++i) vals[i] = 50.0 + i;
+  const double e8 = ElementarySymmetric(vals, 8);
+  EXPECT_TRUE(std::isfinite(e8));
+  EXPECT_GT(e8, 0.0);
+}
+
+TEST(EspNumericalTest, TinyValuesStayPositive) {
+  Vector vals(10);
+  for (int i = 0; i < 10; ++i) vals[i] = 1e-8;
+  const double e5 = ElementarySymmetric(vals, 5);
+  EXPECT_GT(e5, 0.0);
+  // C(10,5) * (1e-8)^5.
+  EXPECT_NEAR(e5, 252.0 * 1e-40, 1e-45);
+}
+
+}  // namespace
+}  // namespace lkpdpp

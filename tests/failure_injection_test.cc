@@ -1,0 +1,221 @@
+// Failure-injection tests: every error path a production deployment can
+// hit — singular kernels, exhausted sampling pools, malformed specs —
+// must surface as a clean Status, never UB or a crash.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kdpp.h"
+#include "core/lkp.h"
+#include "data/synthetic.h"
+#include "exp/probes.h"
+#include "exp/runner.h"
+#include "kernels/diversity_kernel.h"
+#include "sampling/diverse_pairs.h"
+#include "sampling/ground_set_builder.h"
+
+namespace lkpdpp {
+namespace {
+
+TEST(FailureTest, KdppOnZeroKernel) {
+  Matrix zero(4, 4);
+  // Rank 0 kernel: no k-subset has mass; must fail, not divide by zero.
+  EXPECT_EQ(KDpp::Create(zero, 2).status().code(),
+            StatusCode::kNumericalError);
+}
+
+TEST(FailureTest, KdppOnNanKernel) {
+  Matrix k = Matrix::Identity(3);
+  k(1, 1) = std::nan("");
+  EXPECT_FALSE(KDpp::Create(k, 2).ok());
+}
+
+TEST(FailureTest, KdppOnInfKernel) {
+  Matrix k = Matrix::Identity(3);
+  k(0, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(KDpp::Create(k, 1).ok());
+}
+
+TEST(FailureTest, LkpWithRankDeficientDiversityKernel) {
+  // Diversity kernel of rank 1 cannot support k = 3; the criterion must
+  // return an error (picked up and skipped by the trainer) rather than
+  // returning garbage gradients.
+  const int m = 6;
+  Matrix rank1(m, m, 1.0);  // All-ones matrix: rank 1.
+  LkpCriterion crit(LkpConfig{.mode = LkpMode::kPositiveOnly});
+  CriterionInput in;
+  in.scores = Vector(m, 0.1);
+  in.num_pos = 3;
+  in.diversity = &rank1;
+  EXPECT_FALSE(crit.Evaluate(in).ok());
+}
+
+TEST(FailureTest, LkpSurvivesNearDuplicateItems) {
+  // Two nearly identical rows: semi-definite L_{S+}; escalating jitter
+  // inside the criterion must rescue the Cholesky.
+  const int m = 4;
+  Matrix diversity = Matrix::Identity(m);
+  diversity(0, 1) = diversity(1, 0) = 1.0 - 1e-12;
+  LkpCriterion crit(LkpConfig{.mode = LkpMode::kPositiveOnly});
+  CriterionInput in;
+  in.scores = Vector(m, 0.0);
+  in.num_pos = 2;
+  in.diversity = &diversity;
+  auto out = crit.Evaluate(in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(std::isfinite(out->loss));
+  EXPECT_TRUE(out->dscore.AllFinite());
+}
+
+TEST(FailureTest, GroundSetBuilderSkipsShortHistories) {
+  // Users with < k train positives must yield zero instances, silently.
+  std::vector<RatingEvent> events;
+  for (int u = 0; u < 12; ++u) {
+    for (int i = 0; i < 11; ++i) events.push_back({u, i, 5.0, i});
+  }
+  CategoryTable cats;
+  cats.num_categories = 2;
+  cats.item_categories.assign(11, {0});
+  auto ds = Dataset::FromRatings(events, cats, "t", 5.0, 5);
+  ASSERT_TRUE(ds.ok());
+  // 70% of 11 = 7 train items; k = 8 > 7.
+  GroundSetBuilder builder(&*ds, 8, 2, TargetSelection::kSequential);
+  Rng rng(3);
+  auto insts = builder.BuildEpoch(&rng);
+  ASSERT_TRUE(insts.ok());
+  EXPECT_TRUE(insts->empty());
+}
+
+TEST(FailureTest, RunnerWithImpossibleKTrainsNothingButEvaluates) {
+  SyntheticConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_items = 60;
+  cfg.num_events = 4000;
+  cfg.seed = 3;
+  auto ds = GenerateSyntheticDataset(cfg);
+  ASSERT_TRUE(ds.ok());
+  ExperimentRunner runner(&*ds);
+  ExperimentSpec spec;
+  spec.model = ModelKind::kMf;
+  spec.criterion = CriterionKind::kBpr;
+  spec.k = 50;  // No user has 50 train positives.
+  spec.n = 50;
+  spec.epochs = 2;
+  spec.eval_every = 1;
+  auto result = runner.Run(spec);
+  // Training is a no-op but evaluation still returns metrics.
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->final_train_loss, 0.0);
+}
+
+TEST(FailureTest, RunnerRejectsNonPositiveKN) {
+  SyntheticConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_items = 40;
+  cfg.num_events = 3000;
+  auto ds = GenerateSyntheticDataset(cfg);
+  ASSERT_TRUE(ds.ok());
+  ExperimentRunner runner(&*ds);
+  ExperimentSpec spec;
+  spec.k = 0;
+  EXPECT_FALSE(runner.Run(spec).ok());
+}
+
+TEST(FailureTest, DiversePairSamplerOnInfeasibleSetSize) {
+  std::vector<RatingEvent> events;
+  for (int u = 0; u < 12; ++u) {
+    for (int i = 0; i < 11; ++i) events.push_back({u, i, 5.0, i});
+  }
+  CategoryTable cats;
+  cats.num_categories = 2;
+  cats.item_categories.assign(11, {0});
+  auto ds = Dataset::FromRatings(events, cats, "t", 5.0, 5);
+  ASSERT_TRUE(ds.ok());
+  // set_size 10 exceeds every user's 7 train positives.
+  DiversePairSampler sampler(&*ds, 10);
+  Rng rng(5);
+  EXPECT_EQ(sampler.SamplePairs(3, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FailureTest, DiversityKernelObjectiveOnUntrainable) {
+  // Objective() on a kernel whose submatrices are singular must fail
+  // cleanly via the jitter-free Cholesky, not crash.
+  DiversityKernel k = DiversityKernel::Random(20, 2, 1);  // rank 2 < 5.
+  SyntheticConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_items = 20;
+  cfg.num_events = 3000;
+  auto ds = GenerateSyntheticDataset(cfg);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(7);
+  auto j = k.Objective(*ds, 5, /*jitter=*/0.0, &rng);
+  // Either a clean failure (singular) or a finite value — never UB.
+  if (j.ok()) EXPECT_TRUE(std::isfinite(*j));
+}
+
+TEST(FailureTest, ProbeOnDatasetWithoutUsableUsers) {
+  std::vector<RatingEvent> events;
+  for (int u = 0; u < 12; ++u) {
+    for (int i = 0; i < 11; ++i) events.push_back({u, i, 5.0, i});
+  }
+  CategoryTable cats;
+  cats.num_categories = 2;
+  cats.item_categories.assign(11, {0});
+  auto ds = Dataset::FromRatings(events, cats, "t", 5.0, 5);
+  ASSERT_TRUE(ds.ok());
+  ExperimentRunner runner(&*ds);
+  ExperimentSpec spec;
+  spec.model = ModelKind::kMf;
+  auto model = runner.MakeModel(spec);
+  ASSERT_TRUE(model.ok());
+  DiversityKernel kernel = DiversityKernel::Random(ds->num_items(), 12, 2);
+  Rng rng(9);
+  // k = 9 exceeds every user's history: no instances -> clean failure.
+  auto probe = ProbeProbabilityByTargetCount(
+      model->get(), *ds, kernel, 9, 9, 10, QualityTransform::kExp, &rng);
+  EXPECT_EQ(probe.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FailureTest, EvaluateOnCriterionMismatchedScores) {
+  // dscore sizing is derived from scores; a zero-length score vector is
+  // rejected by every criterion.
+  for (auto make : {MakeBceCriterion, MakeBprCriterion,
+                    MakeSetRankCriterion}) {
+    auto crit = make();
+    CriterionInput in;
+    in.scores = Vector();
+    in.num_pos = 0;
+    EXPECT_FALSE(crit->Evaluate(in).ok());
+  }
+}
+
+TEST(FailureTest, CholeskyJitterEscalationInTrainer) {
+  // End-to-end: training with a tiny embedding dim and aggressive
+  // learning rate (which drives scores to extremes) must finish without
+  // non-finite parameters.
+  SyntheticConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_items = 50;
+  cfg.num_events = 4000;
+  cfg.seed = 5;
+  auto ds = GenerateSyntheticDataset(cfg);
+  ASSERT_TRUE(ds.ok());
+  ExperimentRunner runner(&*ds);
+  ExperimentSpec spec;
+  spec.model = ModelKind::kMf;
+  spec.criterion = CriterionKind::kLkp;
+  spec.k = 3;
+  spec.n = 3;
+  spec.embedding_dim = 4;
+  spec.learning_rate = 0.5;  // Deliberately hot.
+  spec.epochs = 4;
+  spec.eval_every = 2;
+  auto result = runner.Run(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(std::isfinite(result->final_train_loss));
+}
+
+}  // namespace
+}  // namespace lkpdpp

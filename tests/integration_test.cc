@@ -1,0 +1,257 @@
+// End-to-end integration tests: full trainings through the experiment
+// runner, probability-ranking probes, and criterion plug-in swaps.
+// These are deliberately small (tens of users, a handful of epochs) so
+// the whole file runs in seconds while still exercising every layer:
+// data -> sampling -> kernels -> criterion -> autodiff -> optimizer ->
+// evaluator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/synthetic.h"
+#include "core/kdpp.h"
+#include "exp/probes.h"
+#include "exp/runner.h"
+
+namespace lkpdpp {
+namespace {
+
+Dataset MakeDataset(uint64_t seed = 71) {
+  SyntheticConfig cfg;
+  cfg.num_users = 70;
+  cfg.num_items = 90;
+  cfg.num_categories = 10;
+  cfg.num_events = 9000;
+  cfg.seed = seed;
+  auto ds = GenerateSyntheticDataset(cfg);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).ValueOrDie();
+}
+
+ExperimentSpec FastSpec() {
+  ExperimentSpec spec;
+  spec.model = ModelKind::kMf;
+  spec.criterion = CriterionKind::kLkp;
+  spec.lkp_mode = LkpMode::kNegativeAndPositive;
+  spec.k = 3;
+  spec.n = 3;
+  spec.embedding_dim = 8;
+  spec.epochs = 6;
+  spec.eval_every = 2;
+  spec.patience = 0;
+  spec.batch_size = 32;
+  spec.learning_rate = 0.05;
+  return spec;
+}
+
+TEST(IntegrationTest, LkpTrainingImprovesValidationNdcg) {
+  Dataset ds = MakeDataset();
+  ExperimentRunner runner(&ds);
+  auto result = runner.Run(FastSpec());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->validation_history.size(), 2u);
+  // Validation quality at the best epoch must beat the first checkpoint.
+  EXPECT_GE(result->best_validation_ndcg,
+            result->validation_history.front());
+  EXPECT_GT(result->best_validation_ndcg, 0.0);
+}
+
+TEST(IntegrationTest, LkpBeatsRandomRanking) {
+  Dataset ds = MakeDataset();
+  ExperimentRunner runner(&ds);
+  auto result = runner.Run(FastSpec());
+  ASSERT_TRUE(result.ok());
+  // A random ranker's Recall@10 is about 10/num_items ~ 0.11 scaled by
+  // test-set size; trained LkP must clearly beat chance at Recall@20.
+  const double random_recall =
+      20.0 / static_cast<double>(ds.num_items());
+  EXPECT_GT(result->test_metrics.at(20).recall, random_recall);
+}
+
+TEST(IntegrationTest, AllCriteriaTrainOnMf) {
+  Dataset ds = MakeDataset();
+  ExperimentRunner runner(&ds);
+  for (CriterionKind crit :
+       {CriterionKind::kBce, CriterionKind::kBpr, CriterionKind::kSetRank,
+        CriterionKind::kSet2SetRank, CriterionKind::kLkp}) {
+    ExperimentSpec spec = FastSpec();
+    spec.criterion = crit;
+    spec.epochs = 3;
+    auto result = runner.Run(spec);
+    ASSERT_TRUE(result.ok())
+        << CriterionKindName(crit) << ": " << result.status().ToString();
+    EXPECT_GT(result->test_metrics.at(10).recall, 0.0)
+        << CriterionKindName(crit);
+  }
+}
+
+TEST(IntegrationTest, AllBackbonesTrainWithLkp) {
+  Dataset ds = MakeDataset();
+  ExperimentRunner runner(&ds);
+  for (ModelKind model : {ModelKind::kMf, ModelKind::kGcn,
+                          ModelKind::kNeuMf, ModelKind::kGcmc}) {
+    ExperimentSpec spec = FastSpec();
+    spec.model = model;
+    spec.epochs = 3;
+    auto result = runner.Run(spec);
+    ASSERT_TRUE(result.ok())
+        << ModelKindName(model) << ": " << result.status().ToString();
+    EXPECT_TRUE(result->test_metrics.count(5)) << ModelKindName(model);
+  }
+}
+
+TEST(IntegrationTest, PsAndRModeVariantsRun) {
+  Dataset ds = MakeDataset();
+  ExperimentRunner runner(&ds);
+  ExperimentSpec spec = FastSpec();
+  spec.lkp_mode = LkpMode::kPositiveOnly;
+  spec.target_mode = TargetSelection::kRandom;
+  spec.epochs = 3;
+  auto result = runner.Run(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(spec.VariantName(), "PR");
+}
+
+TEST(IntegrationTest, ETypeKernelVariantRuns) {
+  Dataset ds = MakeDataset();
+  ExperimentRunner runner(&ds);
+  ExperimentSpec spec = FastSpec();
+  spec.lkp_mode = LkpMode::kPositiveOnly;
+  spec.kernel_source = KernelSource::kEmbedding;
+  spec.epochs = 3;
+  auto result = runner.Run(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(spec.VariantName(), "PSE");
+  EXPECT_GT(result->test_metrics.at(10).category_coverage, 0.0);
+}
+
+TEST(IntegrationTest, NpsWithMismatchedNRejected) {
+  Dataset ds = MakeDataset();
+  ExperimentRunner runner(&ds);
+  ExperimentSpec spec = FastSpec();
+  spec.n = spec.k + 1;
+  EXPECT_EQ(runner.Run(spec).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IntegrationTest, VariantNamesMatchPaper) {
+  ExperimentSpec spec;
+  spec.criterion = CriterionKind::kLkp;
+  spec.lkp_mode = LkpMode::kPositiveOnly;
+  spec.target_mode = TargetSelection::kSequential;
+  EXPECT_EQ(spec.VariantName(), "PS");
+  spec.lkp_mode = LkpMode::kNegativeAndPositive;
+  EXPECT_EQ(spec.VariantName(), "NPS");
+  spec.target_mode = TargetSelection::kRandom;
+  EXPECT_EQ(spec.VariantName(), "NPR");
+  spec.target_mode = TargetSelection::kSequential;
+  spec.kernel_source = KernelSource::kEmbedding;
+  EXPECT_EQ(spec.VariantName(), "NPSE");
+  spec.criterion = CriterionKind::kBpr;
+  EXPECT_EQ(spec.VariantName(), "BPR");
+}
+
+TEST(IntegrationTest, DiversityKernelIsCachedAcrossRuns) {
+  Dataset ds = MakeDataset();
+  ExperimentRunner runner(&ds);
+  auto k1 = runner.GetDiversityKernel();
+  auto k2 = runner.GetDiversityKernel();
+  ASSERT_TRUE(k1.ok());
+  ASSERT_TRUE(k2.ok());
+  EXPECT_EQ(*k1, *k2);  // Same pointer: trained once.
+}
+
+TEST(IntegrationTest, TrainingSharpensTargetSubsetProbability) {
+  // The Figure 4 relevance-ranking effect: after training, the group of
+  // subsets with all k targets has a higher mean probability than the
+  // all-negative group, and higher than before training.
+  Dataset ds = MakeDataset();
+  ExperimentRunner runner(&ds);
+  auto kernel = runner.GetDiversityKernel();
+  ASSERT_TRUE(kernel.ok());
+
+  const int k = 3, n = 3;
+  ExperimentSpec spec = FastSpec();
+  spec.k = k;
+  spec.n = n;
+
+  // Untrained model probe.
+  auto untrained = runner.MakeModel(spec);
+  ASSERT_TRUE(untrained.ok());
+  Rng probe_rng(5);
+  auto before = ProbeProbabilityByTargetCount(
+      untrained->get(), ds, **kernel, k, n, 40, QualityTransform::kExp,
+      &probe_rng);
+  ASSERT_TRUE(before.ok());
+
+  // Trained model probe.
+  std::unique_ptr<RecModel> trained;
+  spec.epochs = 8;
+  auto result = runner.RunAndKeepModel(spec, &trained);
+  ASSERT_TRUE(result.ok());
+  Rng probe_rng2(5);
+  auto after = ProbeProbabilityByTargetCount(
+      trained.get(), ds, **kernel, k, n, 40, QualityTransform::kExp,
+      &probe_rng2);
+  ASSERT_TRUE(after.ok());
+
+  // After training: all-target group beats all-negative group.
+  EXPECT_GT(after->mean_probability[k], after->mean_probability[0]);
+  // And the separation grew relative to the untrained model.
+  const double gap_before =
+      before->mean_probability[k] - before->mean_probability[0];
+  const double gap_after =
+      after->mean_probability[k] - after->mean_probability[0];
+  EXPECT_GT(gap_after, gap_before);
+}
+
+TEST(IntegrationTest, ProbeGroupProbabilitiesFormDistribution) {
+  // Weighted by group sizes, the group means must reassemble ~1.
+  Dataset ds = MakeDataset();
+  ExperimentRunner runner(&ds);
+  auto kernel = runner.GetDiversityKernel();
+  ASSERT_TRUE(kernel.ok());
+  ExperimentSpec spec = FastSpec();
+  auto model = runner.MakeModel(spec);
+  ASSERT_TRUE(model.ok());
+  Rng rng(9);
+  const int k = 3, n = 3;
+  auto probe = ProbeProbabilityByTargetCount(
+      model->get(), ds, **kernel, k, n, 25, QualityTransform::kExp, &rng);
+  ASSERT_TRUE(probe.ok());
+  double total = 0.0;
+  for (int g = 0; g <= k; ++g) {
+    // Group g has C(k,g)*C(n,k-g) subsets.
+    total += probe->mean_probability[static_cast<size_t>(g)] *
+             BinomialCoefficient(k, g) * BinomialCoefficient(n, k - g);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(IntegrationTest, EvaluatorMetricsAreConsistent) {
+  Dataset ds = MakeDataset();
+  ExperimentRunner runner(&ds);
+  auto result = runner.Run(FastSpec());
+  ASSERT_TRUE(result.ok());
+  // Monotonicity in N: recall and CC can only grow with a longer list.
+  const auto& m5 = result->test_metrics.at(5);
+  const auto& m10 = result->test_metrics.at(10);
+  const auto& m20 = result->test_metrics.at(20);
+  EXPECT_LE(m5.recall, m10.recall + 1e-12);
+  EXPECT_LE(m10.recall, m20.recall + 1e-12);
+  EXPECT_LE(m5.category_coverage, m10.category_coverage + 1e-12);
+  EXPECT_LE(m10.category_coverage, m20.category_coverage + 1e-12);
+  // All metrics within [0, 1].
+  for (const auto& [n, m] : result->test_metrics) {
+    EXPECT_GE(m.recall, 0.0);
+    EXPECT_LE(m.recall, 1.0);
+    EXPECT_GE(m.ndcg, 0.0);
+    EXPECT_LE(m.ndcg, 1.0);
+    EXPECT_GE(m.category_coverage, 0.0);
+    EXPECT_LE(m.category_coverage, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace lkpdpp

@@ -1,0 +1,297 @@
+// Tests for the LkP criterion: losses, closed-form gradients (checked
+// against central finite differences), and input validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/lkp.h"
+#include "kernels/gaussian_embedding.h"
+
+namespace lkpdpp {
+namespace {
+
+Matrix RandomDiversityKernel(int m, Rng* rng) {
+  // Unit-diagonal correlation-like PSD matrix of full rank.
+  Matrix v(m, m + 2);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < m + 2; ++c) v(r, c) = rng->Normal();
+    double norm = 0.0;
+    for (int c = 0; c < m + 2; ++c) norm += v(r, c) * v(r, c);
+    norm = std::sqrt(norm);
+    for (int c = 0; c < m + 2; ++c) v(r, c) /= norm;
+  }
+  return MatMulTransB(v, v);
+}
+
+Vector RandomScores(int m, Rng* rng) {
+  Vector s(m);
+  for (int i = 0; i < m; ++i) s[i] = rng->Normal(0.0, 0.8);
+  return s;
+}
+
+double LossAt(const LkpCriterion& crit, const Vector& scores,
+              const Matrix& diversity, int num_pos) {
+  CriterionInput in;
+  in.scores = scores;
+  in.num_pos = num_pos;
+  in.diversity = &diversity;
+  auto out = crit.Evaluate(in);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out->loss;
+}
+
+struct GradCase {
+  LkpMode mode;
+  QualityTransform quality;
+  int k;
+  int n;
+};
+
+class LkpGradientTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(LkpGradientTest, ScoreGradientMatchesFiniteDifference) {
+  const GradCase gc = GetParam();
+  Rng rng(900 + gc.k * 7 + gc.n);
+  const int m = gc.k + gc.n;
+  const Matrix diversity = RandomDiversityKernel(m, &rng);
+  const Vector scores = RandomScores(m, &rng);
+
+  LkpConfig cfg;
+  cfg.mode = gc.mode;
+  cfg.quality = gc.quality;
+  cfg.jitter = 0.0;  // Exact gradients need an unjittered objective.
+  LkpCriterion crit(cfg);
+
+  CriterionInput in;
+  in.scores = scores;
+  in.num_pos = gc.k;
+  in.diversity = &diversity;
+  auto out = crit.Evaluate(in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  const double h = 1e-5;
+  for (int i = 0; i < m; ++i) {
+    Vector plus = scores, minus = scores;
+    plus[i] += h;
+    minus[i] -= h;
+    const double fd =
+        (LossAt(crit, plus, diversity, gc.k) -
+         LossAt(crit, minus, diversity, gc.k)) /
+        (2.0 * h);
+    EXPECT_NEAR(out->dscore[i], fd,
+                2e-4 * std::max(1.0, std::fabs(fd)))
+        << "score " << i << " mode " << LkpModeName(gc.mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LkpGradientTest,
+    ::testing::Values(
+        GradCase{LkpMode::kPositiveOnly, QualityTransform::kExp, 3, 2},
+        GradCase{LkpMode::kPositiveOnly, QualityTransform::kExp, 5, 5},
+        GradCase{LkpMode::kPositiveOnly, QualityTransform::kSigmoid, 4, 3},
+        GradCase{LkpMode::kPositiveOnly, QualityTransform::kExp, 2, 6},
+        GradCase{LkpMode::kNegativeAndPositive, QualityTransform::kExp, 3,
+                 3},
+        GradCase{LkpMode::kNegativeAndPositive, QualityTransform::kExp, 5,
+                 5},
+        GradCase{LkpMode::kNegativeAndPositive,
+                 QualityTransform::kSigmoid, 4, 4}));
+
+TEST(LkpKernelGradientTest, KernelGradientMatchesFiniteDifference) {
+  Rng rng(42);
+  const int k = 3, n = 3, m = k + n;
+  Matrix diversity = RandomDiversityKernel(m, &rng);
+  const Vector scores = RandomScores(m, &rng);
+
+  LkpConfig cfg;
+  cfg.mode = LkpMode::kNegativeAndPositive;
+  cfg.jitter = 0.0;
+  LkpCriterion crit(cfg);
+
+  CriterionInput in;
+  in.scores = scores;
+  in.num_pos = k;
+  in.diversity = &diversity;
+  in.want_kernel_grad = true;
+  auto out = crit.Evaluate(in);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->dkernel.rows(), m);
+
+  const double h = 1e-6;
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      Matrix plus = diversity, minus = diversity;
+      plus(i, j) += h;
+      plus(j, i) += h;
+      minus(i, j) -= h;
+      minus(j, i) -= h;
+      const double fd = (LossAt(crit, scores, plus, k) -
+                         LossAt(crit, scores, minus, k)) /
+                        (2.0 * h);
+      const double expected = out->dkernel(i, j) + out->dkernel(j, i);
+      EXPECT_NEAR(fd, expected, 2e-4 * std::max(1.0, std::fabs(expected)))
+          << "kernel entry (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(LkpValidationTest, RequiresDiversityKernel) {
+  LkpCriterion crit(LkpConfig{});
+  CriterionInput in;
+  in.scores = Vector{1, 2, 3, 4};
+  in.num_pos = 2;
+  EXPECT_EQ(crit.Evaluate(in).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LkpValidationTest, RejectsKernelShapeMismatch) {
+  LkpCriterion crit(LkpConfig{});
+  Matrix wrong = Matrix::Identity(3);
+  CriterionInput in;
+  in.scores = Vector{1, 2, 3, 4};
+  in.num_pos = 2;
+  in.diversity = &wrong;
+  EXPECT_FALSE(crit.Evaluate(in).ok());
+}
+
+TEST(LkpValidationTest, NpsRequiresEqualKandN) {
+  LkpConfig cfg;
+  cfg.mode = LkpMode::kNegativeAndPositive;
+  LkpCriterion crit(cfg);
+  Matrix diversity = Matrix::Identity(5);
+  CriterionInput in;
+  in.scores = Vector{1, 2, 3, 4, 5};
+  in.num_pos = 2;  // n = 3 != k = 2.
+  in.diversity = &diversity;
+  EXPECT_EQ(crit.Evaluate(in).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LkpValidationTest, RejectsDegenerateNumPos) {
+  LkpConfig cfg;
+  cfg.mode = LkpMode::kPositiveOnly;
+  LkpCriterion crit(cfg);
+  Matrix diversity = Matrix::Identity(4);
+  CriterionInput in;
+  in.scores = Vector{1, 2, 3, 4};
+  in.diversity = &diversity;
+  in.num_pos = 0;
+  EXPECT_FALSE(crit.Evaluate(in).ok());
+  in.num_pos = 4;  // No negatives.
+  EXPECT_FALSE(crit.Evaluate(in).ok());
+}
+
+TEST(LkpValidationTest, RejectsNonFiniteScores) {
+  LkpCriterion crit(LkpConfig{.mode = LkpMode::kPositiveOnly});
+  Matrix diversity = Matrix::Identity(4);
+  CriterionInput in;
+  in.scores = Vector{1, std::nan(""), 3, 4};
+  in.num_pos = 2;
+  in.diversity = &diversity;
+  EXPECT_EQ(crit.Evaluate(in).status().code(),
+            StatusCode::kNumericalError);
+}
+
+TEST(LkpBehaviorTest, RaisingTargetScoresLowersLoss) {
+  Rng rng(77);
+  const int k = 3, n = 3, m = 6;
+  const Matrix diversity = RandomDiversityKernel(m, &rng);
+  LkpCriterion crit(LkpConfig{.mode = LkpMode::kPositiveOnly});
+
+  Vector low(m, 0.0);
+  Vector high = low;
+  for (int i = 0; i < k; ++i) high[i] = 2.0;
+  EXPECT_LT(LossAt(crit, high, diversity, k),
+            LossAt(crit, low, diversity, k));
+}
+
+TEST(LkpBehaviorTest, NpsPenalizesStrongNegatives) {
+  Rng rng(78);
+  const int k = 3, m = 6;
+  const Matrix diversity = RandomDiversityKernel(m, &rng);
+  LkpCriterion crit(
+      LkpConfig{.mode = LkpMode::kNegativeAndPositive});
+
+  Vector balanced(m, 0.0);
+  Vector neg_heavy = balanced;
+  for (int i = k; i < m; ++i) neg_heavy[i] = 2.5;
+  EXPECT_GT(LossAt(crit, neg_heavy, diversity, k),
+            LossAt(crit, balanced, diversity, k));
+}
+
+TEST(LkpBehaviorTest, GradientPushesTargetsUpNegativesDown) {
+  Rng rng(79);
+  const int k = 3, m = 6;
+  const Matrix diversity = RandomDiversityKernel(m, &rng);
+  LkpCriterion crit(
+      LkpConfig{.mode = LkpMode::kNegativeAndPositive});
+  CriterionInput in;
+  in.scores = Vector(m, 0.0);
+  in.num_pos = k;
+  in.diversity = &diversity;
+  auto out = crit.Evaluate(in);
+  ASSERT_TRUE(out.ok());
+  // At a symmetric starting point, descent (-grad) should raise target
+  // scores and lower negative scores on average.
+  double pos_grad = 0.0, neg_grad = 0.0;
+  for (int i = 0; i < k; ++i) pos_grad += out->dscore[i];
+  for (int i = k; i < m; ++i) neg_grad += out->dscore[i];
+  EXPECT_LT(pos_grad, 0.0);
+  EXPECT_GT(neg_grad, 0.0);
+}
+
+TEST(LkpBehaviorTest, DiverseTargetsGetHigherProbability) {
+  // Two instances with identical scores; one target set spans near-
+  // orthogonal diversity directions, the other is nearly collinear.
+  const int k = 2, n = 2, m = 4;
+  Vector scores{1.0, 1.0, 0.0, 0.0};
+
+  Matrix diverse = Matrix::Identity(m);
+  Matrix monotonous = Matrix::Identity(m);
+  monotonous(0, 1) = monotonous(1, 0) = 0.95;
+
+  LkpCriterion crit(LkpConfig{.mode = LkpMode::kPositiveOnly});
+  auto p_div = crit.TargetSubsetProbability(scores, diverse, k);
+  auto p_mono = crit.TargetSubsetProbability(scores, monotonous, k);
+  ASSERT_TRUE(p_div.ok());
+  ASSERT_TRUE(p_mono.ok());
+  EXPECT_GT(*p_div, *p_mono);
+}
+
+TEST(LkpBehaviorTest, ExtremeScoresRemainFinite) {
+  Rng rng(80);
+  const int k = 3, m = 6;
+  const Matrix diversity = RandomDiversityKernel(m, &rng);
+  LkpCriterion crit(
+      LkpConfig{.mode = LkpMode::kNegativeAndPositive});
+  CriterionInput in;
+  in.scores = Vector{50.0, -50.0, 40.0, -45.0, 55.0, -60.0};
+  in.num_pos = k;
+  in.diversity = &diversity;
+  auto out = crit.Evaluate(in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(std::isfinite(out->loss));
+  EXPECT_TRUE(out->dscore.AllFinite());
+}
+
+TEST(LkpBehaviorTest, NameEncodesModeAndQuality) {
+  EXPECT_EQ(LkpCriterion(LkpConfig{.mode = LkpMode::kPositiveOnly,
+                                   .quality = QualityTransform::kExp})
+                .name(),
+            "LkP-PS(exp)");
+  EXPECT_EQ(
+      LkpCriterion(LkpConfig{.mode = LkpMode::kNegativeAndPositive,
+                             .quality = QualityTransform::kSigmoid})
+          .name(),
+      "LkP-NPS(sigmoid)");
+}
+
+TEST(LkpBehaviorTest, NeedsDiversityKernel) {
+  EXPECT_TRUE(LkpCriterion(LkpConfig{}).NeedsDiversityKernel());
+}
+
+}  // namespace
+}  // namespace lkpdpp

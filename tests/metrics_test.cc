@@ -1,0 +1,148 @@
+// Tests for ranking metrics and the evaluator against hand-computed
+// values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+namespace lkpdpp {
+namespace {
+
+Dataset TinyDataset() {
+  // 5 users x 12 items, single category per item: item i -> category i%4.
+  std::vector<RatingEvent> events;
+  for (int u = 0; u < 5; ++u) {
+    for (int i = 0; i < 12; ++i) events.push_back({u, i, 5.0, i});
+  }
+  CategoryTable cats;
+  cats.num_categories = 4;
+  cats.item_categories.resize(12);
+  for (int i = 0; i < 12; ++i) cats.item_categories[i] = {i % 4};
+  auto ds = Dataset::FromRatings(events, cats, "tiny", 5.0, 5);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).ValueOrDie();
+}
+
+TEST(RecallTest, HandComputed) {
+  // 2 of 4 test items in the top 3.
+  std::vector<int> ranked = {7, 1, 9};
+  std::vector<int> test = {1, 9, 2, 5};
+  EXPECT_DOUBLE_EQ(RecallAtN(ranked, test, 3), 0.5);
+}
+
+TEST(RecallTest, EmptyTestSetIsZero) {
+  EXPECT_DOUBLE_EQ(RecallAtN({1, 2}, {}, 2), 0.0);
+}
+
+TEST(RecallTest, CutoffShorterThanList) {
+  std::vector<int> ranked = {1, 2, 3};
+  std::vector<int> test = {3};
+  EXPECT_DOUBLE_EQ(RecallAtN(ranked, test, 2), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtN(ranked, test, 3), 1.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  std::vector<int> ranked = {4, 7};
+  std::vector<int> test = {4, 7};
+  EXPECT_NEAR(NdcgAtN(ranked, test, 2), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, HandComputedPartial) {
+  // Hit at position 2 only; one relevant item.
+  std::vector<int> ranked = {9, 4, 8};
+  std::vector<int> test = {4};
+  const double dcg = 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtN(ranked, test, 3), dcg / 1.0, 1e-12);
+}
+
+TEST(NdcgTest, LowerPositionScoresLess) {
+  std::vector<int> test = {5};
+  EXPECT_GT(NdcgAtN({5, 1, 2}, test, 3), NdcgAtN({1, 2, 5}, test, 3));
+}
+
+TEST(NdcgTest, IdealTruncatesAtTestSize) {
+  // One test item, cutoff 5: IDCG = 1 (single hit at rank 1).
+  std::vector<int> ranked = {0, 1, 2, 3, 9};
+  std::vector<int> test = {9};
+  EXPECT_NEAR(NdcgAtN(ranked, test, 5), 1.0 / std::log2(6.0), 1e-12);
+}
+
+TEST(CategoryCoverageTest, CountsDistinctCategories) {
+  Dataset ds = TinyDataset();
+  // Items 0,4,8 share category 0 -> coverage 1/4.
+  EXPECT_DOUBLE_EQ(CategoryCoverageAtN({0, 4, 8}, 3, ds), 0.25);
+  // Items 0,1,2 cover categories 0,1,2 -> 3/4.
+  EXPECT_DOUBLE_EQ(CategoryCoverageAtN({0, 1, 2}, 3, ds), 0.75);
+}
+
+TEST(CategoryCoverageTest, CutoffLimitsItems) {
+  Dataset ds = TinyDataset();
+  EXPECT_DOUBLE_EQ(CategoryCoverageAtN({0, 1, 2, 3}, 2, ds), 0.5);
+}
+
+TEST(FScoreTest, HarmonicOfAccuracyAndCoverage) {
+  const double f = FScore(0.2, 0.4, 0.6);
+  const double acc = 0.3;
+  EXPECT_NEAR(f, 2.0 * acc * 0.6 / (acc + 0.6), 1e-12);
+}
+
+TEST(FScoreTest, ZeroInputsGiveZero) {
+  EXPECT_DOUBLE_EQ(FScore(0.0, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FScore(0.5, 0.5, 0.0), 0.0);
+}
+
+TEST(FScoreTest, ReproducesPaperComposition) {
+  // Beauty PR row of Table II: Re@5=.0788, Nd@5=.0808, CC@5=.0579
+  // => F@5 = .0671 in the paper.
+  EXPECT_NEAR(FScore(0.0788, 0.0808, 0.0579), 0.0671, 5e-4);
+  // ML PR row: Re=.0831, Nd=.0895, CC=.3417 => F=.1378.
+  EXPECT_NEAR(FScore(0.0831, 0.0895, 0.3417), 0.1378, 5e-4);
+}
+
+TEST(IldTest, IdenticalCategoriesGiveZero) {
+  Dataset ds = TinyDataset();
+  EXPECT_DOUBLE_EQ(IntraListDistanceAtN({0, 4, 8}, 3, ds), 0.0);
+}
+
+TEST(IldTest, DisjointCategoriesGiveOne) {
+  Dataset ds = TinyDataset();
+  EXPECT_DOUBLE_EQ(IntraListDistanceAtN({0, 1, 2}, 3, ds), 1.0);
+}
+
+TEST(IldTest, SingleItemListIsZero) {
+  Dataset ds = TinyDataset();
+  EXPECT_DOUBLE_EQ(IntraListDistanceAtN({0}, 1, ds), 0.0);
+}
+
+TEST(TopNTest, OrdersByScoreDescending) {
+  Vector scores{0.1, 0.9, 0.5, 0.7};
+  std::vector<bool> excluded(4, false);
+  EXPECT_EQ(TopNExcluding(scores, 2, excluded),
+            (std::vector<int>{1, 3}));
+}
+
+TEST(TopNTest, RespectsExclusions) {
+  Vector scores{0.1, 0.9, 0.5, 0.7};
+  std::vector<bool> excluded = {false, true, false, false};
+  EXPECT_EQ(TopNExcluding(scores, 2, excluded),
+            (std::vector<int>{3, 2}));
+}
+
+TEST(TopNTest, TiesBreakBySmallerIndex) {
+  Vector scores{0.5, 0.5, 0.5};
+  std::vector<bool> excluded(3, false);
+  EXPECT_EQ(TopNExcluding(scores, 2, excluded),
+            (std::vector<int>{0, 1}));
+}
+
+TEST(TopNTest, RequestLargerThanPool) {
+  Vector scores{0.2, 0.4};
+  std::vector<bool> excluded = {false, true};
+  EXPECT_EQ(TopNExcluding(scores, 5, excluded), (std::vector<int>{0}));
+}
+
+}  // namespace
+}  // namespace lkpdpp

@@ -1,0 +1,190 @@
+// Tests for the CF backbones: training-path vs eval-path score agreement
+// and gradient flow into every parameter.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "models/gcmc.h"
+#include "models/gcn.h"
+#include "models/mf.h"
+#include "models/neumf.h"
+
+namespace lkpdpp {
+namespace {
+
+Dataset MakeDataset() {
+  SyntheticConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_items = 60;
+  cfg.num_categories = 8;
+  cfg.num_events = 4500;
+  cfg.seed = 31;
+  auto ds = GenerateSyntheticDataset(cfg);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).ValueOrDie();
+}
+
+std::unique_ptr<RecModel> MakeModel(int kind, const Dataset& ds) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<MfModel>(ds.num_users(), ds.num_items(),
+                                       MfModel::Config{});
+    case 1: {
+      auto m = GcnModel::Create(ds, GcnModel::Config{});
+      EXPECT_TRUE(m.ok());
+      return std::move(m).ValueOrDie();
+    }
+    case 2:
+      return std::make_unique<NeuMfModel>(ds.num_users(), ds.num_items(),
+                                          NeuMfModel::Config{});
+    default: {
+      auto m = GcmcModel::Create(ds, GcmcModel::Config{});
+      EXPECT_TRUE(m.ok());
+      return std::move(m).ValueOrDie();
+    }
+  }
+}
+
+class RecModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecModelTest, TrainingAndEvalScoresAgree) {
+  Dataset ds = MakeDataset();
+  auto model = MakeModel(GetParam(), ds);
+
+  const int user = 3;
+  const std::vector<int> items = {0, 5, 11, 20, 33};
+
+  ad::Graph graph;
+  model->StartBatch(&graph);
+  ad::Tensor scores_t = model->ScoreItems(&graph, user, items);
+  ASSERT_EQ(scores_t.rows(), static_cast<int>(items.size()));
+  ASSERT_EQ(scores_t.cols(), 1);
+
+  model->PrepareForEval();
+  const Vector all = model->ScoreAllItems(user);
+  ASSERT_EQ(all.size(), ds.num_items());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_NEAR(scores_t.value()(static_cast<int>(i), 0), all[items[i]],
+                1e-9)
+        << model->name() << " item " << items[i];
+  }
+}
+
+TEST_P(RecModelTest, GradientsReachEveryParameter) {
+  Dataset ds = MakeDataset();
+  auto model = MakeModel(GetParam(), ds);
+
+  for (ad::Param* p : model->Params()) p->ZeroGrad();
+
+  ad::Graph graph;
+  model->StartBatch(&graph);
+  ad::Tensor scores_t =
+      model->ScoreItems(&graph, 1, {2, 9, 17, 25});
+  Matrix seed(scores_t.rows(), 1, 1.0);
+  ASSERT_TRUE(graph.Backward({{scores_t, seed}}).ok());
+
+  for (ad::Param* p : model->Params()) {
+    EXPECT_GT(p->grad.FrobeniusNorm(), 0.0)
+        << model->name() << " param " << p->name << " got no gradient";
+  }
+}
+
+TEST_P(RecModelTest, ItemRepresentationShapes) {
+  Dataset ds = MakeDataset();
+  auto model = MakeModel(GetParam(), ds);
+  ad::Graph graph;
+  model->StartBatch(&graph);
+  const std::vector<int> items = {1, 2, 3};
+  ad::Tensor reps = model->ItemRepresentations(&graph, items);
+  EXPECT_EQ(reps.rows(), 3);
+  EXPECT_GT(reps.cols(), 0);
+}
+
+TEST_P(RecModelTest, ScoresDifferAcrossUsers) {
+  Dataset ds = MakeDataset();
+  auto model = MakeModel(GetParam(), ds);
+  model->PrepareForEval();
+  const Vector a = model->ScoreAllItems(0);
+  const Vector b = model->ScoreAllItems(1);
+  double diff = 0.0;
+  for (int i = 0; i < a.size(); ++i) diff += std::fabs(a[i] - b[i]);
+  EXPECT_GT(diff, 1e-8) << model->name();
+}
+
+TEST_P(RecModelTest, DeterministicInitialization) {
+  Dataset ds = MakeDataset();
+  auto a = MakeModel(GetParam(), ds);
+  auto b = MakeModel(GetParam(), ds);
+  a->PrepareForEval();
+  b->PrepareForEval();
+  const Vector sa = a->ScoreAllItems(2);
+  const Vector sb = b->ScoreAllItems(2);
+  for (int i = 0; i < sa.size(); ++i) EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, RecModelTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(MfModelTest, ScoreIsInnerProduct) {
+  MfModel model(4, 6, MfModel::Config{.embedding_dim = 3, .seed = 5});
+  model.PrepareForEval();
+  const Vector scores = model.ScoreAllItems(2);
+  ad::Graph g;
+  model.StartBatch(&g);
+  ad::Tensor t = model.ScoreItems(&g, 2, {0, 1, 2, 3, 4, 5});
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(t.value()(i, 0), scores[i], 1e-12);
+  }
+}
+
+TEST(GcnModelTest, PropagationSmoothsTowardNeighbors) {
+  // After propagation, a user's representation must contain a
+  // contribution from interacted items (nonzero off-block influence).
+  Dataset ds = MakeDataset();
+  auto model = GcnModel::Create(ds, GcnModel::Config{.num_layers = 2});
+  ASSERT_TRUE(model.ok());
+  (*model)->PrepareForEval();
+  // Mean-of-layers with a connected graph cannot equal raw embeddings.
+  ad::Graph g;
+  (*model)->StartBatch(&g);
+  const std::vector<int> items = {0};
+  ad::Tensor rep = (*model)->ItemRepresentations(&g, items);
+  const Matrix& raw = (*model)->Params()[0]->value;
+  double diff = 0.0;
+  for (int c = 0; c < rep.cols(); ++c) {
+    diff += std::fabs(rep.value()(0, c) -
+                      raw(ds.num_users() + 0, c));
+  }
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST(GcnModelTest, RejectsZeroLayers) {
+  Dataset ds = MakeDataset();
+  EXPECT_FALSE(GcnModel::Create(ds, GcnModel::Config{.num_layers = 0}).ok());
+}
+
+TEST(NeuMfModelTest, PreferredQualityIsSigmoid) {
+  NeuMfModel model(3, 4, NeuMfModel::Config{});
+  EXPECT_EQ(model.PreferredQuality(), QualityTransform::kSigmoid);
+}
+
+TEST(GcmcModelTest, PreferredQualityIsSigmoid) {
+  Dataset ds = MakeDataset();
+  auto model = GcmcModel::Create(ds, GcmcModel::Config{});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->PreferredQuality(), QualityTransform::kSigmoid);
+}
+
+TEST(ModelNamesTest, Stable) {
+  Dataset ds = MakeDataset();
+  EXPECT_EQ(MakeModel(0, ds)->name(), "MF");
+  EXPECT_EQ(MakeModel(1, ds)->name(), "GCN");
+  EXPECT_EQ(MakeModel(2, ds)->name(), "NeuMF");
+  EXPECT_EQ(MakeModel(3, ds)->name(), "GCMC");
+}
+
+}  // namespace
+}  // namespace lkpdpp

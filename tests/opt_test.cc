@@ -1,0 +1,128 @@
+// Tests for SGD/Adam optimizers: update math, clipping, convergence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/optimizer.h"
+
+namespace lkpdpp {
+namespace {
+
+TEST(SgdTest, SingleStepMatchesFormula) {
+  ad::Param p("p", Matrix{{1.0, -2.0}});
+  p.grad = Matrix{{0.5, 1.0}};
+  Optimizer::Options opts;
+  opts.learning_rate = 0.1;
+  opts.clip_norm = 0.0;
+  SgdOptimizer sgd(opts);
+  sgd.Step({&p});
+  EXPECT_NEAR(p.value(0, 0), 1.0 - 0.1 * 0.5, 1e-12);
+  EXPECT_NEAR(p.value(0, 1), -2.0 - 0.1 * 1.0, 1e-12);
+  // Grad zeroed after step.
+  EXPECT_DOUBLE_EQ(p.grad.FrobeniusNorm(), 0.0);
+}
+
+TEST(SgdTest, WeightDecayShrinksParameters) {
+  ad::Param p("p", Matrix{{10.0}});
+  p.grad = Matrix{{0.0}};
+  Optimizer::Options opts;
+  opts.learning_rate = 0.1;
+  opts.weight_decay = 0.5;
+  opts.clip_norm = 0.0;
+  SgdOptimizer sgd(opts);
+  sgd.Step({&p});
+  EXPECT_NEAR(p.value(0, 0), 10.0 - 0.1 * 0.5 * 10.0, 1e-12);
+}
+
+TEST(ClippingTest, GlobalNormScalesAllParams) {
+  ad::Param a("a", Matrix{{0.0}});
+  ad::Param b("b", Matrix{{0.0}});
+  a.grad = Matrix{{3.0}};
+  b.grad = Matrix{{4.0}};  // Global norm = 5.
+  const double pre = Optimizer::ClipGlobalNorm({&a, &b}, 1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-12);
+  EXPECT_NEAR(a.grad(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(b.grad(0, 0), 0.8, 1e-12);
+}
+
+TEST(ClippingTest, NoScalingBelowThreshold) {
+  ad::Param a("a", Matrix{{0.0}});
+  a.grad = Matrix{{0.5}};
+  Optimizer::ClipGlobalNorm({&a}, 1.0);
+  EXPECT_NEAR(a.grad(0, 0), 0.5, 1e-12);
+}
+
+TEST(ClippingTest, ZeroDisablesClipping) {
+  ad::Param a("a", Matrix{{0.0}});
+  a.grad = Matrix{{100.0}};
+  Optimizer::ClipGlobalNorm({&a}, 0.0);
+  EXPECT_NEAR(a.grad(0, 0), 100.0, 1e-12);
+}
+
+TEST(AdamTest, FirstStepMovesByLearningRate) {
+  // With bias correction, the very first Adam step is ~lr * sign(g).
+  ad::Param p("p", Matrix{{0.0}});
+  p.grad = Matrix{{2.0}};
+  AdamOptimizer::AdamOptions opts;
+  opts.learning_rate = 0.1;
+  opts.clip_norm = 0.0;
+  AdamOptimizer adam(opts);
+  adam.Step({&p});
+  EXPECT_NEAR(p.value(0, 0), -0.1, 1e-6);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize f(x) = 0.5 * sum((x - t)^2) to the target t.
+  ad::Param p("p", Matrix{{5.0, -3.0}});
+  const Matrix target{{1.0, 2.0}};
+  AdamOptimizer::AdamOptions opts;
+  opts.learning_rate = 0.05;
+  AdamOptimizer adam(opts);
+  for (int step = 0; step < 2000; ++step) {
+    p.grad = p.value - target;
+    adam.Step({&p});
+  }
+  EXPECT_NEAR(p.value(0, 0), 1.0, 1e-3);
+  EXPECT_NEAR(p.value(0, 1), 2.0, 1e-3);
+}
+
+TEST(AdamTest, HandlesMultipleParamsIndependently) {
+  ad::Param a("a", Matrix{{4.0}});
+  ad::Param b("b", Matrix{{-4.0}});
+  AdamOptimizer::AdamOptions opts;
+  opts.learning_rate = 0.1;
+  AdamOptimizer adam(opts);
+  for (int step = 0; step < 800; ++step) {
+    a.grad = Matrix{{a.value(0, 0)}};
+    b.grad = Matrix{{b.value(0, 0)}};
+    adam.Step({&a, &b});
+  }
+  EXPECT_NEAR(a.value(0, 0), 0.0, 1e-2);
+  EXPECT_NEAR(b.value(0, 0), 0.0, 1e-2);
+}
+
+TEST(AdamTest, AdaptsToGradientScale) {
+  // Adam's per-coordinate normalization moves tiny-gradient coordinates
+  // at a comparable pace to large-gradient ones.
+  ad::Param p("p", Matrix{{1.0, 1.0}});
+  AdamOptimizer::AdamOptions opts;
+  opts.learning_rate = 0.01;
+  opts.clip_norm = 0.0;
+  AdamOptimizer adam(opts);
+  for (int step = 0; step < 100; ++step) {
+    p.grad = Matrix{{1000.0 * p.value(0, 0), 0.001 * p.value(0, 1)}};
+    adam.Step({&p});
+  }
+  // Both coordinates should have moved substantially toward zero.
+  EXPECT_LT(p.value(0, 0), 0.7);
+  EXPECT_LT(p.value(0, 1), 0.7);
+}
+
+TEST(OptimizerNamesTest, Stable) {
+  EXPECT_EQ(SgdOptimizer(Optimizer::Options{}).name(), "SGD");
+  EXPECT_EQ(AdamOptimizer(AdamOptimizer::AdamOptions{}).name(), "Adam");
+}
+
+}  // namespace
+}  // namespace lkpdpp

@@ -1,0 +1,231 @@
+// Tests for ground-set construction (S/R modes), negative sampling, and
+// diverse pair sampling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/synthetic.h"
+#include "sampling/diverse_pairs.h"
+#include "sampling/ground_set_builder.h"
+#include "sampling/negative_sampler.h"
+
+namespace lkpdpp {
+namespace {
+
+Dataset MakeDataset(uint64_t seed = 11) {
+  SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 90;
+  cfg.num_categories = 12;
+  cfg.num_events = 7000;
+  cfg.seed = seed;
+  auto ds = GenerateSyntheticDataset(cfg);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).ValueOrDie();
+}
+
+int CountDistinct(const std::vector<int>& v) {
+  return static_cast<int>(std::set<int>(v.begin(), v.end()).size());
+}
+
+TEST(NegativeSamplerTest, AvoidsObservedAndExcluded) {
+  Dataset ds = MakeDataset();
+  NegativeSampler sampler(&ds);
+  Rng rng(3);
+  const int user = 0;
+  const std::vector<int> exclude = {ds.TestItems(user).empty()
+                                        ? 0
+                                        : ds.TestItems(user)[0]};
+  for (int trial = 0; trial < 30; ++trial) {
+    auto negs = sampler.Sample(user, 6, exclude, &rng);
+    ASSERT_TRUE(negs.ok());
+    EXPECT_EQ(CountDistinct(*negs), 6);
+    for (int item : *negs) {
+      EXPECT_FALSE(ds.IsObserved(user, item));
+      EXPECT_EQ(std::count(exclude.begin(), exclude.end(), item), 0);
+    }
+  }
+}
+
+TEST(NegativeSamplerTest, FailsWhenPoolTooSmall) {
+  // Tiny dataset: a user observing nearly everything cannot yield many
+  // negatives.
+  std::vector<RatingEvent> events;
+  for (int u = 0; u < 12; ++u) {
+    for (int i = 0; i < 12; ++i) {
+      if (u != 0 || i < 11) events.push_back({u, i, 5.0, i});
+    }
+  }
+  CategoryTable cats;
+  cats.num_categories = 2;
+  cats.item_categories.assign(12, {0});
+  auto ds = Dataset::FromRatings(events, cats, "t", 5.0, 5);
+  ASSERT_TRUE(ds.ok());
+  NegativeSampler sampler(&*ds);
+  Rng rng(5);
+  // User 0 has ~9 observed of 12 items; asking for 10 negatives fails.
+  EXPECT_FALSE(sampler.Sample(0, 10, {}, &rng).ok());
+}
+
+TEST(GroundSetBuilderTest, SequentialWindowsCoverAllTargets) {
+  Dataset ds = MakeDataset();
+  GroundSetBuilder builder(&ds, 4, 4, TargetSelection::kSequential);
+  Rng rng(7);
+  for (int u = 0; u < ds.num_users(); ++u) {
+    auto insts = builder.BuildForUser(u, &rng);
+    ASSERT_TRUE(insts.ok());
+    const auto& train = ds.TrainItems(u);
+    if (static_cast<int>(train.size()) < 4) {
+      EXPECT_TRUE(insts->empty());
+      continue;
+    }
+    std::set<int> covered;
+    for (const TrainingInstance& inst : *insts) {
+      for (int i = 0; i < inst.num_pos; ++i) {
+        covered.insert(inst.items[static_cast<size_t>(i)]);
+      }
+    }
+    // Every train positive appears in at least one window.
+    for (int item : train) EXPECT_TRUE(covered.count(item)) << "user " << u;
+  }
+}
+
+TEST(GroundSetBuilderTest, SequentialTargetsFollowChronology) {
+  Dataset ds = MakeDataset();
+  GroundSetBuilder builder(&ds, 5, 3, TargetSelection::kSequential);
+  Rng rng(9);
+  // Find a user with enough positives.
+  for (int u = 0; u < ds.num_users(); ++u) {
+    const auto& train = ds.TrainItems(u);
+    if (static_cast<int>(train.size()) < 10) continue;
+    auto insts = builder.BuildForUser(u, &rng);
+    ASSERT_TRUE(insts.ok());
+    ASSERT_FALSE(insts->empty());
+    // First window is exactly the first k positives in order.
+    const TrainingInstance& first = (*insts)[0];
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(first.items[static_cast<size_t>(i)], train[i]);
+    }
+    break;
+  }
+}
+
+TEST(GroundSetBuilderTest, InstancesHaveDistinctItems) {
+  Dataset ds = MakeDataset();
+  for (TargetSelection mode :
+       {TargetSelection::kSequential, TargetSelection::kRandom}) {
+    GroundSetBuilder builder(&ds, 5, 5, mode);
+    Rng rng(11);
+    auto insts = builder.BuildEpoch(&rng);
+    ASSERT_TRUE(insts.ok());
+    ASSERT_FALSE(insts->empty());
+    for (const TrainingInstance& inst : *insts) {
+      EXPECT_EQ(inst.ground_size(), 10);
+      EXPECT_EQ(inst.num_pos, 5);
+      EXPECT_EQ(CountDistinct(inst.items), 10);
+      // Targets observed, negatives not.
+      for (int i = 0; i < inst.num_pos; ++i) {
+        EXPECT_TRUE(ds.IsObserved(inst.user,
+                                  inst.items[static_cast<size_t>(i)]));
+      }
+      for (int i = inst.num_pos; i < inst.ground_size(); ++i) {
+        EXPECT_FALSE(ds.IsObserved(inst.user,
+                                   inst.items[static_cast<size_t>(i)]));
+      }
+    }
+  }
+}
+
+TEST(GroundSetBuilderTest, RandomModeVariesAcrossEpochs) {
+  Dataset ds = MakeDataset();
+  GroundSetBuilder builder(&ds, 4, 4, TargetSelection::kRandom);
+  Rng rng(13);
+  auto epoch1 = builder.BuildEpoch(&rng);
+  auto epoch2 = builder.BuildEpoch(&rng);
+  ASSERT_TRUE(epoch1.ok());
+  ASSERT_TRUE(epoch2.ok());
+  ASSERT_EQ(epoch1->size(), epoch2->size());
+  int differing = 0;
+  for (size_t i = 0; i < epoch1->size(); ++i) {
+    if ((*epoch1)[i].items != (*epoch2)[i].items) ++differing;
+  }
+  EXPECT_GT(differing, static_cast<int>(epoch1->size()) / 2);
+}
+
+TEST(GroundSetBuilderTest, InstanceCountMatchesCeilOfTargets) {
+  Dataset ds = MakeDataset();
+  const int k = 4;
+  GroundSetBuilder builder(&ds, k, 2, TargetSelection::kSequential);
+  Rng rng(15);
+  for (int u = 0; u < std::min(20, ds.num_users()); ++u) {
+    auto insts = builder.BuildForUser(u, &rng);
+    ASSERT_TRUE(insts.ok());
+    const int t = static_cast<int>(ds.TrainItems(u).size());
+    if (t < k) {
+      EXPECT_TRUE(insts->empty());
+    } else {
+      EXPECT_EQ(static_cast<int>(insts->size()), (t + k - 1) / k);
+    }
+  }
+}
+
+TEST(TargetSelectionTest, Names) {
+  EXPECT_STREQ(TargetSelectionName(TargetSelection::kSequential), "S");
+  EXPECT_STREQ(TargetSelectionName(TargetSelection::kRandom), "R");
+}
+
+TEST(DiversePairsTest, PairsHaveRequestedSizeAndDisjointRoles) {
+  Dataset ds = MakeDataset();
+  DiversePairSampler sampler(&ds, 5);
+  Rng rng(17);
+  auto pairs = sampler.SamplePairs(30, &rng);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 30u);
+  for (const DiverseSetPair& pair : *pairs) {
+    EXPECT_EQ(pair.positive.size(), 5u);
+    EXPECT_EQ(pair.negative.size(), 5u);
+    EXPECT_EQ(CountDistinct(pair.positive), 5);
+    EXPECT_EQ(CountDistinct(pair.negative), 5);
+  }
+}
+
+TEST(DiversePairsTest, GreedySelectionMaximizesCoverage) {
+  Dataset ds = MakeDataset();
+  Rng rng(19);
+  // Build a pool with known categories and verify greedy beats a random
+  // subset on average coverage.
+  std::vector<int> pool;
+  for (int i = 0; i < ds.num_items(); ++i) pool.push_back(i);
+
+  auto coverage = [&](const std::vector<int>& items) {
+    std::set<int> cats;
+    for (int i : items) {
+      for (int c : ds.ItemCategories(i)) cats.insert(c);
+    }
+    return static_cast<int>(cats.size());
+  };
+
+  double greedy_total = 0.0, random_total = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    greedy_total += coverage(GreedyDiverseSubset(ds, pool, 5, &rng));
+    std::vector<int> rand_pick = rng.SampleWithoutReplacement(
+        static_cast<int>(pool.size()), 5);
+    std::vector<int> rand_items;
+    for (int idx : rand_pick) rand_items.push_back(pool[idx]);
+    random_total += coverage(rand_items);
+  }
+  EXPECT_GT(greedy_total, random_total);
+}
+
+TEST(DiversePairsTest, GreedyHandlesSmallPool) {
+  Dataset ds = MakeDataset();
+  Rng rng(21);
+  std::vector<int> pool = {0, 1};
+  auto chosen = GreedyDiverseSubset(ds, pool, 5, &rng);
+  EXPECT_EQ(chosen.size(), 2u);  // Pool exhausted gracefully.
+}
+
+}  // namespace
+}  // namespace lkpdpp

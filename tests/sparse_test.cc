@@ -1,0 +1,151 @@
+// Tests for the CSR sparse matrix and graph adjacency construction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "linalg/sparse.h"
+#include "models/graph_utils.h"
+
+namespace lkpdpp {
+namespace {
+
+TEST(SparseTest, FromTripletsBasic) {
+  auto m = SparseMatrix::FromTriplets(
+      2, 3, {{0, 1, 2.0}, {1, 0, -1.0}, {1, 2, 4.0}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 2);
+  EXPECT_EQ(m->cols(), 3);
+  EXPECT_EQ(m->nnz(), 3);
+  const Matrix dense = m->ToDense();
+  EXPECT_DOUBLE_EQ(dense(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(dense(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(dense(0, 0), 0.0);
+}
+
+TEST(SparseTest, DuplicateTripletsSum) {
+  auto m = SparseMatrix::FromTriplets(2, 2,
+                                      {{0, 0, 1.0}, {0, 0, 2.5}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 1);
+  EXPECT_DOUBLE_EQ(m->ToDense()(0, 0), 3.5);
+}
+
+TEST(SparseTest, OutOfRangeTripletRejected) {
+  EXPECT_EQ(SparseMatrix::FromTriplets(2, 2, {{2, 0, 1.0}})
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_FALSE(SparseMatrix::FromTriplets(2, 2, {{0, -1, 1.0}}).ok());
+  EXPECT_FALSE(SparseMatrix::FromTriplets(-1, 2, {}).ok());
+}
+
+TEST(SparseTest, EmptyMatrixWorks) {
+  auto m = SparseMatrix::FromTriplets(3, 3, {});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 0);
+  Matrix dense(3, 2, 1.0);
+  EXPECT_DOUBLE_EQ(m->Multiply(dense).MaxAbs(), 0.0);
+}
+
+TEST(SparseTest, MultiplyMatchesDense) {
+  Rng rng(1);
+  std::vector<SparseMatrix::Triplet> triplets;
+  for (int i = 0; i < 40; ++i) {
+    triplets.push_back(
+        {rng.UniformInt(8), rng.UniformInt(6), rng.Normal()});
+  }
+  auto sp = SparseMatrix::FromTriplets(8, 6, triplets);
+  ASSERT_TRUE(sp.ok());
+  Matrix dense(6, 4);
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 4; ++c) dense(r, c) = rng.Normal();
+  }
+  const Matrix expected = MatMul(sp->ToDense(), dense);
+  EXPECT_LT((sp->Multiply(dense) - expected).MaxAbs(), 1e-12);
+}
+
+TEST(SparseTest, MultiplyTransposedMatchesDense) {
+  Rng rng(2);
+  std::vector<SparseMatrix::Triplet> triplets;
+  for (int i = 0; i < 30; ++i) {
+    triplets.push_back(
+        {rng.UniformInt(7), rng.UniformInt(5), rng.Normal()});
+  }
+  auto sp = SparseMatrix::FromTriplets(7, 5, triplets);
+  ASSERT_TRUE(sp.ok());
+  Matrix dense(7, 3);
+  for (int r = 0; r < 7; ++r) {
+    for (int c = 0; c < 3; ++c) dense(r, c) = rng.Normal();
+  }
+  const Matrix expected = MatMul(sp->ToDense().Transpose(), dense);
+  EXPECT_LT((sp->MultiplyTransposed(dense) - expected).MaxAbs(), 1e-12);
+}
+
+TEST(SparseTest, MatVecAndRowSums) {
+  auto sp = SparseMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0}, {0, 2, 3.0}, {1, 1, -2.0}});
+  ASSERT_TRUE(sp.ok());
+  Vector x{1.0, 2.0, 3.0};
+  Vector y = sp->Multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 10.0);
+  EXPECT_DOUBLE_EQ(y[1], -4.0);
+  Vector sums = sp->RowSums();
+  EXPECT_DOUBLE_EQ(sums[0], 4.0);
+  EXPECT_DOUBLE_EQ(sums[1], -2.0);
+}
+
+TEST(AdjacencyTest, NormalizedAdjacencyIsSymmetricAndBipartite) {
+  SyntheticConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_items = 50;
+  cfg.num_events = 4000;
+  auto ds = GenerateSyntheticDataset(cfg);
+  ASSERT_TRUE(ds.ok());
+  auto adj = BuildNormalizedAdjacency(*ds);
+  ASSERT_TRUE(adj.ok());
+  const int n = ds->num_users();
+  const int size = n + ds->num_items();
+  EXPECT_EQ(adj->rows(), size);
+  EXPECT_EQ(adj->cols(), size);
+
+  const Matrix dense = adj->ToDense();
+  EXPECT_TRUE(dense.IsSymmetric(1e-12));
+  // No user-user or item-item edges.
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) EXPECT_DOUBLE_EQ(dense(u, v), 0.0);
+  }
+  // Weight = 1/sqrt(du*di) for each train edge.
+  const int u0 = 0;
+  ASSERT_FALSE(ds->TrainItems(u0).empty());
+  const int i0 = ds->TrainItems(u0)[0];
+  int di = 0;
+  for (int u = 0; u < n; ++u) {
+    for (int item : ds->TrainItems(u)) {
+      if (item == i0) ++di;
+    }
+  }
+  const double expected =
+      1.0 / std::sqrt(static_cast<double>(ds->TrainItems(u0).size()) * di);
+  EXPECT_NEAR(dense(u0, n + i0), expected, 1e-12);
+}
+
+TEST(AdjacencyTest, SelfLoopsOptional) {
+  SyntheticConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_items = 40;
+  cfg.num_events = 3000;
+  auto ds = GenerateSyntheticDataset(cfg);
+  ASSERT_TRUE(ds.ok());
+  auto plain = BuildNormalizedAdjacency(*ds, false);
+  auto looped = BuildNormalizedAdjacency(*ds, true);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(looped.ok());
+  EXPECT_DOUBLE_EQ(plain->ToDense()(0, 0), 0.0);
+  EXPECT_GT(looped->ToDense()(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace lkpdpp
