@@ -12,15 +12,52 @@ Result<std::vector<int>> NegativeSampler::Sample(
   const int observed =
       static_cast<int>(dataset_->TrainItems(user).size() +
                        dataset_->ValItems(user).size());
-  if (m - observed - static_cast<int>(exclude.size()) < count) {
+  // Excluded items that are already observed (or duplicated, or out of
+  // range) do not shrink the unobserved pool; only count the rest, so the
+  // feasibility guard is exact even on small catalogs where the targets
+  // passed in `exclude` are all observed positives.
+  std::vector<int> extra_excluded = exclude;
+  std::sort(extra_excluded.begin(), extra_excluded.end());
+  extra_excluded.erase(
+      std::unique(extra_excluded.begin(), extra_excluded.end()),
+      extra_excluded.end());
+  int excluded_unobserved = 0;
+  for (int item : extra_excluded) {
+    if (item >= 0 && item < m && !dataset_->IsObserved(user, item)) {
+      ++excluded_unobserved;
+    }
+  }
+  const int pool = m - observed - excluded_unobserved;
+  if (pool < count) {
     return Status::FailedPrecondition(
         StrFormat("user %d has fewer than %d unobserved items", user,
                   count));
   }
+  // Rejection sampling needs ~(m/pool) attempts per draw, against a
+  // budget of ~1000 per requested item; enumerate the pool and sample
+  // exactly only when the request nearly drains the pool or the pool is
+  // a sliver of the catalog (< 1/250, leaving 4x budget margin) — an
+  // O(m) scan is a hot-path regression anywhere rejection still works.
+  if (2 * count > pool || static_cast<long>(m) > 250L * pool) {
+    std::vector<int> candidates;
+    candidates.reserve(static_cast<size_t>(pool));
+    for (int item = 0; item < m; ++item) {
+      if (dataset_->IsObserved(user, item)) continue;
+      if (std::binary_search(extra_excluded.begin(), extra_excluded.end(),
+                             item)) {
+        continue;
+      }
+      candidates.push_back(item);
+    }
+    std::vector<int> idx = rng->SampleWithoutReplacement(
+        static_cast<int>(candidates.size()), count);
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(count));
+    for (int i : idx) out.push_back(candidates[static_cast<size_t>(i)]);
+    return out;
+  }
   std::vector<int> out;
   out.reserve(static_cast<size_t>(count));
-  // Rejection sampling; the unobserved pool is large relative to count in
-  // any realistic recommendation dataset, so this terminates quickly.
   int attempts = 0;
   const int max_attempts = 1000 * count + 1000;
   while (static_cast<int>(out.size()) < count) {
@@ -29,7 +66,8 @@ Result<std::vector<int>> NegativeSampler::Sample(
     }
     const int item = rng->UniformInt(m);
     if (dataset_->IsObserved(user, item)) continue;
-    if (std::find(exclude.begin(), exclude.end(), item) != exclude.end()) {
+    if (std::binary_search(extra_excluded.begin(), extra_excluded.end(),
+                           item)) {
       continue;
     }
     if (std::find(out.begin(), out.end(), item) != out.end()) continue;

@@ -9,6 +9,7 @@
 #include "autodiff/graph.h"
 #include "common/rng.h"
 #include "linalg/sparse.h"
+#include "testing_util.h"
 
 namespace lkpdpp {
 namespace {
@@ -16,14 +17,7 @@ namespace {
 using ad::Graph;
 using ad::Param;
 using ad::Tensor;
-
-Matrix RandomMatrix(int rows, int cols, Rng* rng) {
-  Matrix m(rows, cols);
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) m(r, c) = rng->Normal();
-  }
-  return m;
-}
+using testutil::RandomMatrix;
 
 // Numerically checks dSum(f(params))/dparam against param.grad for a
 // forward function rebuilt per perturbation.

@@ -9,19 +9,12 @@
 #include "linalg/eigen.h"
 #include "linalg/lu.h"
 #include "linalg/matrix.h"
+#include "testing_util.h"
 
 namespace lkpdpp {
 namespace {
 
-Matrix RandomSpd(int n, Rng* rng, double ridge = 0.5) {
-  Matrix a(n, n);
-  for (int r = 0; r < n; ++r) {
-    for (int c = 0; c < n; ++c) a(r, c) = rng->Normal();
-  }
-  Matrix spd = MatMulTransB(a, a);
-  spd.AddDiagonal(ridge);
-  return spd;
-}
+using testutil::RandomSpd;
 
 TEST(CholeskyTest, KnownFactorization) {
   // A = [[4, 2], [2, 3]] has L = [[2, 0], [1, sqrt(2)]].

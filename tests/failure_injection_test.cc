@@ -152,7 +152,9 @@ TEST(FailureTest, DiversityKernelObjectiveOnUntrainable) {
   Rng rng(7);
   auto j = k.Objective(*ds, 5, /*jitter=*/0.0, &rng);
   // Either a clean failure (singular) or a finite value — never UB.
-  if (j.ok()) EXPECT_TRUE(std::isfinite(*j));
+  if (j.ok()) {
+    EXPECT_TRUE(std::isfinite(*j));
+  }
 }
 
 TEST(FailureTest, ProbeOnDatasetWithoutUsableUsers) {

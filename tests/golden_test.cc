@@ -1,0 +1,169 @@
+// Golden-value regression tests.
+//
+// The k-DPP quantities here are pinned against *hand-computed* exact
+// values: for any symmetric kernel L, e_k(lambda(L)) equals the sum of
+// the k x k principal minors of L, so tridiagonal kernels with small
+// integer entries give closed-form normalizers and subset probabilities.
+// The Rng values are pinned against the xoshiro256** / SplitMix64
+// reference streams so that any change to the generator (which would
+// silently re-randomize every seeded experiment in the repo) fails loudly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/esp.h"
+#include "core/kdpp.h"
+#include "linalg/matrix.h"
+#include "testing_util.h"
+
+namespace lkpdpp {
+namespace {
+
+// L3 = tridiag(1, 2, 1). Principal-minor sums:
+//   e_1 = tr = 6, e_2 = 3 + 4 + 3 = 10, e_3 = det = 4.
+Matrix Kernel3x3() { return Matrix{{2, 1, 0}, {1, 2, 1}, {0, 1, 2}}; }
+
+// L4 = tridiag(1, 3, 1). Principal-minor sums:
+//   e_1 = 12, e_2 = 8+9+9+8+9+8 = 51, e_3 = 21+24+24+21 = 90, e_4 = 55.
+Matrix Kernel4x4() {
+  return Matrix{{3, 1, 0, 0}, {1, 3, 1, 0}, {0, 1, 3, 1}, {0, 0, 1, 3}};
+}
+
+TEST(EspGoldenTest, SmallIntegerValues) {
+  // e_k(1,2,3,4): 1, 10, 35, 50, 24 — exact in double arithmetic.
+  const Vector v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(v, 1), 10.0);
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(v, 2), 35.0);
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(v, 3), 50.0);
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(v, 4), 24.0);
+
+  const Vector all = AllElementarySymmetric(v, 4);
+  ASSERT_EQ(all.size(), 5);
+  for (int k = 0; k <= 4; ++k) {
+    EXPECT_DOUBLE_EQ(all[k], ElementarySymmetric(v, k)) << "e_" << k;
+  }
+}
+
+TEST(EspGoldenTest, ExclusionValues) {
+  // values = (1,2,3): e_1 with entry i removed is (5, 4, 3).
+  const Vector v{1.0, 2.0, 3.0};
+  const Vector excl = ExclusionEsp(v, 1);
+  ASSERT_EQ(excl.size(), 3);
+  EXPECT_DOUBLE_EQ(excl[0], 5.0);
+  EXPECT_DOUBLE_EQ(excl[1], 4.0);
+  EXPECT_DOUBLE_EQ(excl[2], 3.0);
+}
+
+TEST(KDppGoldenTest, LogNormalizer3x3) {
+  const std::pair<int, double> cases[] = {{1, 6.0}, {2, 10.0}, {3, 4.0}};
+  for (const auto& [k, zk] : cases) {
+    auto kdpp = KDpp::Create(Kernel3x3(), k);
+    ASSERT_TRUE(kdpp.ok()) << "k=" << k;
+    EXPECT_NEAR(kdpp->LogNormalizer(), std::log(zk), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(KDppGoldenTest, LogProb3x3) {
+  auto kdpp = KDpp::Create(Kernel3x3(), 2);
+  ASSERT_TRUE(kdpp.ok());
+  // P({i,j}) = det(L_{ij}) / e_2 with dets 3, 4, 3 and e_2 = 10.
+  EXPECT_NEAR(*kdpp->LogProb({0, 1}), std::log(0.3), 1e-12);
+  EXPECT_NEAR(*kdpp->LogProb({0, 2}), std::log(0.4), 1e-12);
+  EXPECT_NEAR(*kdpp->LogProb({1, 2}), std::log(0.3), 1e-12);
+  // k = 1 reduces to diagonal-proportional selection: P({i}) = 2/6.
+  auto k1 = KDpp::Create(Kernel3x3(), 1);
+  ASSERT_TRUE(k1.ok());
+  EXPECT_NEAR(*k1->Prob({1}), 2.0 / 6.0, 1e-12);
+}
+
+TEST(KDppGoldenTest, LogNormalizer4x4) {
+  const std::pair<int, double> cases[] = {
+      {1, 12.0}, {2, 51.0}, {3, 90.0}, {4, 55.0}};
+  for (const auto& [k, zk] : cases) {
+    auto kdpp = KDpp::Create(Kernel4x4(), k);
+    ASSERT_TRUE(kdpp.ok()) << "k=" << k;
+    EXPECT_NEAR(kdpp->LogNormalizer(), std::log(zk), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(KDppGoldenTest, LogProb4x4) {
+  auto k2 = KDpp::Create(Kernel4x4(), 2);
+  ASSERT_TRUE(k2.ok());
+  // Adjacent pairs have det 8, non-adjacent det 9; e_2 = 51.
+  EXPECT_NEAR(*k2->Prob({0, 1}), 8.0 / 51.0, 1e-12);
+  EXPECT_NEAR(*k2->Prob({0, 2}), 9.0 / 51.0, 1e-12);
+  EXPECT_NEAR(*k2->Prob({0, 3}), 9.0 / 51.0, 1e-12);
+
+  auto k3 = KDpp::Create(Kernel4x4(), 3);
+  ASSERT_TRUE(k3.ok());
+  // Contiguous triples det 21, triples with a gap det 24; e_3 = 90.
+  EXPECT_NEAR(*k3->Prob({0, 1, 2}), 21.0 / 90.0, 1e-12);
+  EXPECT_NEAR(*k3->Prob({0, 1, 3}), 24.0 / 90.0, 1e-12);
+  EXPECT_NEAR(*k3->Prob({1, 2, 3}), 21.0 / 90.0, 1e-12);
+}
+
+TEST(RngGoldenTest, Xoshiro256StarStarReferenceStream) {
+  // First outputs of xoshiro256** seeded via SplitMix64(42); these match
+  // the Blackman & Vigna reference implementation bit-for-bit.
+  Rng rng(42);
+  EXPECT_EQ(rng.Next(), 1546998764402558742ULL);
+  EXPECT_EQ(rng.Next(), 6990951692964543102ULL);
+  EXPECT_EQ(rng.Next(), 12544586762248559009ULL);
+  EXPECT_EQ(rng.Next(), 17057574109182124193ULL);
+}
+
+TEST(RngGoldenTest, SplitMix64Reference) {
+  uint64_t state = 42;
+  EXPECT_EQ(SplitMix64(&state), 13679457532755275413ULL);
+}
+
+TEST(RngGoldenTest, UniformStreamPinned) {
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(rng.Uniform(), 0.70057648217968960);
+  EXPECT_DOUBLE_EQ(rng.Uniform(), 0.27875122947378428);
+  EXPECT_DOUBLE_EQ(rng.Uniform(), 0.83962746187641979);
+}
+
+TEST(RngDeterminismTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next()) << "draw " << i;
+  }
+  // Mixed-distribution draws stay in lockstep too.
+  Rng c(9), d(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(c.Normal(), d.Normal());
+    EXPECT_EQ(c.UniformInt(1000), d.UniformInt(1000));
+  }
+}
+
+TEST(RngDeterminismTest, ForkIsDeterministic) {
+  Rng a(55), b(55);
+  Rng fa = a.Fork(), fb = b.Fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.Next(), fb.Next());
+  // The fork is a different stream than the parent.
+  Rng parent(55);
+  Rng fork = parent.Fork();
+  EXPECT_NE(fork.Next(), Rng(55).Next());
+}
+
+TEST(KDppDeterminismTest, SamplingIsReproducibleFromSeed) {
+  Rng kernel_rng(31);
+  auto kdpp =
+      KDpp::Create(testutil::RandomPsdKernel(8, &kernel_rng), 3);
+  ASSERT_TRUE(kdpp.ok());
+  Rng s1(77), s2(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto a = kdpp->Sample(&s1);
+    auto b = kdpp->Sample(&s2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace lkpdpp

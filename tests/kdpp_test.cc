@@ -10,21 +10,12 @@
 #include "core/kdpp.h"
 #include "linalg/lu.h"
 #include "linalg/matrix.h"
+#include "testing_util.h"
 
 namespace lkpdpp {
 namespace {
 
-Matrix RandomPsdKernel(int n, Rng* rng, int rank = -1) {
-  if (rank < 0) rank = n;
-  Matrix v(n, rank);
-  for (int r = 0; r < n; ++r) {
-    for (int c = 0; c < rank; ++c) v(r, c) = rng->Normal();
-  }
-  Matrix k = MatMulTransB(v, v);
-  k *= 1.0 / rank;
-  k.AddDiagonal(0.05);
-  return k;
-}
+using testutil::RandomPsdKernel;
 
 TEST(BinomialTest, KnownValues) {
   EXPECT_DOUBLE_EQ(BinomialCoefficient(10, 5), 252.0);
@@ -58,13 +49,33 @@ TEST(KDppTest, CreateValidation) {
 TEST(KDppTest, RejectsRankDeficientForLargeK) {
   Rng rng(2);
   // Rank-2 kernel cannot support a 4-DPP.
-  Matrix v(6, 2);
-  for (int r = 0; r < 6; ++r) {
-    for (int c = 0; c < 2; ++c) v(r, c) = rng.Normal();
-  }
-  Matrix k = MatMulTransB(v, v);
+  Matrix k = RandomPsdKernel(6, &rng, /*rank=*/2, /*ridge=*/0.0);
   EXPECT_FALSE(KDpp::Create(k, 4).ok());
   EXPECT_TRUE(KDpp::Create(k, 2).ok());
+}
+
+TEST(KDppTest, RejectsNonSymmetricKernel) {
+  Matrix asym{{1.0, 0.5, 0.0}, {0.0, 1.0, 0.5}, {0.0, 0.0, 1.0}};
+  auto r = KDpp::Create(asym, 2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KDppTest, RejectsNonFiniteKernel) {
+  Matrix nan_kernel{{1.0, 0.0}, {0.0, std::nan("")}};
+  auto r = KDpp::Create(nan_kernel, 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(KDppTest, RankDeficiencyReportsNumericalError) {
+  // A rank-2 kernel has e_3 = 0: the normalizer vanishes, and Create must
+  // report it as a numerical failure rather than construct a distribution
+  // with no support. The diagonal kernel makes the deficiency exact.
+  Matrix k = Matrix::Diagonal(Vector{1.0, 2.0, 0.0, 0.0, 0.0});
+  auto r = KDpp::Create(k, 3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNumericalError);
 }
 
 TEST(KDppTest, LogProbValidatesSubset) {

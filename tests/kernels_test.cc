@@ -11,9 +11,12 @@
 #include "kernels/gaussian_embedding.h"
 #include "kernels/quality_diversity.h"
 #include "linalg/eigen.h"
+#include "testing_util.h"
 
 namespace lkpdpp {
 namespace {
+
+using testutil::RandomMatrix;
 
 Dataset SmallDataset(uint64_t seed = 42) {
   SyntheticConfig cfg;
@@ -107,10 +110,7 @@ TEST(DiversityKernelTest, TrainedKernelKeepsUnitRows) {
 
 TEST(GaussianKernelTest, DiagonalIsOneAndSymmetric) {
   Rng rng(6);
-  Matrix emb(5, 3);
-  for (int r = 0; r < 5; ++r) {
-    for (int c = 0; c < 3; ++c) emb(r, c) = rng.Normal();
-  }
+  Matrix emb = RandomMatrix(5, 3, &rng);
   Matrix k = GaussianKernel(emb, 1.0);
   EXPECT_TRUE(k.IsSymmetric());
   for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(k(i, i), 1.0);
@@ -131,10 +131,7 @@ TEST(GaussianKernelTest, WiderBandwidthRaisesSimilarity) {
 
 TEST(GaussianKernelTest, IsPsd) {
   Rng rng(7);
-  Matrix emb(8, 4);
-  for (int r = 0; r < 8; ++r) {
-    for (int c = 0; c < 4; ++c) emb(r, c) = rng.Normal();
-  }
+  Matrix emb = RandomMatrix(8, 4, &rng);
   auto eig = SymmetricEigen(GaussianKernel(emb, 1.3));
   ASSERT_TRUE(eig.ok());
   EXPECT_GE(eig->eigenvalues[0], -1e-10);
@@ -144,15 +141,9 @@ TEST(GaussianKernelTest, BackwardMatchesFiniteDifference) {
   Rng rng(8);
   const int m = 4, d = 3;
   const double sigma = 0.9;
-  Matrix emb(m, d);
-  for (int r = 0; r < m; ++r) {
-    for (int c = 0; c < d; ++c) emb(r, c) = rng.Normal();
-  }
+  Matrix emb = RandomMatrix(m, d, &rng);
   // Random upstream gradient.
-  Matrix dk(m, m);
-  for (int r = 0; r < m; ++r) {
-    for (int c = 0; c < m; ++c) dk(r, c) = rng.Normal();
-  }
+  Matrix dk = RandomMatrix(m, m, &rng);
   const Matrix kernel = GaussianKernel(emb, sigma);
   const Matrix demb = GaussianKernelBackward(emb, kernel, dk, sigma);
 

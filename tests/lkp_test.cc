@@ -8,21 +8,14 @@
 #include "common/rng.h"
 #include "core/lkp.h"
 #include "kernels/gaussian_embedding.h"
+#include "testing_util.h"
 
 namespace lkpdpp {
 namespace {
 
+// Unit-diagonal correlation-like PSD matrix of full rank.
 Matrix RandomDiversityKernel(int m, Rng* rng) {
-  // Unit-diagonal correlation-like PSD matrix of full rank.
-  Matrix v(m, m + 2);
-  for (int r = 0; r < m; ++r) {
-    for (int c = 0; c < m + 2; ++c) v(r, c) = rng->Normal();
-    double norm = 0.0;
-    for (int c = 0; c < m + 2; ++c) norm += v(r, c) * v(r, c);
-    norm = std::sqrt(norm);
-    for (int c = 0; c < m + 2; ++c) v(r, c) /= norm;
-  }
-  return MatMulTransB(v, v);
+  return testutil::RandomCorrelationKernel(m, rng);
 }
 
 Vector RandomScores(int m, Rng* rng) {
@@ -197,7 +190,7 @@ TEST(LkpValidationTest, RejectsNonFiniteScores) {
 
 TEST(LkpBehaviorTest, RaisingTargetScoresLowersLoss) {
   Rng rng(77);
-  const int k = 3, n = 3, m = 6;
+  const int k = 3, m = 6;
   const Matrix diversity = RandomDiversityKernel(m, &rng);
   LkpCriterion crit(LkpConfig{.mode = LkpMode::kPositiveOnly});
 
@@ -246,7 +239,7 @@ TEST(LkpBehaviorTest, GradientPushesTargetsUpNegativesDown) {
 TEST(LkpBehaviorTest, DiverseTargetsGetHigherProbability) {
   // Two instances with identical scores; one target set spans near-
   // orthogonal diversity directions, the other is nearly collinear.
-  const int k = 2, n = 2, m = 4;
+  const int k = 2, m = 4;
   Vector scores{1.0, 1.0, 0.0, 0.0};
 
   Matrix diverse = Matrix::Identity(m);

@@ -6,17 +6,12 @@
 
 #include "common/rng.h"
 #include "linalg/matrix.h"
+#include "testing_util.h"
 
 namespace lkpdpp {
 namespace {
 
-Matrix RandomMatrix(int rows, int cols, Rng* rng) {
-  Matrix m(rows, cols);
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) m(r, c) = rng->Normal();
-  }
-  return m;
-}
+using testutil::RandomMatrix;
 
 TEST(VectorTest, ConstructionAndAccess) {
   Vector v(3, 2.5);

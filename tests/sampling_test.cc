@@ -30,6 +30,38 @@ int CountDistinct(const std::vector<int>& v) {
   return static_cast<int>(std::set<int>(v.begin(), v.end()).size());
 }
 
+// Dense tiny catalog: every user rated every item with the positive
+// rating, so after the 70/10/20 split each user's unobserved pool is
+// exactly their held-out test items.
+Dataset MakeAllRatedDataset(int num_users = 12, int num_items = 12) {
+  std::vector<RatingEvent> events;
+  for (int u = 0; u < num_users; ++u) {
+    for (int i = 0; i < num_items; ++i) events.push_back({u, i, 5.0, i});
+  }
+  CategoryTable cats;
+  cats.num_categories = 2;
+  cats.item_categories.assign(static_cast<size_t>(num_items), {0});
+  auto ds = Dataset::FromRatings(events, cats, "tiny", 5.0, 5);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).ValueOrDie();
+}
+
+std::vector<int> UnobservedItems(const Dataset& ds, int user) {
+  std::vector<int> out;
+  for (int i = 0; i < ds.num_items(); ++i) {
+    if (!ds.IsObserved(user, i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> ObservedItems(const Dataset& ds, int user) {
+  std::vector<int> out;
+  for (int i = 0; i < ds.num_items(); ++i) {
+    if (ds.IsObserved(user, i)) out.push_back(i);
+  }
+  return out;
+}
+
 TEST(NegativeSamplerTest, AvoidsObservedAndExcluded) {
   Dataset ds = MakeDataset();
   NegativeSampler sampler(&ds);
@@ -67,6 +99,125 @@ TEST(NegativeSamplerTest, FailsWhenPoolTooSmall) {
   Rng rng(5);
   // User 0 has ~9 observed of 12 items; asking for 10 negatives fails.
   EXPECT_FALSE(sampler.Sample(0, 10, {}, &rng).ok());
+}
+
+TEST(NegativeSamplerTest, ExactPoolBoundary) {
+  Dataset ds = MakeAllRatedDataset();
+  NegativeSampler sampler(&ds);
+  Rng rng(23);
+  const std::vector<int> pool = UnobservedItems(ds, 0);
+  ASSERT_FALSE(pool.empty());
+  // Draining the entire pool succeeds and returns exactly the pool.
+  auto all = sampler.Sample(0, static_cast<int>(pool.size()), {}, &rng);
+  ASSERT_TRUE(all.ok());
+  std::vector<int> sorted = *all;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, pool);
+  // One more than the pool fails up front.
+  auto over = sampler.Sample(0, static_cast<int>(pool.size()) + 1, {}, &rng);
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NegativeSamplerTest, ObservedExcludesDoNotShrinkPool) {
+  // Excluding items the user already observed must not make the sampler
+  // think the unobserved pool is smaller than it is (regression: the
+  // feasibility guard used to subtract |exclude| wholesale and falsely
+  // reported exhaustion on small catalogs).
+  Dataset ds = MakeAllRatedDataset();
+  NegativeSampler sampler(&ds);
+  Rng rng(25);
+  const std::vector<int> pool = UnobservedItems(ds, 0);
+  const std::vector<int> observed = ObservedItems(ds, 0);
+  ASSERT_GT(observed.size(), pool.size());
+  auto negs = sampler.Sample(0, static_cast<int>(pool.size()), observed,
+                             &rng);
+  ASSERT_TRUE(negs.ok());
+  EXPECT_EQ(negs->size(), pool.size());
+}
+
+TEST(NegativeSamplerTest, AllObservedUserFailsGracefully) {
+  // Excluding the whole unobserved pool leaves nothing to draw: the
+  // effective catalog is fully observed for this user.
+  Dataset ds = MakeAllRatedDataset();
+  NegativeSampler sampler(&ds);
+  Rng rng(27);
+  const std::vector<int> pool = UnobservedItems(ds, 0);
+  auto one = sampler.Sample(0, 1, pool, &rng);
+  EXPECT_FALSE(one.ok());
+  EXPECT_EQ(one.status().code(), StatusCode::kFailedPrecondition);
+  // A zero-count request is trivially satisfiable.
+  auto zero = sampler.Sample(0, 0, pool, &rng);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero->empty());
+}
+
+TEST(NegativeSamplerTest, NearExhaustionUsesExactSampling) {
+  // A larger catalog where the effective pool is a sliver of the item
+  // space (pool/m < 1/250): the sampler must enumerate the pool rather
+  // than reject (rejection needs ~m/pool attempts per draw and would
+  // blow its attempt budget).
+  Dataset ds = MakeAllRatedDataset(30, 1300);
+  NegativeSampler sampler(&ds);
+  Rng rng(35);
+  const std::vector<int> pool = UnobservedItems(ds, 0);
+  ASSERT_GT(pool.size(), 10u);
+  // Exclude all but the last 5 unobserved items.
+  const std::vector<int> exclude(pool.begin(), pool.end() - 5);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto negs = sampler.Sample(0, 1, exclude, &rng);
+    ASSERT_TRUE(negs.ok()) << negs.status().ToString();
+    EXPECT_TRUE(std::find(pool.end() - 5, pool.end(), (*negs)[0]) !=
+                pool.end());
+  }
+  // Draining the remaining sliver exactly also terminates.
+  auto all = sampler.Sample(0, 5, exclude, &rng);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(CountDistinct(*all), 5);
+}
+
+TEST(GroundSetBuilderTest, KLargerThanCatalogYieldsEmptyEpoch) {
+  // No user can have more train positives than there are items, so
+  // k = num_items + 1 produces zero instances (and no error).
+  Dataset ds = MakeDataset();
+  GroundSetBuilder builder(&ds, ds.num_items() + 1, 2,
+                           TargetSelection::kSequential);
+  Rng rng(29);
+  auto epoch = builder.BuildEpoch(&rng);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_TRUE(epoch->empty());
+}
+
+TEST(GroundSetBuilderTest, UserBelowKYieldsNoInstances) {
+  // Every user in the tiny catalog has ~8-10 train positives; a window of
+  // k = num_items can never be filled, so the ground set stays empty.
+  Dataset ds = MakeAllRatedDataset();
+  GroundSetBuilder builder(&ds, ds.num_items(), 1,
+                           TargetSelection::kRandom);
+  Rng rng(31);
+  for (int u = 0; u < ds.num_users(); ++u) {
+    auto insts = builder.BuildForUser(u, &rng);
+    ASSERT_TRUE(insts.ok());
+    EXPECT_TRUE(insts->empty()) << "user " << u;
+  }
+}
+
+TEST(GroundSetBuilderTest, PropagatesNegativeSamplingExhaustion) {
+  // Users observe ~80% of a 12-item catalog; asking for 10 negatives per
+  // instance cannot be satisfied and must surface as an error, not an
+  // abort or an undersized instance.
+  Dataset ds = MakeAllRatedDataset();
+  GroundSetBuilder builder(&ds, 4, 10, TargetSelection::kSequential);
+  Rng rng(33);
+  auto insts = builder.BuildForUser(0, &rng);
+  EXPECT_FALSE(insts.ok());
+  EXPECT_EQ(insts.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GroundSetBuilderDeathTest, RejectsNonPositiveKAndN) {
+  Dataset ds = MakeAllRatedDataset();
+  EXPECT_DEATH(GroundSetBuilder(&ds, 0, 4, TargetSelection::kRandom), "");
+  EXPECT_DEATH(GroundSetBuilder(&ds, 4, 0, TargetSelection::kRandom), "");
 }
 
 TEST(GroundSetBuilderTest, SequentialWindowsCoverAllTargets) {

@@ -8,6 +8,7 @@
 #include "data/synthetic.h"
 #include "linalg/sparse.h"
 #include "models/graph_utils.h"
+#include "testing_util.h"
 
 namespace lkpdpp {
 namespace {
@@ -59,10 +60,7 @@ TEST(SparseTest, MultiplyMatchesDense) {
   }
   auto sp = SparseMatrix::FromTriplets(8, 6, triplets);
   ASSERT_TRUE(sp.ok());
-  Matrix dense(6, 4);
-  for (int r = 0; r < 6; ++r) {
-    for (int c = 0; c < 4; ++c) dense(r, c) = rng.Normal();
-  }
+  Matrix dense = testutil::RandomMatrix(6, 4, &rng);
   const Matrix expected = MatMul(sp->ToDense(), dense);
   EXPECT_LT((sp->Multiply(dense) - expected).MaxAbs(), 1e-12);
 }
@@ -76,10 +74,7 @@ TEST(SparseTest, MultiplyTransposedMatchesDense) {
   }
   auto sp = SparseMatrix::FromTriplets(7, 5, triplets);
   ASSERT_TRUE(sp.ok());
-  Matrix dense(7, 3);
-  for (int r = 0; r < 7; ++r) {
-    for (int c = 0; c < 3; ++c) dense(r, c) = rng.Normal();
-  }
+  Matrix dense = testutil::RandomMatrix(7, 3, &rng);
   const Matrix expected = MatMul(sp->ToDense().Transpose(), dense);
   EXPECT_LT((sp->MultiplyTransposed(dense) - expected).MaxAbs(), 1e-12);
 }
