@@ -20,6 +20,7 @@ int main() {
   made.status().CheckOK();
   Dataset dataset = std::move(made).ValueOrDie();
   ExperimentRunner runner(&dataset);
+  runner.SetThreadPool(bench::SharedPool());
 
   std::vector<TableRow> rows;
   struct Setting {

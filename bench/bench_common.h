@@ -14,12 +14,21 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "data/synthetic.h"
 #include "exp/runner.h"
 #include "exp/spec.h"
 #include "exp/table.h"
 
 namespace lkpdpp::bench {
+
+/// Process-wide pool shared by every bench driver; sized from LKP_THREADS
+/// (default: hardware concurrency, capped at 8). Evaluation results are
+/// bit-identical at any size, so the pool never changes reported numbers.
+inline ThreadPool* SharedPool() {
+  static ThreadPool pool(ThreadPool::DefaultThreadCount());
+  return &pool;
+}
 
 inline double ScaleFromEnv() {
   const char* env = std::getenv("LKP_SCALE");
@@ -72,6 +81,7 @@ inline ExperimentSpec BaseSpec(ModelKind model, int epochs) {
 inline TableRow RunRow(ExperimentRunner* runner, const ExperimentSpec& spec,
                        const std::string& label) {
   Stopwatch timer;
+  if (runner->thread_pool() == nullptr) runner->SetThreadPool(SharedPool());
   auto result = runner->Run(spec);
   result.status().CheckOK();
   std::printf("  [%-10s] best_epoch=%-3d epochs=%-3d val_ndcg=%.4f "

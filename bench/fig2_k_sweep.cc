@@ -15,6 +15,7 @@ namespace {
 
 void Sweep(Dataset* dataset, LkpMode mode) {
   ExperimentRunner runner(dataset);
+  runner.SetThreadPool(bench::SharedPool());
   std::printf("\n--- LkP_%s on %s (GCN) ---\n",
               mode == LkpMode::kPositiveOnly ? "PS" : "NPS",
               dataset->name().c_str());

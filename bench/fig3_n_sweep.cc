@@ -18,6 +18,7 @@ int main() {
   ds.status().CheckOK();
   Dataset dataset = std::move(ds).ValueOrDie();
   ExperimentRunner runner(&dataset);
+  runner.SetThreadPool(bench::SharedPool());
 
   std::printf("%4s %10s %10s %10s %10s %10s %10s\n", "n", "NDCG@5",
               "CC@5", "F@5", "NDCG@20", "CC@20", "F@20");

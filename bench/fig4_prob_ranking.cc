@@ -24,6 +24,7 @@ namespace {
 
 void RunMode(Dataset* dataset, LkpMode mode) {
   ExperimentRunner runner(dataset);
+  runner.SetThreadPool(bench::SharedPool());
   auto kernel = runner.GetDiversityKernel();
   kernel.status().CheckOK();
 

@@ -85,6 +85,7 @@ int main() {
   made.status().CheckOK();
   Dataset dataset = std::move(made).ValueOrDie();
   ExperimentRunner runner(&dataset);
+  runner.SetThreadPool(bench::SharedPool());
   Evaluator evaluator(&dataset);
 
   const int user = PickCaseStudyUser(dataset);

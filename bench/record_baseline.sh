@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json at the repo root: golden reference
+# outputs for regression tracking.
+#
+#   * fig2_k_sweep metrics are bit-deterministic for a fixed seed and
+#     environment, so any diff is a real behavior change.
+#   * micro_kdpp timings are machine-dependent; they are recorded as a
+#     rough shape reference (relative costs), not a pass/fail gate.
+#   * serve_throughput contributes its machine-independent determinism
+#     verdict plus indicative throughput numbers.
+#
+# Usage: bench/record_baseline.sh [build-dir]   (default: build)
+# The build dir must already contain the Release bench binaries.
+
+set -euo pipefail
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+# Pin the environment the goldens were recorded under (the binaries'
+# defaults, made explicit): what matters is that the recorded numbers
+# and any future comparison use the SAME pins.
+export LKP_SCALE=1.0
+export LKP_EPOCHS=36
+export LKP_SERVE_REQUESTS=300
+export LKP_THREADS=2
+
+FIG2_OUT=$(mktemp)
+MICRO_OUT=$(mktemp)
+SERVE_OUT=$(mktemp)
+trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT"' EXIT
+
+echo "running fig2_k_sweep (LKP_SCALE=$LKP_SCALE LKP_EPOCHS=$LKP_EPOCHS)..."
+"$BUILD_DIR/bench/fig2_k_sweep" > "$FIG2_OUT"
+
+if [ -x "$BUILD_DIR/bench/micro_kdpp" ]; then
+  echo "running micro_kdpp..."
+  "$BUILD_DIR/bench/micro_kdpp" --benchmark_format=json \
+    --benchmark_min_time=0.05 > "$MICRO_OUT"
+else
+  echo "micro_kdpp not built (Google Benchmark missing); skipping"
+  echo '{}' > "$MICRO_OUT"
+fi
+
+echo "running serve_throughput (LKP_SERVE_REQUESTS=$LKP_SERVE_REQUESTS)..."
+"$BUILD_DIR/bench/serve_throughput" > "$SERVE_OUT"
+
+python3 - "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" <<'EOF'
+import json, os, re, sys
+
+fig2_path, micro_path, serve_path = sys.argv[1:4]
+
+# --- fig2_k_sweep: parse the per-k metric rows under each mode header.
+fig2 = {}
+mode = None
+for line in open(fig2_path):
+    m = re.match(r"--- (LkP_\w+) on", line)
+    if m:
+        mode = m.group(1)
+        fig2[mode] = []
+        continue
+    m = re.match(r"\s*(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+(\d+)\s*$",
+                 line)
+    if m and mode:
+        fig2[mode].append({
+            "k": int(m.group(1)),
+            "ndcg5": float(m.group(2)),
+            "cc5": float(m.group(3)),
+            "f5": float(m.group(4)),
+            "best_epoch": int(m.group(5)),
+        })
+
+# --- micro_kdpp: keep name + cpu time; timings are shape reference only.
+micro = []
+try:
+    data = json.load(open(micro_path))
+    for b in data.get("benchmarks", []):
+        micro.append({
+            "name": b["name"],
+            "cpu_time_ns": round(b["cpu_time"], 1),
+        })
+except (json.JSONDecodeError, KeyError):
+    pass
+
+# --- serve_throughput: throughput rows + the determinism verdict.
+serve = {"deterministic_across_threads": True, "cold": [], "warm": []}
+section = None
+for line in open(serve_path):
+    m = re.match(r"--- mode=(\w+), (cold|warm) cache", line)
+    if m:
+        section = (m.group(1), m.group(2))
+        continue
+    if "DETERMINISM VIOLATION" in line:
+        serve["deterministic_across_threads"] = False
+    m = re.match(r"\s*(\d+)\s+([\d.]+)\s+([\d.]+)x", line)
+    if m and section and section[1] == "cold":
+        serve["cold"].append({
+            "mode": section[0],
+            "threads": int(m.group(1)),
+            "rps": float(m.group(2)),
+            "speedup": float(m.group(3)),
+        })
+        continue
+    m = re.match(r"\s*(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$", line)
+    if m and section and section[1] == "warm":
+        serve["warm"].append({
+            "mode": section[0],
+            "threads": int(m.group(1)),
+            "rps": float(m.group(2)),
+            "hit_rate": float(m.group(3)),
+        })
+
+baseline = {
+    "comment": (
+        "Golden bench baselines. fig2 metrics are bit-deterministic for "
+        "the pinned environment below: a diff means behavior changed. "
+        "micro_kdpp/serve rps are machine-dependent shape references. "
+        "Regenerate with bench/record_baseline.sh."),
+    "environment": {
+        "LKP_SCALE": os.environ["LKP_SCALE"],
+        "LKP_EPOCHS": os.environ["LKP_EPOCHS"],
+        "LKP_SERVE_REQUESTS": os.environ["LKP_SERVE_REQUESTS"],
+        "LKP_THREADS": os.environ["LKP_THREADS"],
+        "build_type": "Release",
+    },
+    "fig2_k_sweep": fig2,
+    "micro_kdpp": micro,
+    "serve_throughput": serve,
+}
+with open("BENCH_baseline.json", "w") as f:
+    json.dump(baseline, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_baseline.json")
+EOF

@@ -1,0 +1,180 @@
+// Serving throughput: requests/sec of RecommendationService as a
+// function of thread count (1-8), for both serve modes, on the
+// Beauty-like synthetic dataset with an MF backbone.
+//
+// Two sections per mode:
+//   * cold: cache disabled, every request pays the full kernel build +
+//     (sampling mode) eigendecomposition — the CPU-scaling story;
+//   * warm: production-size cache after a priming pass — the memoization
+//     story (hit-rate ~1, so this measures the cache path).
+// After the sweep the harness re-serves the same request trace at every
+// thread count and verifies the responses are bit-identical, i.e. the
+// determinism contract of the serving engine.
+//
+//   ./build/bench/serve_throughput
+//
+// LKP_SCALE scales the dataset; LKP_SERVE_REQUESTS overrides the trace
+// length (default 600). Speedups are relative to the 1-thread row and
+// are only meaningful on a machine with that many physical cores.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "models/mf.h"
+#include "serve/service.h"
+
+namespace lkpdpp {
+namespace {
+
+int RequestsFromEnv() {
+  const char* env = std::getenv("LKP_SERVE_REQUESTS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 600;
+}
+
+std::vector<std::vector<RecRequest>> BuildTrace(int num_users,
+                                                int num_requests,
+                                                int batch_size) {
+  // Round-robin users with a stride that is coprime to most catalog
+  // sizes, so consecutive batches mix users instead of replaying them.
+  std::vector<std::vector<RecRequest>> trace;
+  int emitted = 0;
+  int cursor = 0;
+  while (emitted < num_requests) {
+    std::vector<RecRequest> batch;
+    const int take = std::min(batch_size, num_requests - emitted);
+    for (int i = 0; i < take; ++i) {
+      batch.push_back(RecRequest{cursor % num_users});
+      cursor += 7;
+    }
+    trace.push_back(std::move(batch));
+    emitted += take;
+  }
+  return trace;
+}
+
+struct RunResult {
+  double rps = 0.0;
+  double hit_rate = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  std::vector<std::vector<int>> items;  // Flattened response trace.
+};
+
+RunResult RunTrace(const Dataset& dataset, MfModel* model,
+                   const DiversityKernel& diversity, ServeMode mode,
+                   int threads, int cache_capacity, bool prime,
+                   const std::vector<std::vector<RecRequest>>& trace) {
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  ServeConfig config;
+  config.mode = mode;
+  config.top_k = 10;
+  config.pool_size = 30;
+  config.cache_capacity = cache_capacity;
+  config.seed = 0xBE7C4;
+  auto service = RecommendationService::Create(&dataset, model, &diversity,
+                                               pool.get(), config);
+  service.status().CheckOK();
+  if (prime) {
+    for (const auto& batch : trace) {
+      (*service)->HandleBatch(batch).status().CheckOK();
+    }
+    (*service)->ResetStats();
+  }
+  RunResult out;
+  for (const auto& batch : trace) {
+    auto responses = (*service)->HandleBatch(batch);
+    responses.status().CheckOK();
+    for (const RecResponse& r : *responses) {
+      out.items.push_back(r.items);
+    }
+  }
+  const ServeStats stats = (*service)->Snapshot();
+  out.rps = stats.throughput_rps;
+  out.hit_rate = stats.CacheHitRate();
+  out.p50 = stats.latency_p50_ms;
+  out.p99 = stats.latency_p99_ms;
+  return out;
+}
+
+void Sweep(const Dataset& dataset, MfModel* model,
+           const DiversityKernel& diversity, ServeMode mode,
+           const std::vector<std::vector<RecRequest>>& trace) {
+  std::printf("\n--- mode=%s, cold cache ---\n", ServeModeName(mode));
+  std::printf("%8s %12s %10s %10s %10s\n", "threads", "req/s", "speedup",
+              "p50(ms)", "p99(ms)");
+  double base_rps = 0.0;
+  std::vector<std::vector<int>> reference;
+  for (int threads : {1, 2, 4, 8}) {
+    const RunResult r = RunTrace(dataset, model, diversity, mode, threads,
+                                 /*cache_capacity=*/0, /*prime=*/false,
+                                 trace);
+    if (threads == 1) {
+      base_rps = r.rps;
+      reference = r.items;
+    }
+    long mismatches = 0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      if (r.items[i] != reference[i]) ++mismatches;
+    }
+    std::printf("%8d %12.1f %9.2fx %10.3f %10.3f   %s\n", threads, r.rps,
+                base_rps > 0.0 ? r.rps / base_rps : 0.0, r.p50, r.p99,
+                mismatches == 0 ? "bit-identical"
+                                : "DETERMINISM VIOLATION");
+    std::fflush(stdout);
+    if (mismatches != 0) std::exit(1);
+  }
+
+  std::printf("--- mode=%s, warm cache (primed) ---\n", ServeModeName(mode));
+  std::printf("%8s %12s %10s %10s\n", "threads", "req/s", "hit_rate",
+              "p50(ms)");
+  for (int threads : {1, 4}) {
+    const RunResult r = RunTrace(dataset, model, diversity, mode, threads,
+                                 /*cache_capacity=*/4096, /*prime=*/true,
+                                 trace);
+    std::printf("%8d %12.1f %10.3f %10.3f\n", threads, r.rps, r.hit_rate,
+                r.p50);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace lkpdpp
+
+int main() {
+  using namespace lkpdpp;
+  std::printf("=== serve_throughput: requests/sec vs thread count ===\n");
+  auto ds = GenerateSyntheticDataset(BeautyLikeConfig(bench::ScaleFromEnv()));
+  ds.status().CheckOK();
+  Dataset dataset = std::move(ds).ValueOrDie();
+
+  MfModel::Config mcfg;
+  mcfg.embedding_dim = 16;
+  mcfg.seed = 7;
+  MfModel model(dataset.num_users(), dataset.num_items(), mcfg);
+  DiversityKernel diversity =
+      DiversityKernel::Random(dataset.num_items(), 16, /*seed=*/21);
+
+  const int num_requests = RequestsFromEnv();
+  const auto trace = BuildTrace(dataset.num_users(), num_requests,
+                                /*batch_size=*/32);
+  std::printf("dataset=%s users=%d items=%d requests=%d batch=32\n",
+              dataset.name().c_str(), dataset.num_users(),
+              dataset.num_items(), num_requests);
+
+  Sweep(dataset, &model, diversity, ServeMode::kMapRerank, trace);
+  Sweep(dataset, &model, diversity, ServeMode::kSample, trace);
+  std::printf("\nnote: speedups are bounded by physical cores; the "
+              "determinism check is machine-independent.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Online serving: the batched, multi-threaded k-DPP recommendation
+// engine layered on a trained model.
+//
+// Trains a small MF backbone with LkP, wraps it in a
+// RecommendationService via the experiment runner (which shares its
+// pre-learned diversity kernel), then serves batched top-k requests in
+// both modes — greedy MAP rerank and exact k-DPP sampling — and prints
+// the serving stats: latency percentiles, cache hit rate, and batch
+// occupancy.
+//
+//   ./build/examples/serving_demo
+
+#include <cstdio>
+
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "exp/runner.h"
+#include "serve/service.h"
+
+int main() {
+  using namespace lkpdpp;
+  auto dataset = GenerateSyntheticDataset(BeautyLikeConfig(0.6));
+  dataset.status().CheckOK();
+
+  // One work-stealing pool serves both offline evaluation and online
+  // requests.
+  ThreadPool pool(ThreadPool::DefaultThreadCount());
+  ExperimentRunner runner(&*dataset);
+  runner.SetThreadPool(&pool);
+
+  ExperimentSpec spec;
+  spec.model = ModelKind::kMf;
+  spec.criterion = CriterionKind::kLkp;
+  spec.epochs = 18;
+  std::unique_ptr<RecModel> model;
+  auto trained = runner.RunAndKeepModel(spec, &model);
+  trained.status().CheckOK();
+  std::printf("trained %s with LkP: best val NDCG@10 %.4f (epoch %d)\n\n",
+              model->name().c_str(), trained->best_validation_ndcg,
+              trained->best_epoch);
+
+  for (ServeMode mode : {ServeMode::kMapRerank, ServeMode::kSample}) {
+    ServeConfig config;
+    config.mode = mode;
+    config.top_k = 5;
+    config.pool_size = 25;
+    auto service = runner.MakeService(model.get(), config);
+    service.status().CheckOK();
+
+    // Serve a few batches; users repeat across batches, so the kernel
+    // cache absorbs the O(n^3) work after the first round.
+    for (int round = 0; round < 3; ++round) {
+      std::vector<RecRequest> batch;
+      for (int u = 0; u < 24; ++u) {
+        batch.push_back(RecRequest{u % dataset->num_users()});
+      }
+      auto responses = (*service)->HandleBatch(batch);
+      responses.status().CheckOK();
+      if (round == 0 && mode == ServeMode::kMapRerank) {
+        const RecResponse& r = responses->front();
+        std::printf("user %d, %s top-%d:", r.user, ServeModeName(mode),
+                    config.top_k);
+        for (int item : r.items) std::printf(" %d", item);
+        std::printf("\n");
+      }
+    }
+    const ServeStats stats = (*service)->Snapshot();
+    std::printf("[%s] %s\n", ServeModeName(mode),
+                stats.ToString().c_str());
+  }
+
+  std::printf("\nsame pool, same kernels: the serving path is the "
+              "architectural seam future sharding/async work plugs "
+              "into.\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace lkpdpp {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  LKP_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    ++pending_;
+  }
+  const unsigned slot =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<unsigned>(workers_.size());
+  Worker& w = *workers_[slot];
+  {
+    std::lock_guard<std::mutex> lk(w.mu);
+    w.queue.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    ++work_signal_;
+  }
+  idle_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lk(pending_mu_);
+  pending_cv_.wait(lk, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::RunTask(std::function<void()>* task) {
+  (*task)();
+  std::lock_guard<std::mutex> lk(pending_mu_);
+  if (--pending_ == 0) pending_cv_.notify_all();
+}
+
+bool ThreadPool::PopOwn(int self, std::function<void()>* task) {
+  Worker& w = *workers_[static_cast<size_t>(self)];
+  std::lock_guard<std::mutex> lk(w.mu);
+  if (w.queue.empty()) return false;
+  *task = std::move(w.queue.back());
+  w.queue.pop_back();
+  return true;
+}
+
+bool ThreadPool::Steal(int self, std::function<void()>* task) {
+  const int n = static_cast<int>(workers_.size());
+  // Scan victims starting just past ourselves so thieves spread out.
+  for (int off = 1; off < n; ++off) {
+    Worker& w = *workers_[static_cast<size_t>((self + off) % n)];
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (w.queue.empty()) continue;
+    *task = std::move(w.queue.front());
+    w.queue.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  unsigned long seen_signal = 0;
+  std::function<void()> task;
+  while (true) {
+    if (PopOwn(self, &task) || Steal(self, &task)) {
+      RunTask(&task);
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(idle_mu_);
+    if (stop_) return;
+    if (work_signal_ == seen_signal) {
+      idle_cv_.wait(lk, [this, seen_signal] {
+        return stop_ || work_signal_ != seen_signal;
+      });
+      if (stop_) return;
+    }
+    seen_signal = work_signal_;
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  // Shared claim state. Helpers that get scheduled after the loop is
+  // drained see next >= n and return immediately; the shared_ptr keeps
+  // the state alive past this call for those stragglers.
+  struct State {
+    std::atomic<int> next{0};
+    std::atomic<int> completed{0};
+    int n;
+    std::function<void(int)> fn;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->fn = fn;
+
+  auto drain = [](const std::shared_ptr<State>& s) {
+    int i;
+    while ((i = s->next.fetch_add(1, std::memory_order_relaxed)) < s->n) {
+      s->fn(i);
+      if (s->completed.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  const int helpers = std::min(num_threads(), n - 1);
+  for (int h = 0; h < helpers; ++h) {
+    Submit([state, drain] { drain(state); });
+  }
+  // The calling thread claims iterations too, so completion never depends
+  // on the helpers actually being scheduled.
+  drain(state);
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->cv.wait(lk, [&state] {
+    return state->completed.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+int ThreadPool::DefaultThreadCount(int max_default) {
+  const char* env = std::getenv("LKP_THREADS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) return 1;
+  return hw < max_default ? hw : max_default;
+}
+
+}  // namespace lkpdpp

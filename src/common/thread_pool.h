@@ -1,0 +1,96 @@
+// General-purpose work-stealing thread pool.
+//
+// Each worker owns a deque: it pops its own work LIFO (cache-warm) and
+// steals FIFO from a random victim when idle, so bursty task graphs
+// balance themselves without a global bottleneck. External submissions
+// are sprayed round-robin across the worker deques.
+//
+// Determinism contract: the pool never introduces randomness into task
+// *results* — callers that need random draws fork one Rng per task in
+// submission order (Rng::Fork) before dispatch, so outputs are
+// bit-identical at any thread count. ParallelFor writes results by index
+// for the same reason.
+
+#ifndef LKPDPP_COMMON_THREAD_POOL_H_
+#define LKPDPP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lkpdpp {
+
+/// Fixed-size pool of worker threads with per-worker stealing deques.
+/// Thread-safe: Submit / ParallelFor may be called from any thread,
+/// including concurrently. Destruction waits for all submitted work.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1). A 1-thread pool is a
+  /// valid degenerate case; ParallelFor additionally runs the calling
+  /// thread as a worker, so even `num_threads == 1` overlaps two lanes.
+  explicit ThreadPool(int num_threads);
+
+  /// Waits for every submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Runs fn(0) .. fn(n-1), blocking until all complete. Iterations are
+  /// claimed dynamically by the workers *and* the calling thread, so this
+  /// cannot deadlock even when every worker is busy elsewhere. `fn` must
+  /// be safe to invoke concurrently for distinct indices.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  /// Thread count from the LKP_THREADS environment variable, falling back
+  /// to std::thread::hardware_concurrency() capped at `max_default`.
+  static int DefaultThreadCount(int max_default = 8);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void WorkerLoop(int self);
+  /// Pops from the back of worker `self`'s own deque.
+  bool PopOwn(int self, std::function<void()>* task);
+  /// Steals from the front of some other worker's deque.
+  bool Steal(int self, std::function<void()>* task);
+  void RunTask(std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Round-robin injection cursor for external submissions.
+  std::atomic<unsigned> next_queue_{0};
+
+  // Sleep/wake machinery: work_signal_ increments on every Submit so
+  // sleeping workers can tell "new work arrived since I last looked".
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  unsigned long work_signal_ = 0;
+  bool stop_ = false;
+
+  // Outstanding-task accounting for Wait() and the destructor.
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  long pending_ = 0;
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_COMMON_THREAD_POOL_H_

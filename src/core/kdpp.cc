@@ -40,12 +40,12 @@ Result<std::vector<int>> ValidateSubset(const std::vector<int>& subset, int k,
 }  // namespace
 
 KDpp::KDpp(Matrix kernel, int k, EigenDecomposition eig, double log_zk,
-           Vector esp_all)
+           Matrix esp_table)
     : kernel_(std::move(kernel)),
       k_(k),
       eig_(std::move(eig)),
       log_zk_(log_zk),
-      esp_all_(std::move(esp_all)) {}
+      esp_table_(std::move(esp_table)) {}
 
 Result<KDpp> KDpp::Create(Matrix kernel, int k) {
   if (kernel.rows() != kernel.cols()) {
@@ -73,8 +73,10 @@ Result<KDpp> KDpp::Create(Matrix kernel, int k) {
     }
     if (eig.eigenvalues[i] < 0.0) eig.eigenvalues[i] = 0.0;
   }
-  Vector esp_all = AllElementarySymmetric(eig.eigenvalues, k);
-  const double zk = esp_all[k];
+  // One Algorithm-1 DP table serves both the normalizer (last column)
+  // and every subsequent Sample call's backward walk.
+  Matrix esp_table = EspTable(eig.eigenvalues, k);
+  const double zk = esp_table(k, m);
   if (!(zk > 0.0) || !std::isfinite(zk)) {
     return Status::NumericalError(
         StrFormat("k-DPP normalizer e_%d = %.3e is not positive/finite "
@@ -82,7 +84,7 @@ Result<KDpp> KDpp::Create(Matrix kernel, int k) {
                   k, zk));
   }
   return KDpp(std::move(kernel), k, std::move(eig), std::log(zk),
-              std::move(esp_all));
+              std::move(esp_table));
 }
 
 Result<double> KDpp::LogProb(const std::vector<int>& subset) const {
@@ -130,8 +132,8 @@ Result<std::vector<int>> KDpp::Sample(Rng* rng) const {
 
   // Phase 1 (Kulesza & Taskar Alg. 8): choose k eigenvector indices J,
   // P(n in J) proportional to products of eigenvalues, by walking the
-  // ESP table backwards.
-  const Matrix table = EspTable(lambda, k_);
+  // ESP table (precomputed at Create) backwards.
+  const Matrix& table = esp_table_;
   std::vector<int> selected;
   selected.reserve(k_);
   int l = k_;

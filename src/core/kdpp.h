@@ -57,7 +57,10 @@ class KDpp {
   /// Exact sample of a cardinality-k subset (ascending indices).
   /// Two-phase algorithm: select an elementary DPP (eigenvector subset of
   /// size k) by walking the ESP table, then sample the elementary DPP by
-  /// iterative projection.
+  /// iterative projection. The ESP table is computed once at Create time
+  /// and shared by all Sample calls, so repeated draws skip the O(m*k)
+  /// table rebuild. Thread-safe: concurrent calls with distinct Rngs only
+  /// read shared state.
   Result<std::vector<int>> Sample(Rng* rng) const;
 
   /// Marginal kernel M with M_ii = P(i in S); in general
@@ -74,13 +77,15 @@ class KDpp {
 
  private:
   KDpp(Matrix kernel, int k, EigenDecomposition eig, double log_zk,
-       Vector esp_all);
+       Matrix esp_table);
 
   Matrix kernel_;
   int k_;
   EigenDecomposition eig_;
   double log_zk_;
-  Vector esp_all_;  // e_0..e_k over all eigenvalues.
+  Matrix esp_table_;  // Full Algorithm-1 table, reused by every Sample;
+                      // its last column holds e_0..e_k over all
+                      // eigenvalues (e_k is the normalizer).
 };
 
 /// Number of cardinality-k subsets of an m-set, as a double (exact for the

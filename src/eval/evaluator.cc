@@ -16,6 +16,14 @@ std::vector<bool> Evaluator::ExclusionMask(int user) const {
   return excluded;
 }
 
+void Evaluator::ForEach(int n, const std::function<void(int)>& fn) const {
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(n, fn);
+  } else {
+    for (int i = 0; i < n; ++i) fn(i);
+  }
+}
+
 std::map<int, MetricSet> Evaluator::Evaluate(
     RecModel* model, const std::vector<int>& cutoffs) const {
   model->PrepareForEval();
@@ -25,21 +33,36 @@ std::map<int, MetricSet> Evaluator::Evaluate(
   const std::vector<int> users = dataset_->EvaluableUsers();
   const int max_n =
       *std::max_element(cutoffs.begin(), cutoffs.end());
-  for (int u : users) {
+
+  // Per-user metric rows land in index-addressed slots; the reduction
+  // below walks them in user order so sums are bit-identical at any
+  // thread count.
+  std::vector<std::map<int, MetricSet>> rows(users.size());
+  ForEach(static_cast<int>(users.size()), [&](int i) {
+    const int u = users[static_cast<size_t>(i)];
     const Vector scores = model->ScoreAllItems(u);
     const std::vector<int> ranked =
         TopNExcluding(scores, max_n, ExclusionMask(u));
     const std::vector<int>& test = dataset_->TestItems(u);
+    std::map<int, MetricSet>& row = rows[static_cast<size_t>(i)];
     for (int n : cutoffs) {
-      MetricSet& m = totals[n];
-      const double re = RecallAtN(ranked, test, n);
-      const double nd = NdcgAtN(ranked, test, n);
-      const double cc = CategoryCoverageAtN(ranked, n, *dataset_);
-      m.recall += re;
-      m.ndcg += nd;
-      m.category_coverage += cc;
-      m.f_score += FScore(re, nd, cc);
-      m.ild += IntraListDistanceAtN(ranked, n, *dataset_);
+      MetricSet m;
+      m.recall = RecallAtN(ranked, test, n);
+      m.ndcg = NdcgAtN(ranked, test, n);
+      m.category_coverage = CategoryCoverageAtN(ranked, n, *dataset_);
+      m.f_score = FScore(m.recall, m.ndcg, m.category_coverage);
+      m.ild = IntraListDistanceAtN(ranked, n, *dataset_);
+      row[n] = m;
+    }
+  });
+  for (const std::map<int, MetricSet>& row : rows) {
+    for (const auto& [n, m] : row) {
+      MetricSet& t = totals[n];
+      t.recall += m.recall;
+      t.ndcg += m.ndcg;
+      t.category_coverage += m.category_coverage;
+      t.f_score += m.f_score;
+      t.ild += m.ild;
     }
   }
   const double inv = users.empty() ? 0.0 : 1.0 / users.size();
@@ -55,11 +78,13 @@ std::map<int, MetricSet> Evaluator::Evaluate(
 
 double Evaluator::ValidationNdcg(RecModel* model, int cutoff) const {
   model->PrepareForEval();
-  double total = 0.0;
-  int count = 0;
-  for (int u = 0; u < dataset_->num_users(); ++u) {
+  const int num_users = dataset_->num_users();
+  // One slot per user; skipped users keep a sentinel so the ordered
+  // reduction matches the serial loop exactly.
+  std::vector<double> ndcg(static_cast<size_t>(num_users), -1.0);
+  ForEach(num_users, [&](int u) {
     const std::vector<int>& val = dataset_->ValItems(u);
-    if (val.empty() || dataset_->TrainItems(u).empty()) continue;
+    if (val.empty() || dataset_->TrainItems(u).empty()) return;
     // Exclude only train positives: validation items are the targets.
     std::vector<bool> excluded(
         static_cast<size_t>(dataset_->num_items()), false);
@@ -68,7 +93,13 @@ double Evaluator::ValidationNdcg(RecModel* model, int cutoff) const {
     }
     const Vector scores = model->ScoreAllItems(u);
     const std::vector<int> ranked = TopNExcluding(scores, cutoff, excluded);
-    total += NdcgAtN(ranked, val, cutoff);
+    ndcg[static_cast<size_t>(u)] = NdcgAtN(ranked, val, cutoff);
+  });
+  double total = 0.0;
+  int count = 0;
+  for (double v : ndcg) {
+    if (v < 0.0) continue;
+    total += v;
     ++count;
   }
   return count > 0 ? total / count : 0.0;

@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
 #include "models/rec_model.h"
@@ -15,9 +16,18 @@ namespace lkpdpp {
 /// Scores every evaluable user's full catalog (excluding their train and
 /// validation positives from the candidates, the standard protocol),
 /// extracts top-N lists, and averages the metrics.
+///
+/// With a ThreadPool attached, per-user scoring fans out over the pool.
+/// Per-user results land in index-addressed slots and are reduced in user
+/// order, so metrics are bit-identical at any thread count.
 class Evaluator {
  public:
   explicit Evaluator(const Dataset* dataset) : dataset_(dataset) {}
+
+  /// Attaches (or detaches, with nullptr) a pool for parallel per-user
+  /// evaluation. The pool must outlive the evaluator's calls.
+  void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
 
   /// Metrics averaged over evaluable users, keyed by cutoff N.
   /// Calls model->PrepareForEval() once.
@@ -35,7 +45,11 @@ class Evaluator {
 
  private:
   std::vector<bool> ExclusionMask(int user) const;
+  /// Runs fn(i) for i in [0, n), over the pool when attached.
+  void ForEach(int n, const std::function<void(int)>& fn) const;
+
   const Dataset* dataset_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace lkpdpp

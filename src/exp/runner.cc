@@ -122,6 +122,18 @@ Result<const DiversityKernel*> ExperimentRunner::GetDiversityKernel() {
   return cached_kernel_.get();
 }
 
+Result<std::unique_ptr<RecommendationService>> ExperimentRunner::MakeService(
+    RecModel* model, ServeConfig config) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("MakeService requires a trained model");
+  }
+  LKP_ASSIGN_OR_RETURN(const DiversityKernel* diversity,
+                       GetDiversityKernel());
+  config.quality = model->PreferredQuality();
+  return RecommendationService::Create(dataset_, model, diversity, pool_,
+                                       config);
+}
+
 Result<ExperimentResult> ExperimentRunner::Run(
     const ExperimentSpec& spec, const std::vector<int>& cutoffs) {
   std::unique_ptr<RecModel> model;

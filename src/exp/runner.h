@@ -15,12 +15,14 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/criterion.h"
 #include "data/dataset.h"
 #include "eval/evaluator.h"
 #include "exp/spec.h"
 #include "kernels/diversity_kernel.h"
 #include "models/rec_model.h"
+#include "serve/service.h"
 
 namespace lkpdpp {
 
@@ -42,6 +44,16 @@ class ExperimentRunner {
  public:
   explicit ExperimentRunner(const Dataset* dataset)
       : dataset_(dataset), evaluator_(dataset) {}
+
+  /// Attaches a pool so the per-epoch validation and final test
+  /// evaluation fan out per user (results stay bit-identical; see
+  /// Evaluator). Pass nullptr to go back to serial. The pool must
+  /// outlive the runner's Run calls.
+  void SetThreadPool(ThreadPool* pool) {
+    pool_ = pool;
+    evaluator_.SetThreadPool(pool);
+  }
+  ThreadPool* thread_pool() const { return pool_; }
 
   /// Trains per `spec` and evaluates at `cutoffs` (default 5/10/20).
   Result<ExperimentResult> Run(const ExperimentSpec& spec,
@@ -67,9 +79,18 @@ class ExperimentRunner {
   std::unique_ptr<RankingCriterion> MakeCriterion(
       const ExperimentSpec& spec, QualityTransform quality) const;
 
+  /// Wraps a trained model in a serving engine over this runner's cached
+  /// diversity kernel (training the kernel on first use) and attached
+  /// thread pool. The model and this runner must outlive the service.
+  /// If `config.quality` disagrees with the model's PreferredQuality it
+  /// is overridden to match.
+  Result<std::unique_ptr<RecommendationService>> MakeService(
+      RecModel* model, ServeConfig config = ServeConfig{});
+
  private:
   const Dataset* dataset_;
   Evaluator evaluator_;
+  ThreadPool* pool_ = nullptr;
   std::unique_ptr<DiversityKernel> cached_kernel_;
 };
 

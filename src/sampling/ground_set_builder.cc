@@ -72,4 +72,33 @@ Result<std::vector<TrainingInstance>> GroundSetBuilder::BuildEpoch(
   return out;
 }
 
+std::vector<int> GroundSetBuilder::BuildServingPool(const Dataset& dataset,
+                                                    int user,
+                                                    const Vector& scores,
+                                                    int pool_size) {
+  LKP_CHECK_EQ(scores.size(), dataset.num_items());
+  std::vector<int> candidates;
+  candidates.reserve(static_cast<size_t>(dataset.num_items()));
+  for (int i = 0; i < dataset.num_items(); ++i) {
+    if (!dataset.IsObserved(user, i)) candidates.push_back(i);
+  }
+  if (pool_size < static_cast<int>(candidates.size())) {
+    std::partial_sort(candidates.begin(), candidates.begin() + pool_size,
+                      candidates.end(), [&scores](int a, int b) {
+                        if (scores[a] != scores[b]) {
+                          return scores[a] > scores[b];
+                        }
+                        return a < b;
+                      });
+    candidates.resize(static_cast<size_t>(pool_size));
+  } else {
+    std::sort(candidates.begin(), candidates.end(),
+              [&scores](int a, int b) {
+                if (scores[a] != scores[b]) return scores[a] > scores[b];
+                return a < b;
+              });
+  }
+  return candidates;
+}
+
 }  // namespace lkpdpp

@@ -18,6 +18,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "data/dataset.h"
+#include "linalg/matrix.h"
 #include "sampling/instance.h"
 #include "sampling/negative_sampler.h"
 
@@ -53,6 +54,17 @@ class GroundSetBuilder {
 
   /// Instances for every user, in user order (callers shuffle).
   Result<std::vector<TrainingInstance>> BuildEpoch(Rng* rng) const;
+
+  /// Serving-side ground set: the user's `pool_size` highest-scoring
+  /// items that are neither train nor validation positives, in
+  /// descending-score order (ties broken by smaller item id, so the pool
+  /// is bit-deterministic at any thread count). Returns fewer than
+  /// `pool_size` items when the unobserved catalog is smaller. `scores`
+  /// must cover the full catalog. Static: serving pools depend only on
+  /// the dataset, not on the k/n/mode training shape.
+  static std::vector<int> BuildServingPool(const Dataset& dataset, int user,
+                                           const Vector& scores,
+                                           int pool_size);
 
  private:
   const Dataset* dataset_;

@@ -1,0 +1,91 @@
+#include "serve/kernel_cache.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lkpdpp {
+
+uint64_t HashGroundSet(const std::vector<int>& items) {
+  uint64_t state = 0x243F6A8885A308D3ULL ^ (items.size() * 0x100000001B3ULL);
+  for (int item : items) {
+    // Chain the avalanche-mixed output so every item diffuses into all
+    // 64 bits (the state increment alone only carries upward).
+    state ^= static_cast<uint64_t>(item) + 0x9E3779B97F4A7C15ULL;
+    state = SplitMix64(&state);
+  }
+  return state;
+}
+
+KernelCache::KernelCache(int capacity) : capacity_(capacity) {
+  LKP_CHECK_GE(capacity, 0);
+}
+
+std::shared_ptr<const ServedKernel> KernelCache::Get(int user,
+                                                     uint64_t ground_hash) {
+  const Key key{user, ground_hash};
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void KernelCache::Put(int user, uint64_t ground_hash,
+                      std::shared_ptr<const ServedKernel> value) {
+  if (capacity_ == 0) return;
+  const Key key{user, ground_hash};
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent fill of the same key: keep the newer value, refresh.
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  while (static_cast<int>(lru_.size()) > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void KernelCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+void KernelCache::ResetCounters() {
+  std::lock_guard<std::mutex> lk(mu_);
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
+int KernelCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(lru_.size());
+}
+
+long KernelCache::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+long KernelCache::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
+long KernelCache::evictions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evictions_;
+}
+
+}  // namespace lkpdpp

@@ -1,0 +1,109 @@
+// LRU memoization of per-(user, ground set) serving kernels.
+//
+// Building a personalized k-DPP over a candidate pool costs an O(n^3)
+// eigendecomposition plus the ESP table (the hot path the ROADMAP flags).
+// For a fixed trained model the conditioned kernel is a pure function of
+// (user, ground set), so repeat requests can skip all of it. The cache
+// stores the assembled quality x diversity kernel and, for sampling mode,
+// the fully decomposed KDpp (eigenpairs + ESP table) behind shared_ptr,
+// so an entry evicted mid-request stays alive for its readers.
+//
+// Invalidation: entries are valid only for the model snapshot they were
+// computed under. Retraining or swapping the model requires Clear() (the
+// service owns this; see RecommendationService).
+
+#ifndef LKPDPP_SERVE_KERNEL_CACHE_H_
+#define LKPDPP_SERVE_KERNEL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/kdpp.h"
+#include "linalg/matrix.h"
+
+namespace lkpdpp {
+
+/// Everything reusable about one (user, ground set) pair.
+struct ServedKernel {
+  /// The exact ground set this kernel was built for. Consumers compare
+  /// this against their pool on a cache hit, so a 64-bit hash collision
+  /// costs one rebuild instead of silently serving the wrong kernel.
+  std::vector<int> items;
+  /// Conditioned kernel L = Diag(q) (alpha*K + (1-alpha)*I) Diag(q) over
+  /// the pool, in pool-local indices. MAP-rerank mode only: sampling-mode
+  /// entries keep the kernel inside `kdpp` (kdpp->kernel()) instead of
+  /// storing a second copy.
+  Matrix kernel;
+  /// Decomposed k-DPP over the conditioned kernel (sampling mode only;
+  /// null for MAP rerank, which needs no eigendecomposition).
+  std::shared_ptr<const KDpp> kdpp;
+};
+
+/// Order-sensitive hash of a ground set (SplitMix64 chaining). Serving
+/// pools are always produced in descending-score order, so equal sets
+/// hash equally.
+uint64_t HashGroundSet(const std::vector<int>& items);
+
+/// Thread-safe LRU cache keyed on (user, ground-set hash). Capacity 0
+/// disables caching (Get always misses, Put drops).
+class KernelCache {
+ public:
+  explicit KernelCache(int capacity);
+
+  /// Returns the entry and refreshes its recency, or null on miss.
+  std::shared_ptr<const ServedKernel> Get(int user, uint64_t ground_hash);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry when over capacity.
+  void Put(int user, uint64_t ground_hash,
+           std::shared_ptr<const ServedKernel> value);
+
+  void Clear();
+
+  /// Zeroes hit/miss/eviction counters without touching the entries
+  /// (used by ServeStats windows).
+  void ResetCounters();
+
+  int capacity() const { return capacity_; }
+  int size() const;
+  long hits() const;
+  long misses() const;
+  long evictions() const;
+
+ private:
+  struct Key {
+    int user;
+    uint64_t hash;
+    bool operator==(const Key& o) const {
+      return user == o.user && hash == o.hash;
+    }
+  };
+  struct KeyHasher {
+    size_t operator()(const Key& k) const {
+      // SplitMix64-style finalizer over the pair.
+      uint64_t x = k.hash ^ (static_cast<uint64_t>(k.user) * 0x9E3779B97F4A7C15ULL);
+      x ^= x >> 30;
+      x *= 0xBF58476D1CE4E5B9ULL;
+      x ^= x >> 27;
+      return static_cast<size_t>(x);
+    }
+  };
+  using Entry = std::pair<Key, std::shared_ptr<const ServedKernel>>;
+
+  const int capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index_;
+  long hits_ = 0;
+  long misses_ = 0;
+  long evictions_ = 0;
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_SERVE_KERNEL_CACHE_H_

@@ -1,0 +1,339 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/map_inference.h"
+
+namespace lkpdpp {
+
+const char* ServeModeName(ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kMapRerank:
+      return "map_rerank";
+    case ServeMode::kSample:
+      return "sample";
+  }
+  return "?";
+}
+
+RecommendationService::RecommendationService(const Dataset* dataset,
+                                             RecModel* model,
+                                             const DiversityKernel* diversity,
+                                             ThreadPool* pool,
+                                             ServeConfig config)
+    : dataset_(dataset),
+      model_(model),
+      diversity_(diversity),
+      pool_(pool),
+      config_(config),
+      cache_(config.cache_capacity),
+      master_rng_(config.seed) {}
+
+Result<std::unique_ptr<RecommendationService>> RecommendationService::Create(
+    const Dataset* dataset, RecModel* model, const DiversityKernel* diversity,
+    ThreadPool* pool, ServeConfig config) {
+  if (dataset == nullptr || model == nullptr || diversity == nullptr) {
+    return Status::InvalidArgument(
+        "serving requires dataset, model, and diversity kernel");
+  }
+  if (config.top_k < 1) {
+    return Status::InvalidArgument(
+        StrFormat("top_k=%d must be >= 1", config.top_k));
+  }
+  if (config.pool_size < config.top_k) {
+    return Status::InvalidArgument(
+        StrFormat("pool_size=%d must be >= top_k=%d", config.pool_size,
+                  config.top_k));
+  }
+  if (config.kernel_blend_alpha < 0.0 || config.kernel_blend_alpha > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("kernel_blend_alpha=%.3f outside [0, 1]",
+                  config.kernel_blend_alpha));
+  }
+  if (config.cache_capacity < 0) {
+    return Status::InvalidArgument("cache_capacity must be >= 0");
+  }
+  if (model->num_items() != dataset->num_items()) {
+    return Status::InvalidArgument(
+        StrFormat("model covers %d items but dataset has %d",
+                  model->num_items(), dataset->num_items()));
+  }
+  if (diversity->num_items() != dataset->num_items()) {
+    return Status::InvalidArgument(
+        StrFormat("diversity kernel covers %d items but dataset has %d",
+                  diversity->num_items(), dataset->num_items()));
+  }
+  model->PrepareForEval();
+  return std::unique_ptr<RecommendationService>(new RecommendationService(
+      dataset, model, diversity, pool, config));
+}
+
+void RecommendationService::InvalidateModel() {
+  model_->PrepareForEval();
+  cache_.Clear();
+}
+
+Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
+    int user, const Vector& scores) {
+  Stopwatch timer;
+  UserWork work;
+  work.pool = GroundSetBuilder::BuildServingPool(*dataset_, user, scores,
+                                                 config_.pool_size);
+  if (work.pool.empty()) {
+    work.kernel_ms = timer.ElapsedMillis();
+    return work;  // Fully saturated user: nothing left to recommend.
+  }
+  const int effective_k =
+      std::min(config_.top_k, static_cast<int>(work.pool.size()));
+
+  const uint64_t hash = HashGroundSet(work.pool);
+  std::shared_ptr<const ServedKernel> entry = cache_.Get(user, hash);
+  if (entry != nullptr && entry->items != work.pool) {
+    // 64-bit hash collision: rebuild rather than serve a kernel that was
+    // conditioned on a different ground set.
+    entry = nullptr;
+  }
+  work.cache_hit = entry != nullptr;
+  if (entry == nullptr) {
+    Vector pool_scores(static_cast<int>(work.pool.size()));
+    for (size_t i = 0; i < work.pool.size(); ++i) {
+      pool_scores[static_cast<int>(i)] = scores[work.pool[i]];
+    }
+    const Vector quality = ApplyQuality(pool_scores, config_.quality);
+    Matrix k_sub = diversity_->Submatrix(work.pool);
+    k_sub *= config_.kernel_blend_alpha;
+    k_sub.AddDiagonal(1.0 - config_.kernel_blend_alpha);
+
+    auto built = std::make_shared<ServedKernel>();
+    built->items = work.pool;
+    Matrix conditioned = AssembleKernel(quality, k_sub);
+    if (config_.mode == ServeMode::kSample) {
+      // KDpp keeps its own copy of the kernel, so hand ours over rather
+      // than storing it twice per cache entry.
+      LKP_ASSIGN_OR_RETURN(
+          KDpp kdpp, KDpp::Create(std::move(conditioned), effective_k));
+      built->kdpp = std::make_shared<const KDpp>(std::move(kdpp));
+    } else {
+      built->kernel = std::move(conditioned);
+    }
+    cache_.Put(user, hash, built);
+    entry = std::move(built);
+  }
+  work.entry = std::move(entry);
+  work.kernel_ms = timer.ElapsedMillis();
+  return work;
+}
+
+Result<RecResponse> RecommendationService::SelectTopK(int user,
+                                                      const UserWork& work,
+                                                      Rng* rng) {
+  Stopwatch timer;
+  RecResponse response;
+  response.user = user;
+  response.cache_hit = work.cache_hit;
+  if (work.entry == nullptr) {
+    response.latency_ms = work.kernel_ms;
+    return response;
+  }
+  const int effective_k =
+      std::min(config_.top_k, static_cast<int>(work.pool.size()));
+
+  std::vector<int> local;
+  switch (config_.mode) {
+    case ServeMode::kMapRerank: {
+      GreedyMapOptions opts;
+      opts.max_size = effective_k;
+      LKP_ASSIGN_OR_RETURN(local,
+                           GreedyMapInference(work.entry->kernel, opts));
+      if (static_cast<int>(local.size()) < effective_k) {
+        // Rank-deficient corner: backfill by score order so every
+        // response still carries exactly effective_k items.
+        std::vector<bool> taken(work.pool.size(), false);
+        for (int idx : local) taken[static_cast<size_t>(idx)] = true;
+        for (size_t i = 0;
+             i < work.pool.size() &&
+             static_cast<int>(local.size()) < effective_k;
+             ++i) {
+          if (!taken[i]) local.push_back(static_cast<int>(i));
+        }
+      }
+      break;
+    }
+    case ServeMode::kSample: {
+      // Ascending pool-local indices == descending score, since the pool
+      // is built in descending-score order.
+      LKP_ASSIGN_OR_RETURN(local, work.entry->kdpp->Sample(rng));
+      break;
+    }
+  }
+  response.items.reserve(local.size());
+  for (int idx : local) {
+    response.items.push_back(work.pool[static_cast<size_t>(idx)]);
+  }
+  // A request's latency is its user's kernel stage plus its own
+  // selection; duplicate requests for one user each report the shared
+  // kernel cost once.
+  response.latency_ms = work.kernel_ms + timer.ElapsedMillis();
+  return response;
+}
+
+Result<std::vector<RecResponse>> RecommendationService::HandleBatch(
+    const std::vector<RecRequest>& batch) {
+  Stopwatch batch_timer;
+  if (batch.empty()) return std::vector<RecResponse>{};
+  for (const RecRequest& req : batch) {
+    if (req.user < 0 || req.user >= dataset_->num_users()) {
+      return Status::OutOfRange(
+          StrFormat("user %d outside [0, %d)", req.user,
+                    dataset_->num_users()));
+    }
+  }
+
+  // Stage 1: score each unique user's catalog once, in one parallel pass.
+  std::unordered_map<int, int> slot_of_user;
+  std::vector<int> unique_users;
+  std::vector<int> request_slot(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto [it, inserted] = slot_of_user.emplace(
+        batch[i].user, static_cast<int>(unique_users.size()));
+    if (inserted) unique_users.push_back(batch[i].user);
+    request_slot[i] = it->second;
+  }
+  std::vector<Vector> scores(unique_users.size());
+  auto score_user = [&](int i) {
+    scores[static_cast<size_t>(i)] =
+        model_->ScoreAllItems(unique_users[static_cast<size_t>(i)]);
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(static_cast<int>(unique_users.size()), score_user);
+  } else {
+    for (int i = 0; i < static_cast<int>(unique_users.size()); ++i) {
+      score_user(i);
+    }
+  }
+
+  // Stage 2: fork one Rng per request in request order. Fork order is
+  // independent of thread count, which is what keeps sampling-mode
+  // responses bit-identical under any parallelism.
+  std::vector<Rng> rngs;
+  if (config_.mode == ServeMode::kSample) {
+    rngs.reserve(batch.size());
+    std::lock_guard<std::mutex> lk(rng_mu_);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      rngs.push_back(master_rng_.Fork());
+    }
+  }
+
+  // Stage 3: kernel work once per unique user — duplicate requests for
+  // a user share the O(n^3) build even when the cache is cold or off.
+  std::vector<UserWork> works(unique_users.size());
+  std::vector<Status> user_statuses(unique_users.size(), Status::OK());
+  auto prepare_user = [&](int i) {
+    const size_t idx = static_cast<size_t>(i);
+    Result<UserWork> w = PrepareUser(unique_users[idx], scores[idx]);
+    if (w.ok()) {
+      works[idx] = std::move(w).ValueOrDie();
+    } else {
+      user_statuses[idx] = w.status();
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(static_cast<int>(unique_users.size()), prepare_user);
+  } else {
+    for (int i = 0; i < static_cast<int>(unique_users.size()); ++i) {
+      prepare_user(i);
+    }
+  }
+  for (const Status& s : user_statuses) {
+    if (!s.ok()) return s;
+  }
+
+  // Stage 4: per-request selection, fanned out over the pool.
+  std::vector<RecResponse> responses(batch.size());
+  std::vector<Status> statuses(batch.size(), Status::OK());
+  auto serve_request = [&](int i) {
+    const size_t idx = static_cast<size_t>(i);
+    Rng* rng = rngs.empty() ? nullptr : &rngs[idx];
+    Result<RecResponse> r =
+        SelectTopK(batch[idx].user,
+                   works[static_cast<size_t>(request_slot[idx])], rng);
+    if (r.ok()) {
+      responses[idx] = std::move(r).ValueOrDie();
+    } else {
+      statuses[idx] = r.status();
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(static_cast<int>(batch.size()), serve_request);
+  } else {
+    for (int i = 0; i < static_cast<int>(batch.size()); ++i) {
+      serve_request(i);
+    }
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    requests_ += static_cast<long>(batch.size());
+    ++batches_;
+    batch_wall_seconds_ += batch_timer.ElapsedSeconds();
+    for (const RecResponse& r : responses) {
+      if (latencies_ms_.size() < kLatencyWindow) {
+        latencies_ms_.push_back(r.latency_ms);
+      } else {
+        latencies_ms_[latency_cursor_] = r.latency_ms;
+        latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
+      }
+    }
+  }
+  return responses;
+}
+
+Result<RecResponse> RecommendationService::HandleOne(int user) {
+  LKP_ASSIGN_OR_RETURN(std::vector<RecResponse> responses,
+                       HandleBatch({RecRequest{user}}));
+  return responses.front();
+}
+
+ServeStats RecommendationService::Snapshot() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ServeStats out;
+  out.requests = requests_;
+  out.batches = batches_;
+  out.cache_hits = cache_.hits();
+  out.cache_misses = cache_.misses();
+  out.mean_batch_occupancy =
+      batches_ > 0 ? static_cast<double>(requests_) / batches_ : 0.0;
+  if (!latencies_ms_.empty()) {
+    // One sorted copy serves every percentile (nearest-rank).
+    std::vector<double> sorted = latencies_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    out.latency_p50_ms = PercentileOfSorted(sorted, 0.50);
+    out.latency_p95_ms = PercentileOfSorted(sorted, 0.95);
+    out.latency_p99_ms = PercentileOfSorted(sorted, 0.99);
+    out.latency_max_ms = sorted.back();
+  }
+  out.wall_seconds = batch_wall_seconds_;
+  out.throughput_rps =
+      batch_wall_seconds_ > 0.0 ? requests_ / batch_wall_seconds_ : 0.0;
+  return out;
+}
+
+void RecommendationService::ResetStats() {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  requests_ = 0;
+  batches_ = 0;
+  batch_wall_seconds_ = 0.0;
+  latencies_ms_.clear();
+  latency_cursor_ = 0;
+  cache_.ResetCounters();
+}
+
+}  // namespace lkpdpp

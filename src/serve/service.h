@@ -1,0 +1,167 @@
+// Batched, multi-threaded k-DPP recommendation serving.
+//
+// RecommendationService is the online counterpart of the offline
+// experiment pipeline: it takes a *trained* RecModel plus the pre-learned
+// DiversityKernel and answers per-user top-k requests with a diversified
+// list — either the greedy MAP rerank (Chen et al. 2018) or an exact
+// draw from the personalized k-DPP (paper Eq. 2/4).
+//
+// The request path is built for throughput:
+//   1. Batching — HandleBatch deduplicates users and evaluates model
+//      scores for the whole batch in one parallel pass before any
+//      per-request work runs.
+//   2. KernelCache — the conditioned kernel submatrix and its
+//      eigendecomposition + ESP table are memoized per (user, ground-set
+//      hash), so repeat requests skip the O(n^3) work entirely.
+//   3. ThreadPool — per-request work fans out over the work-stealing
+//      pool; per-request Rng streams are forked in request order
+//      (Rng::Fork), which makes every response bit-identical at any
+//      thread count for a fixed seed.
+//
+// Determinism contract: for a fixed (model, diversity kernel, config,
+// seed) and a fixed sequence of HandleBatch calls, responses are
+// bit-identical regardless of the pool's thread count — including
+// sampling mode. Concurrent HandleBatch calls from multiple caller
+// threads remain individually consistent but the interleaving of their
+// Rng forks follows arrival order, so cross-batch determinism then
+// depends on the caller serializing submissions.
+
+#ifndef LKPDPP_SERVE_SERVICE_H_
+#define LKPDPP_SERVE_SERVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "kernels/diversity_kernel.h"
+#include "kernels/quality_diversity.h"
+#include "models/rec_model.h"
+#include "sampling/ground_set_builder.h"
+#include "serve/kernel_cache.h"
+#include "serve/stats.h"
+
+namespace lkpdpp {
+
+/// How a top-k list is distilled from the personalized kernel.
+enum class ServeMode {
+  kMapRerank,  ///< Greedy MAP: deterministic quality/diversity argmax.
+  kSample,     ///< Exact k-DPP sample: diverse-by-construction draw.
+};
+
+const char* ServeModeName(ServeMode mode);
+
+struct ServeConfig {
+  ServeMode mode = ServeMode::kMapRerank;
+  /// Recommendations per request.
+  int top_k = 10;
+  /// Candidate-pool (ground set) size per user; must be >= top_k.
+  int pool_size = 30;
+  /// Convex blend toward identity for the diversity submatrix, matching
+  /// the training-side conditioning (see ExperimentSpec).
+  double kernel_blend_alpha = 0.4;
+  /// Raw-score -> quality transform (use the model's PreferredQuality).
+  QualityTransform quality = QualityTransform::kExp;
+  /// LRU entries; 0 disables caching.
+  int cache_capacity = 4096;
+  /// Master seed for sampling-mode Rng streams.
+  uint64_t seed = 0x5EEDF00DULL;
+};
+
+struct RecRequest {
+  int user = 0;
+};
+
+struct RecResponse {
+  int user = 0;
+  /// Ranked top-k recommendations (global item ids). MAP mode: selection
+  /// order; sampling mode: sampled set ordered by descending score.
+  std::vector<int> items;
+  bool cache_hit = false;
+  double latency_ms = 0.0;
+};
+
+/// Serves diversified top-k lists for a fixed trained model. Thread-safe
+/// once constructed; the model must not be mutated while the service is
+/// live (call InvalidateModel after retraining).
+class RecommendationService {
+ public:
+  /// Validates config/shape compatibility and runs model->PrepareForEval()
+  /// once. `pool` may be null for fully synchronous serving; all pointers
+  /// must outlive the service.
+  static Result<std::unique_ptr<RecommendationService>> Create(
+      const Dataset* dataset, RecModel* model,
+      const DiversityKernel* diversity, ThreadPool* pool,
+      ServeConfig config);
+
+  /// Serves a batch of requests in three parallel passes keyed on the
+  /// batch's unique users: (1) score each user's catalog once, (2) build
+  /// or fetch each user's served kernel once — duplicate requests for a
+  /// user share the O(n^3) work even on a cold or disabled cache — and
+  /// (3) distill each request's top-k list. Responses come back in
+  /// request order. Fails on out-of-range users or numerical breakdown;
+  /// an empty batch yields an empty vector.
+  Result<std::vector<RecResponse>> HandleBatch(
+      const std::vector<RecRequest>& batch);
+
+  /// Single-request convenience wrapper (a batch of one).
+  Result<RecResponse> HandleOne(int user);
+
+  /// Re-runs PrepareForEval and drops every cache entry. Required after
+  /// the underlying model's parameters change.
+  void InvalidateModel();
+
+  /// Counters + latency percentiles since construction / ResetStats.
+  ServeStats Snapshot() const;
+  void ResetStats();
+
+  const KernelCache& cache() const { return cache_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  /// The per-user share of a batch: the candidate pool and its served
+  /// kernel, built once no matter how many requests name the user.
+  struct UserWork {
+    std::vector<int> pool;
+    std::shared_ptr<const ServedKernel> entry;  // Null for empty pools.
+    bool cache_hit = false;
+    double kernel_ms = 0.0;
+  };
+
+  RecommendationService(const Dataset* dataset, RecModel* model,
+                        const DiversityKernel* diversity, ThreadPool* pool,
+                        ServeConfig config);
+
+  /// Builds the pool and fetches-or-builds the served kernel for a user.
+  Result<UserWork> PrepareUser(int user, const Vector& scores);
+
+  /// Distills one request's top-k list from its user's prepared kernel.
+  Result<RecResponse> SelectTopK(int user, const UserWork& work, Rng* rng);
+
+  const Dataset* dataset_;
+  RecModel* model_;
+  const DiversityKernel* diversity_;
+  ThreadPool* pool_;
+  ServeConfig config_;
+  KernelCache cache_;
+
+  std::mutex rng_mu_;
+  Rng master_rng_;
+
+  // Stats window. latencies_ms_ is a bounded ring so a long-lived
+  // service cannot grow without bound; percentiles are computed over the
+  // most recent window.
+  static constexpr size_t kLatencyWindow = 1 << 16;
+  mutable std::mutex stats_mu_;
+  long requests_ = 0;
+  long batches_ = 0;
+  double batch_wall_seconds_ = 0.0;
+  std::vector<double> latencies_ms_;
+  size_t latency_cursor_ = 0;
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_SERVE_SERVICE_H_

@@ -1,0 +1,33 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace lkpdpp {
+
+double PercentileOfSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double Percentile(std::vector<double> sample, double q) {
+  std::sort(sample.begin(), sample.end());
+  return PercentileOfSorted(sample, q);
+}
+
+std::string ServeStats::ToString() const {
+  return StrFormat(
+      "requests=%ld batches=%ld occupancy=%.1f hit_rate=%.3f "
+      "p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms rps=%.1f",
+      requests, batches, mean_batch_occupancy, CacheHitRate(),
+      latency_p50_ms, latency_p95_ms, latency_p99_ms, latency_max_ms,
+      throughput_rps);
+}
+
+}  // namespace lkpdpp

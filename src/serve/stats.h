@@ -1,0 +1,53 @@
+// Serving-side observability: latency percentiles, cache hit rate, and
+// batch occupancy for RecommendationService.
+
+#ifndef LKPDPP_SERVE_STATS_H_
+#define LKPDPP_SERVE_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace lkpdpp {
+
+/// A point-in-time snapshot of serving counters. Latency percentiles are
+/// computed over per-request wall times (Stopwatch) recorded since the
+/// last ResetStats.
+struct ServeStats {
+  long requests = 0;
+  long batches = 0;
+  long cache_hits = 0;
+  long cache_misses = 0;
+  /// Mean number of requests per HandleBatch call.
+  double mean_batch_occupancy = 0.0;
+  /// Per-request latency distribution, milliseconds, over the most
+  /// recent window (the service keeps a bounded ring, not full history).
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+  /// Wall time summed across HandleBatch calls and the derived request
+  /// rate. Accurate for serialized callers (the bench harnesses);
+  /// concurrent callers overlap in real time, so their summed wall time
+  /// overstates elapsed time and throughput_rps reads conservatively low.
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+
+  double CacheHitRate() const {
+    const long total = cache_hits + cache_misses;
+    return total > 0 ? static_cast<double>(cache_hits) / total : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Nearest-rank percentile (q in [0, 1]) of an unsorted sample; 0 on an
+/// empty sample. Exposed for tests and the bench harnesses.
+double Percentile(std::vector<double> sample, double q);
+
+/// Nearest-rank percentile of an already ascending-sorted sample; lets
+/// callers pay one sort for several quantiles. 0 on an empty sample.
+double PercentileOfSorted(const std::vector<double>& sorted, double q);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_SERVE_STATS_H_

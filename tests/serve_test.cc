@@ -1,0 +1,494 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/map_inference.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/mf.h"
+#include "serve/kernel_cache.h"
+#include "serve/stats.h"
+
+namespace lkpdpp {
+namespace {
+
+// Shared small world: a synthetic dataset, an (untrained but
+// deterministic) MF model, and a random diversity kernel. Untrained is
+// fine — serving only needs ScoreAllItems to be a pure function.
+struct ServeWorld {
+  Dataset dataset;
+  std::unique_ptr<MfModel> model;
+  DiversityKernel diversity;
+};
+
+ServeWorld* World() {
+  static ServeWorld* world = [] {
+    SyntheticConfig cfg;
+    cfg.name = "serve-world";
+    cfg.num_users = 70;
+    cfg.num_items = 90;
+    cfg.num_categories = 12;
+    cfg.num_events = 7000;
+    cfg.min_interactions = 8;
+    cfg.seed = 99;
+    auto ds = GenerateSyntheticDataset(cfg);
+    ds.status().CheckOK();
+    Dataset dataset = std::move(ds).ValueOrDie();
+    DiversityKernel diversity =
+        DiversityKernel::Random(dataset.num_items(), 8, /*seed=*/11);
+    auto* w = new ServeWorld{std::move(dataset), nullptr,
+                             std::move(diversity)};
+    MfModel::Config mcfg;
+    mcfg.embedding_dim = 8;
+    mcfg.seed = 5;
+    w->model = std::make_unique<MfModel>(w->dataset.num_users(),
+                                         w->dataset.num_items(), mcfg);
+    return w;
+  }();
+  return world;
+}
+
+ServeConfig BaseConfig(ServeMode mode) {
+  ServeConfig config;
+  config.mode = mode;
+  config.top_k = 5;
+  config.pool_size = 20;
+  config.cache_capacity = 256;
+  config.seed = 1234;
+  return config;
+}
+
+std::vector<RecRequest> RoundRobinBatch(int batch_size, int offset) {
+  std::vector<RecRequest> batch;
+  batch.reserve(static_cast<size_t>(batch_size));
+  const int num_users = World()->dataset.num_users();
+  for (int i = 0; i < batch_size; ++i) {
+    batch.push_back(RecRequest{(offset + i) % num_users});
+  }
+  return batch;
+}
+
+// ---------------------------------------------------------------------
+// KernelCache
+
+std::shared_ptr<const ServedKernel> DummyEntry(double fill) {
+  auto e = std::make_shared<ServedKernel>();
+  e->kernel = Matrix(2, 2, fill);
+  return e;
+}
+
+TEST(KernelCacheTest, MissThenHit) {
+  KernelCache cache(4);
+  EXPECT_EQ(cache.Get(1, 42), nullptr);
+  EXPECT_EQ(cache.misses(), 1);
+  cache.Put(1, 42, DummyEntry(1.0));
+  auto hit = cache.Get(1, 42);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->kernel(0, 0), 1.0);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(KernelCacheTest, DistinguishesUserAndHash) {
+  KernelCache cache(8);
+  cache.Put(1, 42, DummyEntry(1.0));
+  EXPECT_EQ(cache.Get(2, 42), nullptr);
+  EXPECT_EQ(cache.Get(1, 43), nullptr);
+  EXPECT_NE(cache.Get(1, 42), nullptr);
+}
+
+TEST(KernelCacheTest, EvictsLeastRecentlyUsed) {
+  KernelCache cache(2);
+  cache.Put(1, 10, DummyEntry(1.0));
+  cache.Put(2, 20, DummyEntry(2.0));
+  // Touch (1, 10) so (2, 20) becomes the LRU entry.
+  ASSERT_NE(cache.Get(1, 10), nullptr);
+  cache.Put(3, 30, DummyEntry(3.0));
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.Get(2, 20), nullptr);  // Evicted.
+  EXPECT_NE(cache.Get(1, 10), nullptr);
+  EXPECT_NE(cache.Get(3, 30), nullptr);
+}
+
+TEST(KernelCacheTest, CapacityZeroDisablesCaching) {
+  KernelCache cache(0);
+  cache.Put(1, 10, DummyEntry(1.0));
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.Get(1, 10), nullptr);
+}
+
+TEST(KernelCacheTest, PutRefreshesExistingKey) {
+  KernelCache cache(2);
+  cache.Put(1, 10, DummyEntry(1.0));
+  cache.Put(1, 10, DummyEntry(7.0));
+  EXPECT_EQ(cache.size(), 1);
+  auto e = cache.Get(1, 10);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kernel(0, 0), 7.0);
+}
+
+TEST(KernelCacheTest, ClearEmptiesEverything) {
+  KernelCache cache(4);
+  cache.Put(1, 10, DummyEntry(1.0));
+  cache.Put(2, 20, DummyEntry(2.0));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.Get(1, 10), nullptr);
+}
+
+TEST(KernelCacheTest, HashIsOrderAndContentSensitive) {
+  const uint64_t a = HashGroundSet({1, 2, 3});
+  EXPECT_EQ(a, HashGroundSet({1, 2, 3}));
+  EXPECT_NE(a, HashGroundSet({3, 2, 1}));
+  EXPECT_NE(a, HashGroundSet({1, 2}));
+  EXPECT_NE(a, HashGroundSet({1, 2, 4}));
+  EXPECT_NE(HashGroundSet({}), HashGroundSet({0}));
+}
+
+// ---------------------------------------------------------------------
+// Percentiles
+
+TEST(ServeStatsTest, PercentileNearestRank) {
+  std::vector<double> sample{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(sample, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(sample, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// RecommendationService
+
+TEST(ServeTest, CreateRejectsInvalidConfigs) {
+  ServeWorld* w = World();
+  ServeConfig bad_k = BaseConfig(ServeMode::kMapRerank);
+  bad_k.top_k = 0;
+  EXPECT_FALSE(RecommendationService::Create(&w->dataset, w->model.get(),
+                                             &w->diversity, nullptr, bad_k)
+                   .ok());
+
+  ServeConfig bad_pool = BaseConfig(ServeMode::kMapRerank);
+  bad_pool.pool_size = 3;  // < top_k
+  EXPECT_FALSE(RecommendationService::Create(&w->dataset, w->model.get(),
+                                             &w->diversity, nullptr,
+                                             bad_pool)
+                   .ok());
+
+  DiversityKernel wrong_size = DiversityKernel::Random(7, 4, 1);
+  EXPECT_FALSE(RecommendationService::Create(&w->dataset, w->model.get(),
+                                             &wrong_size, nullptr,
+                                             BaseConfig(ServeMode::kMapRerank))
+                   .ok());
+}
+
+TEST(ServeTest, RejectsOutOfRangeUsers) {
+  ServeWorld* w = World();
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr,
+      BaseConfig(ServeMode::kMapRerank));
+  ASSERT_TRUE(service.ok());
+  EXPECT_FALSE((*service)->HandleBatch({RecRequest{-1}}).ok());
+  EXPECT_FALSE(
+      (*service)->HandleBatch({RecRequest{w->dataset.num_users()}}).ok());
+  auto empty = (*service)->HandleBatch({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(ServeTest, ResponsesHaveKDistinctUnobservedItems) {
+  ServeWorld* w = World();
+  for (ServeMode mode : {ServeMode::kMapRerank, ServeMode::kSample}) {
+    auto service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr,
+        BaseConfig(mode));
+    ASSERT_TRUE(service.ok());
+    auto responses = (*service)->HandleBatch(RoundRobinBatch(32, 0));
+    ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+    for (const RecResponse& r : *responses) {
+      EXPECT_EQ(static_cast<int>(r.items.size()), 5);
+      std::set<int> distinct(r.items.begin(), r.items.end());
+      EXPECT_EQ(distinct.size(), r.items.size());
+      for (int item : r.items) {
+        EXPECT_GE(item, 0);
+        EXPECT_LT(item, w->dataset.num_items());
+        EXPECT_FALSE(w->dataset.IsObserved(r.user, item))
+            << "recommended an already-observed item";
+      }
+    }
+  }
+}
+
+std::vector<std::vector<int>> ServeManyBatches(ServeMode mode, int threads) {
+  ServeWorld* w = World();
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, pool.get(),
+      BaseConfig(mode));
+  service.status().CheckOK();
+  std::vector<std::vector<int>> all_items;
+  for (int b = 0; b < 4; ++b) {
+    auto responses = (*service)->HandleBatch(RoundRobinBatch(25, b * 7));
+    responses.status().CheckOK();
+    for (const RecResponse& r : *responses) all_items.push_back(r.items);
+  }
+  return all_items;
+}
+
+TEST(ServeTest, RecommendationsBitIdenticalAcrossThreadCounts) {
+  for (ServeMode mode : {ServeMode::kMapRerank, ServeMode::kSample}) {
+    const auto serial = ServeManyBatches(mode, /*threads=*/0);
+    for (int threads : {1, 2, 4}) {
+      const auto parallel = ServeManyBatches(mode, threads);
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i], serial[i])
+            << ServeModeName(mode) << " response " << i << " diverged at "
+            << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ServeTest, RepeatRequestsHitTheCacheWithIdenticalResults) {
+  ServeWorld* w = World();
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr,
+      BaseConfig(ServeMode::kMapRerank));
+  ASSERT_TRUE(service.ok());
+  const std::vector<RecRequest> batch = RoundRobinBatch(20, 0);
+  auto first = (*service)->HandleBatch(batch);
+  ASSERT_TRUE(first.ok());
+  auto second = (*service)->HandleBatch(batch);
+  ASSERT_TRUE(second.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_FALSE((*first)[i].cache_hit);
+    EXPECT_TRUE((*second)[i].cache_hit);
+    EXPECT_EQ((*first)[i].items, (*second)[i].items);
+  }
+  const ServeStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cache_hits, 20);
+  EXPECT_EQ(stats.cache_misses, 20);
+  EXPECT_DOUBLE_EQ(stats.CacheHitRate(), 0.5);
+}
+
+TEST(ServeTest, DuplicateUsersInOneBatchShareKernelWork) {
+  ServeWorld* w = World();
+  ServeConfig config = BaseConfig(ServeMode::kMapRerank);
+  config.cache_capacity = 0;  // No cross-batch memoization to hide behind.
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr, config);
+  ASSERT_TRUE(service.ok());
+  std::vector<RecRequest> batch(12, RecRequest{0});
+  auto responses = (*service)->HandleBatch(batch);
+  ASSERT_TRUE(responses.ok());
+  for (const RecResponse& r : *responses) {
+    EXPECT_EQ(r.items, (*responses)[0].items);
+  }
+  // The kernel stage ran once for the one unique user, not per request.
+  EXPECT_EQ((*service)->Snapshot().cache_misses, 1);
+}
+
+TEST(ServeTest, TinyCacheStillServesCorrectly) {
+  ServeWorld* w = World();
+  ServeConfig config = BaseConfig(ServeMode::kMapRerank);
+  config.cache_capacity = 1;  // Constant eviction churn.
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr, config);
+  ASSERT_TRUE(service.ok());
+  auto baseline = (*service)->HandleBatch(RoundRobinBatch(10, 0));
+  ASSERT_TRUE(baseline.ok());
+  auto again = (*service)->HandleBatch(RoundRobinBatch(10, 0));
+  ASSERT_TRUE(again.ok());
+  for (size_t i = 0; i < baseline->size(); ++i) {
+    EXPECT_EQ((*baseline)[i].items, (*again)[i].items)
+        << "eviction changed a recommendation";
+  }
+  EXPECT_LE((*service)->cache().size(), 1);
+  EXPECT_GT((*service)->cache().evictions(), 0);
+}
+
+TEST(ServeTest, MapModeMatchesDirectGreedyRerank) {
+  ServeWorld* w = World();
+  ServeConfig config = BaseConfig(ServeMode::kMapRerank);
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr, config);
+  ASSERT_TRUE(service.ok());
+  const int user = 3;
+  auto response = (*service)->HandleOne(user);
+  ASSERT_TRUE(response.ok());
+
+  // Reproduce the pipeline by hand.
+  w->model->PrepareForEval();
+  const Vector scores = w->model->ScoreAllItems(user);
+  const std::vector<int> pool = GroundSetBuilder::BuildServingPool(
+      w->dataset, user, scores, config.pool_size);
+  ASSERT_FALSE(pool.empty());
+  Vector pool_scores(static_cast<int>(pool.size()));
+  for (size_t i = 0; i < pool.size(); ++i) {
+    pool_scores[static_cast<int>(i)] = scores[pool[i]];
+  }
+  Matrix k_sub = w->diversity.Submatrix(pool);
+  k_sub *= config.kernel_blend_alpha;
+  k_sub.AddDiagonal(1.0 - config.kernel_blend_alpha);
+  const Matrix kernel =
+      AssembleKernel(ApplyQuality(pool_scores, config.quality), k_sub);
+  GreedyMapOptions opts;
+  opts.max_size = config.top_k;
+  auto local = GreedyMapInference(kernel, opts);
+  ASSERT_TRUE(local.ok());
+  std::vector<int> expected;
+  for (int idx : *local) expected.push_back(pool[static_cast<size_t>(idx)]);
+  EXPECT_EQ(response->items, expected);
+}
+
+TEST(ServeTest, ServingPoolIsScoreSortedAndUnobserved) {
+  ServeWorld* w = World();
+  w->model->PrepareForEval();
+  const int user = 1;
+  const Vector scores = w->model->ScoreAllItems(user);
+  const std::vector<int> pool =
+      GroundSetBuilder::BuildServingPool(w->dataset, user, scores, 20);
+  ASSERT_EQ(static_cast<int>(pool.size()), 20);
+  for (size_t i = 0; i + 1 < pool.size(); ++i) {
+    EXPECT_GE(scores[pool[i]], scores[pool[i + 1]]) << "pool not sorted";
+  }
+  for (int item : pool) {
+    EXPECT_FALSE(w->dataset.IsObserved(user, item));
+  }
+  // Requesting more than the unobserved catalog truncates gracefully.
+  const std::vector<int> all = GroundSetBuilder::BuildServingPool(
+      w->dataset, user, scores, w->dataset.num_items() + 5);
+  EXPECT_LT(static_cast<int>(all.size()), w->dataset.num_items() + 5);
+}
+
+TEST(ServeTest, SampleModeVariesAcrossRequestsButNotAcrossRuns) {
+  ServeWorld* w = World();
+  auto make = [&] {
+    return RecommendationService::Create(&w->dataset, w->model.get(),
+                                         &w->diversity, nullptr,
+                                         BaseConfig(ServeMode::kSample));
+  };
+  auto a = make();
+  auto b = make();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same user served repeatedly should (with overwhelming probability)
+  // not always return the same set — it's a sample, not an argmax.
+  std::set<std::vector<int>> seen;
+  std::vector<std::vector<int>> stream_a;
+  for (int i = 0; i < 12; ++i) {
+    auto r = (*a)->HandleOne(2);
+    ASSERT_TRUE(r.ok());
+    seen.insert(r->items);
+    stream_a.push_back(r->items);
+  }
+  EXPECT_GT(seen.size(), 1u);
+  // But an identically seeded twin replays the exact stream.
+  for (int i = 0; i < 12; ++i) {
+    auto r = (*b)->HandleOne(2);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->items, stream_a[static_cast<size_t>(i)])
+        << "request " << i << " diverged between seeded twins";
+  }
+}
+
+TEST(ServeTest, StatsTrackRequestsBatchesAndLatency) {
+  ServeWorld* w = World();
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr,
+      BaseConfig(ServeMode::kMapRerank));
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->HandleBatch(RoundRobinBatch(16, 0)).ok());
+  ASSERT_TRUE((*service)->HandleBatch(RoundRobinBatch(8, 3)).ok());
+  const ServeStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.requests, 24);
+  EXPECT_EQ(stats.batches, 2);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_occupancy, 12.0);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.throughput_rps, 0.0);
+  EXPECT_GE(stats.latency_p95_ms, stats.latency_p50_ms);
+  EXPECT_GE(stats.latency_max_ms, stats.latency_p99_ms);
+  EXPECT_FALSE(stats.ToString().empty());
+
+  (*service)->ResetStats();
+  const ServeStats reset = (*service)->Snapshot();
+  EXPECT_EQ(reset.requests, 0);
+  EXPECT_EQ(reset.batches, 0);
+  // The stats window includes the cache counters, but the entries stay.
+  EXPECT_EQ(reset.cache_hits, 0);
+  EXPECT_EQ(reset.cache_misses, 0);
+  EXPECT_GT((*service)->cache().size(), 0);
+}
+
+// Concurrency stress: a shared service hammered from several caller
+// threads over a shared pool, in sampling mode (the mode with the most
+// shared state). Run under ASan/UBSan in CI plus the dedicated TSan job.
+TEST(ServeTest, ConcurrentCallersStress) {
+  ServeWorld* w = World();
+  ThreadPool pool(4);
+  ServeConfig config = BaseConfig(ServeMode::kSample);
+  config.cache_capacity = 8;  // Force eviction churn under contention.
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, &pool, config);
+  ASSERT_TRUE(service.ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&, c] {
+      for (int b = 0; b < 5; ++b) {
+        auto r = (*service)->HandleBatch(RoundRobinBatch(12, c * 13 + b));
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (const RecResponse& resp : *r) {
+          if (static_cast<int>(resp.items.size()) != config.top_k) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ((*service)->Snapshot().requests, 4 * 5 * 12);
+}
+
+// ---------------------------------------------------------------------
+// Evaluator on the pool
+
+TEST(ServeTest, ParallelEvaluatorMatchesSerialExactly) {
+  ServeWorld* w = World();
+  Evaluator serial(&w->dataset);
+  const auto expected = serial.Evaluate(w->model.get(), {5, 10});
+  const double expected_val = serial.ValidationNdcg(w->model.get(), 10);
+
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    Evaluator parallel(&w->dataset);
+    parallel.SetThreadPool(&pool);
+    const auto got = parallel.Evaluate(w->model.get(), {5, 10});
+    ASSERT_EQ(got.size(), expected.size());
+    for (const auto& [n, m] : expected) {
+      const MetricSet& g = got.at(n);
+      EXPECT_EQ(g.recall, m.recall) << "cutoff " << n;
+      EXPECT_EQ(g.ndcg, m.ndcg) << "cutoff " << n;
+      EXPECT_EQ(g.category_coverage, m.category_coverage) << "cutoff " << n;
+      EXPECT_EQ(g.f_score, m.f_score) << "cutoff " << n;
+      EXPECT_EQ(g.ild, m.ild) << "cutoff " << n;
+    }
+    EXPECT_EQ(parallel.ValidationNdcg(w->model.get(), 10), expected_val);
+  }
+}
+
+}  // namespace
+}  // namespace lkpdpp

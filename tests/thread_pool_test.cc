@@ -1,0 +1,177 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lkpdpp {
+namespace {
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool neg(-3);
+  EXPECT_EQ(neg.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const int n = 1000;
+  std::vector<std::atomic<int>> visits(n);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(n, [&visits](int i) { visits[i].fetch_add(1); });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(3);
+  int zero_calls = 0;
+  pool.ParallelFor(0, [&zero_calls](int) { ++zero_calls; });
+  EXPECT_EQ(zero_calls, 0);
+
+  std::atomic<int> one_calls{0};
+  pool.ParallelFor(1, [&one_calls](int) { one_calls.fetch_add(1); });
+  EXPECT_EQ(one_calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForOnSingleThreadPool) {
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> visits(64);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(64, [&visits](int i) { visits[i].fetch_add(1); });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+// The determinism contract: index-addressed results are identical no
+// matter how many threads execute the loop.
+TEST(ThreadPoolTest, IndexAddressedResultsAreThreadCountInvariant) {
+  const int n = 200;
+  auto run = [n](int threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(n);
+    pool.ParallelFor(n, [&out](int i) {
+      // Derive a per-task stream from the index, not the worker.
+      Rng rng(0xABCDEF ^ static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL);
+      double acc = 0.0;
+      for (int j = 0; j <= i % 17; ++j) acc += rng.Uniform();
+      out[static_cast<size_t>(i)] = acc;
+    });
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  for (int threads : {2, 4, 8}) {
+    const std::vector<double> parallel = run(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(parallel[static_cast<size_t>(i)],
+                serial[static_cast<size_t>(i)])
+          << "index " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SequentialParallelForsSeeConsistentState) {
+  ThreadPool pool(4);
+  std::vector<long> data(500, 0);
+  pool.ParallelFor(500, [&data](int i) { data[static_cast<size_t>(i)] = i; });
+  // The second loop reads what the first wrote: ParallelFor is a barrier.
+  std::atomic<long> sum{0};
+  pool.ParallelFor(500, [&data, &sum](int i) {
+    sum.fetch_add(data[static_cast<size_t>(i)]);
+  });
+  EXPECT_EQ(sum.load(), 500L * 499 / 2);
+}
+
+TEST(ThreadPoolTest, ManySmallParallelForsStress) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(8, [&count](int) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 8);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitFromMultipleThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &count] {
+      for (int i = 0; i < 50; ++i) {
+        pool.Submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallers) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 3; ++c) {
+    callers.emplace_back([&pool, &total] {
+      for (int round = 0; round < 20; ++round) {
+        pool.ParallelFor(16, [&total](int) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 3 * 20 * 16);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait(): the destructor must flush the queues itself.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountRespectsEnvOverride) {
+  // Save/restore so this test does not leak into others.
+  const char* old = std::getenv("LKP_THREADS");
+  const std::string saved = old != nullptr ? old : "";
+  setenv("LKP_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  setenv("LKP_THREADS", "0", 1);  // Invalid: falls back to hardware.
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  if (old != nullptr) {
+    setenv("LKP_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("LKP_THREADS");
+  }
+}
+
+}  // namespace
+}  // namespace lkpdpp
