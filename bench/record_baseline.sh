@@ -8,6 +8,8 @@
 #     rough shape reference (relative costs), not a pass/fail gate.
 #   * serve_throughput contributes its machine-independent determinism
 #     verdict plus indicative throughput numbers.
+#   * eigen_bench contributes the machine-independent solver-agreement
+#     verdict plus indicative tridiag-vs-Jacobi timings/speedups.
 #
 # Usage: bench/record_baseline.sh [build-dir]   (default: build)
 # The build dir must already contain the Release bench binaries.
@@ -28,7 +30,8 @@ export LKP_THREADS=2
 FIG2_OUT=$(mktemp)
 MICRO_OUT=$(mktemp)
 SERVE_OUT=$(mktemp)
-trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT"' EXIT
+EIGEN_OUT=$(mktemp)
+trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$EIGEN_OUT"' EXIT
 
 echo "running fig2_k_sweep (LKP_SCALE=$LKP_SCALE LKP_EPOCHS=$LKP_EPOCHS)..."
 "$BUILD_DIR/bench/fig2_k_sweep" > "$FIG2_OUT"
@@ -45,10 +48,15 @@ fi
 echo "running serve_throughput (LKP_SERVE_REQUESTS=$LKP_SERVE_REQUESTS)..."
 "$BUILD_DIR/bench/serve_throughput" > "$SERVE_OUT"
 
-python3 - "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" <<'EOF'
+echo "running eigen_bench..."
+# eigen_bench exits non-zero on an accuracy violation; don't let set -e
+# abort before the parser records solvers_agree=false in the baseline.
+"$BUILD_DIR/bench/eigen_bench" > "$EIGEN_OUT" || true
+
+python3 - "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$EIGEN_OUT" <<'EOF'
 import json, os, re, sys
 
-fig2_path, micro_path, serve_path = sys.argv[1:4]
+fig2_path, micro_path, serve_path, eigen_path = sys.argv[1:5]
 
 # --- fig2_k_sweep: parse the per-k metric rows under each mode header.
 fig2 = {}
@@ -110,6 +118,23 @@ for line in open(serve_path):
             "hit_rate": float(m.group(3)),
         })
 
+# --- eigen_bench: per-size timing rows + the solver-agreement verdict.
+eigen = {"solvers_agree": True, "sizes": []}
+for line in open(eigen_path):
+    if "ACCURACY VIOLATION" in line:
+        eigen["solvers_agree"] = False
+    m = re.match(
+        r"\s*(\d+)\s+(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)x\s+(\S+)\s*$",
+        line)
+    if m:
+        eigen["sizes"].append({
+            "n": int(m.group(1)),
+            "tridiag_ms": float(m.group(3)),
+            "jacobi_ms": float(m.group(4)),
+            "speedup": float(m.group(5)),
+            "max_rel_dlam": float(m.group(6)),
+        })
+
 baseline = {
     "comment": (
         "Golden bench baselines. fig2 metrics are bit-deterministic for "
@@ -126,6 +151,7 @@ baseline = {
     "fig2_k_sweep": fig2,
     "micro_kdpp": micro,
     "serve_throughput": serve,
+    "eigen": eigen,
 }
 with open("BENCH_baseline.json", "w") as f:
     json.dump(baseline, f, indent=2)

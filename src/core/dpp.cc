@@ -24,6 +24,16 @@ Result<std::vector<int>> SampleElementaryDpp(Matrix basis, Rng* rng) {
       weights[static_cast<size_t>(i)] = s;
     }
     for (int chosen : items) weights[static_cast<size_t>(chosen)] = 0.0;
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (!(total > 0.0)) {
+      // All residual mass underflowed (or went non-finite). Categorical's
+      // uniform fallback would ignore the already-chosen items and could
+      // emit a duplicate index; fail loudly instead.
+      return Status::NumericalError(
+          "elementary DPP sampler: residual weights vanished over "
+          "unchosen items");
+    }
     const int item = rng->Categorical(weights);
     items.push_back(item);
     if (dim == 1) break;
@@ -84,10 +94,14 @@ Result<Dpp> Dpp::Create(Matrix kernel) {
     return Status::NumericalError("DPP kernel contains non-finite values");
   }
   LKP_ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(kernel));
-  const double neg_tol =
-      -1e-8 * std::max(1.0, eig.eigenvalues.empty()
-                                ? 0.0
-                                : eig.eigenvalues.Max());
+  // Same PSD-boundary handling as KDpp::Create: eigenvalues within
+  // working precision of zero (either sign) are clamped to exactly zero,
+  // genuinely indefinite kernels are rejected.
+  const double lam_max =
+      eig.eigenvalues.empty() ? 0.0 : std::max(eig.eigenvalues.Max(), 0.0);
+  const double neg_tol = -1e-8 * std::max(1.0, lam_max);
+  const double zero_tol = static_cast<double>(kernel.rows()) *
+                          std::numeric_limits<double>::epsilon() * lam_max;
   double log_z = 0.0;
   for (int i = 0; i < eig.eigenvalues.size(); ++i) {
     if (eig.eigenvalues[i] < neg_tol) {
@@ -95,7 +109,7 @@ Result<Dpp> Dpp::Create(Matrix kernel) {
           StrFormat("kernel is not PSD: eigenvalue %d = %.3e", i,
                     eig.eigenvalues[i]));
     }
-    if (eig.eigenvalues[i] < 0.0) eig.eigenvalues[i] = 0.0;
+    if (eig.eigenvalues[i] < zero_tol) eig.eigenvalues[i] = 0.0;
     log_z += std::log1p(eig.eigenvalues[i]);
   }
   return Dpp(std::move(kernel), std::move(eig), log_z);

@@ -60,7 +60,9 @@ class Dpp {
 
 /// Samples the elementary DPP spanned by the given orthonormal columns
 /// (selects exactly `basis.cols()` items). Shared by Dpp and KDpp.
-/// `basis` is consumed. Fails on numerical collapse.
+/// `basis` is consumed. Fails with NumericalError on basis collapse or
+/// when the residual selection weights over unchosen items vanish (the
+/// sampler never emits a duplicate index).
 Result<std::vector<int>> SampleElementaryDpp(Matrix basis, Rng* rng);
 
 }  // namespace lkpdpp

@@ -1,10 +1,25 @@
 #include "core/esp.h"
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/logging.h"
 
 namespace lkpdpp {
+
+namespace {
+
+// log(exp(a) + exp(b)) without leaving log space; -inf encodes zero.
+inline double LogAddExp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+}  // namespace
 
 double ElementarySymmetric(const Vector& values, int k) {
   LKP_CHECK(k >= 0 && k <= values.size())
@@ -67,6 +82,38 @@ Vector ExclusionEsp(const Vector& values, int degree) {
       const double lam = values[i];
       for (int l = std::min(degree, seen + 1); l >= 1; --l) {
         e[l] += lam * e[l - 1];
+      }
+      ++seen;
+    }
+    out[skip] = e[degree];
+  }
+  return out;
+}
+
+Vector LogExclusionEsp(const Vector& values, int degree) {
+  const int m = values.size();
+  LKP_CHECK(degree >= 0 && degree <= m - 1)
+      << "degree=" << degree << " over " << m << " values";
+  const double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> logv(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    LKP_CHECK_GE(values[i], 0.0) << "LogExclusionEsp requires values >= 0";
+    logv[static_cast<size_t>(i)] =
+        values[i] > 0.0 ? std::log(values[i]) : kNegInf;
+  }
+  // Same per-excluded-index recursion as ExclusionEsp, with every
+  // `e[l] += lam * e[l-1]` replaced by its log-space counterpart.
+  Vector out(m);
+  std::vector<double> e(static_cast<size_t>(degree) + 1, kNegInf);
+  for (int skip = 0; skip < m; ++skip) {
+    std::fill(e.begin(), e.end(), kNegInf);
+    e[0] = 0.0;
+    int seen = 0;
+    for (int i = 0; i < m; ++i) {
+      if (i == skip) continue;
+      const double log_lam = logv[static_cast<size_t>(i)];
+      for (int l = std::min(degree, seen + 1); l >= 1; --l) {
+        e[l] = LogAddExp(e[l], log_lam + e[l - 1]);
       }
       ++seen;
     }

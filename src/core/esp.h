@@ -39,6 +39,17 @@ Matrix EspTable(const Vector& values, int k);
 /// Requires 0 <= degree <= values.size() - 1.
 Vector ExclusionEsp(const Vector& values, int degree);
 
+/// Log-domain exclusion polynomials for non-negative `values`:
+///   out[i] = log e_{degree}(values with entry i removed),
+/// with -inf denoting an exactly-zero polynomial. Runs the Algorithm-1
+/// recursion in log space (log-sum-exp updates), so it cannot overflow
+/// even when the raw polynomials exceed double range — the k-DPP marginal
+/// kernel and normalizer gradients divide these by Z_k, and the ratios
+/// are representable even when numerator and denominator are not.
+/// Requires 0 <= degree <= values.size() - 1 and values >= 0 (kernel
+/// eigenvalues are clamped non-negative upstream).
+Vector LogExclusionEsp(const Vector& values, int degree);
+
 /// Brute-force ESP by subset enumeration; exponential, test-only reference.
 double ElementarySymmetricBruteForce(const Vector& values, int k);
 

@@ -62,20 +62,36 @@ Result<KDpp> KDpp::Create(Matrix kernel, int k) {
     return Status::NumericalError("k-DPP kernel contains non-finite values");
   }
   LKP_ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(kernel));
-  // Clamp small negative eigenvalues introduced by round-off; genuinely
-  // indefinite kernels are rejected.
-  const double neg_tol = -1e-8 * std::max(1.0, eig.eigenvalues.Max());
+  // Clamp eigenvalues indistinguishable from zero at working precision
+  // (either sign: exact zeros of rank-deficient kernels come back as
+  // +/- O(eps * lambda_max) noise, and a spurious positive would make
+  // the rank check below pass vacuously). Genuinely indefinite kernels
+  // are rejected.
+  const double lam_max = std::max(eig.eigenvalues.Max(), 0.0);
+  const double neg_tol = -1e-8 * std::max(1.0, lam_max);
+  const double zero_tol =
+      static_cast<double>(m) * std::numeric_limits<double>::epsilon() *
+      lam_max;
   for (int i = 0; i < eig.eigenvalues.size(); ++i) {
     if (eig.eigenvalues[i] < neg_tol) {
       return Status::NumericalError(
           StrFormat("kernel is not PSD: eigenvalue %d = %.3e", i,
                     eig.eigenvalues[i]));
     }
-    if (eig.eigenvalues[i] < 0.0) eig.eigenvalues[i] = 0.0;
+    if (eig.eigenvalues[i] < zero_tol) eig.eigenvalues[i] = 0.0;
   }
   // One Algorithm-1 DP table serves both the normalizer (last column)
   // and every subsequent Sample call's backward walk.
   Matrix esp_table = EspTable(eig.eigenvalues, k);
+  if (!esp_table.AllFinite()) {
+    // An intermediate e_l can overflow while e_k itself stays finite
+    // (huge eigenvalues balanced by tiny ones); the sampler's backward
+    // walk would then divide inf by inf, so reject loudly here.
+    return Status::NumericalError(
+        StrFormat("ESP table overflowed for k=%d over %d eigenvalues: "
+                  "eigenvalue dynamic range too large for exact sampling",
+                  k, m));
+  }
   const double zk = esp_table(k, m);
   if (!(zk > 0.0) || !std::isfinite(zk)) {
     return Status::NumericalError(
@@ -164,41 +180,56 @@ Result<std::vector<int>> KDpp::Sample(Rng* rng) const {
   return SampleElementaryDpp(std::move(v), rng);
 }
 
+namespace {
+
+// sum_c w_c u_c u_c^T as (V diag(w)) V^T, symmetrized against round-off.
+Matrix WeightedEigenvectorOuter(const Matrix& vecs, const Vector& w) {
+  const int m = vecs.rows();
+  Matrix scaled(m, m);
+  for (int c = 0; c < m; ++c) {
+    for (int r = 0; r < m; ++r) scaled(r, c) = vecs(r, c) * w[c];
+  }
+  Matrix out = MatMulTransB(scaled, vecs);
+  out.Symmetrize();
+  return out;
+}
+
+}  // namespace
+
 Matrix KDpp::MarginalKernel() const {
   const int m = ground_size();
   const Vector& lambda = eig_.eigenvalues;
-  const double zk = std::exp(log_zk_);
-  const Vector excl = ExclusionEsp(lambda, k_ - 1);
-  Matrix scaled(m, m);
+  // Per-column weight lambda[c] * e_{k-1}(lambda \ c) / Z_k, assembled in
+  // log domain: the raw exclusion polynomial overflows to inf (and the
+  // zero-eigenvalue columns then produce 0 * inf = NaN) long before the
+  // ratio itself leaves double range.
+  const Vector log_excl = LogExclusionEsp(lambda, k_ - 1);
+  Vector w(m);
   for (int c = 0; c < m; ++c) {
-    const double w = lambda[c] * excl[c] / zk;
-    for (int r = 0; r < m; ++r) {
-      scaled(r, c) = eig_.eigenvectors(r, c) * w;
-    }
+    w[c] = lambda[c] > 0.0
+               ? std::exp(std::log(lambda[c]) + log_excl[c] - log_zk_)
+               : 0.0;
   }
-  Matrix out = MatMulTransB(scaled, eig_.eigenvectors);
-  out.Symmetrize();
-  return out;
+  return WeightedEigenvectorOuter(eig_.eigenvectors, w);
 }
 
 Matrix KDpp::NormalizerGradient() const {
   const int m = ground_size();
-  const Vector excl = ExclusionEsp(eig_.eigenvalues, k_ - 1);
-  Matrix scaled(m, m);
-  for (int c = 0; c < m; ++c) {
-    for (int r = 0; r < m; ++r) {
-      scaled(r, c) = eig_.eigenvectors(r, c) * excl[c];
-    }
-  }
-  Matrix out = MatMulTransB(scaled, eig_.eigenvectors);
-  out.Symmetrize();
-  return out;
+  const Vector log_excl = LogExclusionEsp(eig_.eigenvalues, k_ - 1);
+  Vector w(m);
+  for (int c = 0; c < m; ++c) w[c] = std::exp(log_excl[c]);
+  return WeightedEigenvectorOuter(eig_.eigenvectors, w);
 }
 
 Matrix KDpp::LogNormalizerGradient() const {
-  Matrix g = NormalizerGradient();
-  g *= std::exp(-log_zk_);
-  return g;
+  const int m = ground_size();
+  // exp(log e_{k-1}(lambda \ c) - log Z_k) directly, instead of scaling
+  // NormalizerGradient by exp(-log Z_k): the unnormalized gradient can
+  // overflow even when the normalized one is well inside double range.
+  const Vector log_excl = LogExclusionEsp(eig_.eigenvalues, k_ - 1);
+  Vector w(m);
+  for (int c = 0; c < m; ++c) w[c] = std::exp(log_excl[c] - log_zk_);
+  return WeightedEigenvectorOuter(eig_.eigenvectors, w);
 }
 
 double BinomialCoefficient(int m, int k) {

@@ -26,8 +26,10 @@ namespace lkpdpp {
 class KDpp {
  public:
   /// Builds the distribution. Fails if the kernel is not square/symmetric,
-  /// if k is outside [1, m], or if e_k underflows to zero (kernel rank
-  /// < k), in which case no cardinality-k subset has positive probability.
+  /// if k is outside [1, m], if e_k underflows to zero (kernel rank < k,
+  /// in which case no cardinality-k subset has positive probability), or
+  /// if any intermediate elementary symmetric polynomial overflows double
+  /// range (the sampler's ESP-table walk would be corrupted).
   /// Slightly negative eigenvalues from round-off are clamped to zero.
   static Result<KDpp> Create(Matrix kernel, int k);
 
@@ -65,14 +67,19 @@ class KDpp {
 
   /// Marginal kernel M with M_ii = P(i in S); in general
   ///   M = sum_n [lambda_n * e_{k-1}(lambda \ n) / e_k] u_n u_n^T,
-  /// whose trace is exactly k.
+  /// whose trace is exactly k. The per-column weights are assembled in
+  /// log domain, so wide eigenvalue dynamic ranges cannot overflow the
+  /// exclusion polynomials into inf/NaN entries.
   Matrix MarginalKernel() const;
 
   /// Gradient of the normalizer: d Z_k / d L
   ///   = sum_n e_{k-1}(lambda \ n) u_n u_n^T.
+  /// Unnormalized: entries overflow to inf where the gradient itself
+  /// exceeds double range; prefer LogNormalizerGradient for training.
   Matrix NormalizerGradient() const;
 
-  /// Gradient of log Z_k w.r.t. L (NormalizerGradient / Z_k).
+  /// Gradient of log Z_k w.r.t. L (NormalizerGradient / Z_k), computed in
+  /// log domain so it stays finite whenever Z_k does.
   Matrix LogNormalizerGradient() const;
 
  private:

@@ -1,10 +1,13 @@
 // Dense row-major matrix and vector types.
 //
-// lkpdpp operates on small-to-medium dense matrices (DPP kernels over
-// k+n <= ~32 ground sets, embedding tables of a few thousand rows), so a
-// straightforward cache-friendly row-major layout with explicit loops is
-// both sufficient and easy to verify. All numerics are double precision:
-// determinant ratios in k-DPP normalization lose accuracy fast in float.
+// lkpdpp operates on dense matrices from tiny DPP kernels (k+n <= ~32
+// ground sets) up to serving-pool kernels of a few hundred rows, so the
+// GEMM-shaped products (MatMul / MatMulTransA / MatMulTransB) are
+// cache-blocked: loops are tiled so the working set of each inner kernel
+// stays L2-resident, while the reduction index is visited in the same
+// order as the naive triple loop — blocked results are bit-identical to
+// unblocked ones. All numerics are double precision: determinant ratios
+// in k-DPP normalization lose accuracy fast in float.
 
 #ifndef LKPDPP_LINALG_MATRIX_H_
 #define LKPDPP_LINALG_MATRIX_H_

@@ -1,4 +1,6 @@
-// Tests for Cholesky, LU, and the symmetric Jacobi eigensolver.
+// Tests for Cholesky, LU, and the symmetric eigensolvers (the two-stage
+// Householder+QL production path cross-checked against the cyclic Jacobi
+// reference).
 
 #include <gtest/gtest.h>
 
@@ -220,6 +222,188 @@ TEST_P(EigenPropertyTest, ReconstructionAndOrthonormality) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
                          ::testing::Values(2, 3, 4, 6, 10, 16));
+
+// Random symmetric (indefinite) matrix: mixed-sign spectrum.
+Matrix RandomSymmetric(int n, Rng* rng) {
+  Matrix a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c <= r; ++c) {
+      const double x = rng->Normal();
+      a(r, c) = x;
+      a(c, r) = x;
+    }
+  }
+  return a;
+}
+
+// Cross-check the production Householder+QL solver against the Jacobi
+// reference on random symmetric matrices with mixed-sign spectra.
+class EigenCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenCrossCheckTest, TridiagonalAgreesWithJacobi) {
+  const int n = GetParam();
+  Rng rng(500 + n);
+  Matrix a = RandomSymmetric(n, &rng);
+  auto tri = SymmetricEigen(a);
+  auto jac = SymmetricEigenJacobi(a);
+  ASSERT_TRUE(tri.ok());
+  ASSERT_TRUE(jac.ok());
+  const double scale = std::max(1.0, a.MaxAbs());
+
+  // Eigenvalues agree to 1e-10 (relative to matrix scale).
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(tri->eigenvalues[i], jac->eigenvalues[i], 1e-10 * scale)
+        << "eigenvalue " << i;
+  }
+
+  // V^T V = I.
+  Matrix vtv = MatMulTransA(tri->eigenvectors, tri->eigenvectors);
+  EXPECT_LT((vtv - Matrix::Identity(n)).MaxAbs(), 1e-10);
+
+  // V diag(lambda) V^T = A.
+  Matrix scaled = tri->eigenvectors;
+  for (int c = 0; c < n; ++c) {
+    for (int r = 0; r < n; ++r) scaled(r, c) *= tri->eigenvalues[c];
+  }
+  Matrix rebuilt = MatMulTransB(scaled, tri->eigenvectors);
+  EXPECT_LT((rebuilt - a).MaxAbs(), 1e-9 * scale);
+
+  // With canonical signs and the simple spectra of random matrices, the
+  // eigenvector columns themselves line up across solvers.
+  for (int i = 0; i < n; ++i) {
+    double dot = 0.0;
+    for (int r = 0; r < n; ++r) {
+      dot += tri->eigenvectors(r, i) * jac->eigenvectors(r, i);
+    }
+    EXPECT_GT(dot, 1.0 - 1e-8) << "eigenvector " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenCrossCheckTest,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 64));
+
+TEST(EigenTest, RepeatedEigenvalues) {
+  // 3 * I: a maximally degenerate spectrum.
+  auto eye = SymmetricEigen(Matrix::Identity(4) * 3.0);
+  ASSERT_TRUE(eye.ok());
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(eye->eigenvalues[i], 3.0, 1e-12);
+  Matrix vtv = MatMulTransA(eye->eigenvectors, eye->eigenvectors);
+  EXPECT_LT((vtv - Matrix::Identity(4)).MaxAbs(), 1e-12);
+
+  // Two-fold degeneracy mixed with a simple eigenvalue.
+  Matrix a = Matrix::Diagonal(Vector{2.0, 5.0, 2.0});
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 2.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[2], 5.0, 1e-12);
+  Matrix scaled = eig->eigenvectors;
+  for (int c = 0; c < 3; ++c) {
+    for (int r = 0; r < 3; ++r) scaled(r, c) *= eig->eigenvalues[c];
+  }
+  EXPECT_LT((MatMulTransB(scaled, eig->eigenvectors) - a).MaxAbs(), 1e-10);
+}
+
+TEST(EigenTest, RankDeficientMatrix) {
+  // Rank-1 outer product: one eigenvalue ||v||^2, the rest zero.
+  Vector v{1.0, -2.0, 3.0, 0.5, -1.5, 2.5};
+  Matrix a = Matrix::Outer(v, v);
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  const double norm2 = v.Dot(v);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(eig->eigenvalues[i], 0.0, 1e-12 * norm2) << "null dim " << i;
+  }
+  EXPECT_NEAR(eig->eigenvalues[5], norm2, 1e-12 * norm2);
+  // The top eigenvector is v / ||v|| up to canonical sign.
+  double dot = 0.0;
+  for (int r = 0; r < 6; ++r) {
+    dot += eig->eigenvectors(r, 5) * v[r] / std::sqrt(norm2);
+  }
+  EXPECT_NEAR(std::fabs(dot), 1.0, 1e-10);
+}
+
+TEST(EigenTest, CanonicalSignMakesSolversBitComparable) {
+  // Both solvers must place the largest-magnitude component of every
+  // eigenvector on the positive side, so downstream sampling streams do
+  // not silently flip when the solver implementation changes.
+  Rng rng(77);
+  Matrix a = RandomSpd(7, &rng);
+  auto tri = SymmetricEigen(a);
+  auto jac = SymmetricEigenJacobi(a);
+  ASSERT_TRUE(tri.ok());
+  ASSERT_TRUE(jac.ok());
+  for (const auto* eig : {&*tri, &*jac}) {
+    for (int c = 0; c < 7; ++c) {
+      double peak = -1.0;
+      double peak_val = 0.0;
+      for (int r = 0; r < 7; ++r) {
+        const double x = eig->eigenvectors(r, c);
+        if (std::fabs(x) > peak) {
+          peak = std::fabs(x);
+          peak_val = x;
+        }
+      }
+      EXPECT_GT(peak_val, 0.0) << "column " << c;
+    }
+  }
+}
+
+TEST(EigenJacobiTest, MatchesTridiagonalOnKnownMatrix) {
+  Matrix a{{2, 1}, {1, 2}};
+  auto eig = SymmetricEigenJacobi(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(EigenJacobiTest, ConvergenceCheckedAfterFinalSweep) {
+  // Regression: a 2x2 rotation diagonalizes this matrix in exactly one
+  // sweep, so max_sweeps=1 must succeed. The old implementation only
+  // tested convergence at the top of each sweep and reported
+  // NumericalError even though the final allowed sweep had converged.
+  Matrix a{{2, 1}, {1, 2}};
+  auto eig = SymmetricEigenJacobi(a, /*max_sweeps=*/1);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 3.0, 1e-12);
+  // Zero sweeps genuinely cannot converge a non-diagonal matrix.
+  EXPECT_EQ(SymmetricEigenJacobi(a, /*max_sweeps=*/0).status().code(),
+            StatusCode::kNumericalError);
+  // A diagonal matrix converges with zero sweeps allowed.
+  EXPECT_TRUE(
+      SymmetricEigenJacobi(Matrix::Diagonal(Vector{1.0, 2.0}), 0).ok());
+}
+
+TEST(EigenJacobiTest, HandlesEdgeSizesAndRejectsAsymmetric) {
+  auto one = SymmetricEigenJacobi(Matrix{{4.0}});
+  ASSERT_TRUE(one.ok());
+  EXPECT_NEAR(one->eigenvalues[0], 4.0, 1e-15);
+  auto zero = SymmetricEigenJacobi(Matrix(0, 0));
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->eigenvalues.size(), 0);
+  EXPECT_FALSE(SymmetricEigenJacobi(Matrix{{1, 2}, {0, 1}}).ok());
+  EXPECT_FALSE(SymmetricEigenJacobi(Matrix(2, 3)).ok());
+}
+
+TEST(EigenTest, ExtremeUniformScalesStayAccurate) {
+  // The solver must be scale-invariant in the relative sense: tiny and
+  // huge uniform scalings of the same matrix give scaled spectra.
+  Rng rng(88);
+  Matrix base = RandomSpd(6, &rng);
+  auto ref = SymmetricEigen(base);
+  ASSERT_TRUE(ref.ok());
+  for (double s : {1e-8, 1e8}) {
+    Matrix scaled_in = base;
+    scaled_in *= s;
+    auto eig = SymmetricEigen(scaled_in);
+    ASSERT_TRUE(eig.ok()) << "scale " << s;
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_NEAR(eig->eigenvalues[i], s * ref->eigenvalues[i],
+                  1e-10 * s * std::fabs(ref->eigenvalues[5]));
+    }
+  }
+}
 
 TEST(ProjectToPsdTest, ClampsNegativeEigenvalues) {
   Matrix a{{1, 0}, {0, -2}};

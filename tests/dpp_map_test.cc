@@ -242,6 +242,49 @@ TEST(GreedyMapTest, ValidationErrors) {
             StatusCode::kNumericalError);
 }
 
+TEST(ElementaryDppSamplerTest, NeverEmitsDuplicateOnVanishedWeights) {
+  // Regression: a 2-column basis over a 1-item ground set forces the
+  // second iteration's residual weights to be all-zero once item 0 is
+  // chosen. The old code fell back to Rng::Categorical's uniform draw
+  // over ALL items, returning the duplicate subset {0, 0}; the sampler
+  // must report NumericalError instead.
+  Matrix basis(1, 2, 1.0);
+  Rng rng(123);
+  auto s = SampleElementaryDpp(basis, &rng);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(ElementaryDppSamplerTest, AllZeroBasisFailsCleanly) {
+  // No support at all: the very first draw has zero total mass.
+  Matrix basis(3, 2, 0.0);
+  Rng rng(124);
+  auto s = SampleElementaryDpp(basis, &rng);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(ElementaryDppSamplerTest, ValidBasisStillSamplesDistinctItems) {
+  // Healthy path: spans of orthonormal eigenvectors keep emitting k
+  // distinct indices after the zero-mass guard.
+  Rng rng(125);
+  auto kdpp = KDpp::Create(RandomPsd(6, &rng), 3);
+  ASSERT_TRUE(kdpp.ok());
+  Matrix basis(6, 3);
+  for (int c = 0; c < 3; ++c) {
+    basis.SetCol(c, kdpp->eigenvectors().Col(3 + c));
+  }
+  Rng sample_rng(126);
+  for (int trial = 0; trial < 50; ++trial) {
+    Matrix b = basis;
+    auto s = SampleElementaryDpp(std::move(b), &sample_rng);
+    ASSERT_TRUE(s.ok());
+    ASSERT_EQ(s->size(), 3u);
+    EXPECT_LT((*s)[0], (*s)[1]);
+    EXPECT_LT((*s)[1], (*s)[2]);
+  }
+}
+
 TEST(DiversifiedRerankTest, BalancesQualityAndDiversity) {
   // Item 1 is a near-duplicate of item 0 with slightly lower quality;
   // plain top-2 would take {0, 1}, the re-ranker must take the distinct

@@ -154,5 +154,56 @@ TEST(EspNumericalTest, TinyValuesStayPositive) {
   EXPECT_NEAR(e5, 252.0 * 1e-40, 1e-45);
 }
 
+TEST(LogExclusionEspTest, MatchesLinearDomainOnModerateValues) {
+  Rng rng(42);
+  Vector vals(9);
+  for (int i = 0; i < 9; ++i) vals[i] = rng.Uniform(0.1, 3.0);
+  for (int degree : {0, 1, 3, 6, 8}) {
+    const Vector raw = ExclusionEsp(vals, degree);
+    const Vector logd = LogExclusionEsp(vals, degree);
+    for (int i = 0; i < 9; ++i) {
+      EXPECT_NEAR(logd[i], std::log(raw[i]),
+                  1e-12 * std::max(1.0, std::fabs(std::log(raw[i]))))
+          << "degree " << degree << " skip " << i;
+    }
+  }
+}
+
+TEST(LogExclusionEspTest, HandlesZeroValues) {
+  // With a zero entry, excluding a *different* entry keeps the zero in
+  // the pool; degree-2 polynomials over {0, 2, 3} drop the products
+  // through zero: e_2({2,3} U {0}) = 6.
+  Vector vals{0.0, 2.0, 3.0, 4.0};
+  const Vector raw = ExclusionEsp(vals, 2);
+  const Vector logd = LogExclusionEsp(vals, 2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::exp(logd[i]), raw[i], 1e-12 * raw[i]) << "skip " << i;
+  }
+  // Degree 3 excluding entry 3 leaves {0,2,3}: every 3-product includes
+  // the zero, so the polynomial is exactly zero -> log is -inf.
+  const Vector log3 = LogExclusionEsp(vals, 3);
+  EXPECT_TRUE(std::isinf(log3[3]));
+  EXPECT_LT(log3[3], 0.0);
+}
+
+TEST(LogExclusionEspTest, SurvivesMagnitudesThatOverflowLinearDomain) {
+  // e_2 over values ~1e200 is ~1e400: the linear-domain recursion
+  // saturates to inf, the log-domain one must not. Verify against the
+  // scaling identity e_d(s * mu) = s^d e_d(mu).
+  const double s = 1e200;
+  Vector mu{1.0, 2.0, 3.0, 4.0, 5.0};
+  Vector scaled = mu;
+  scaled *= s;
+  const int degree = 2;
+  EXPECT_FALSE(std::isfinite(ExclusionEsp(scaled, degree).Max()));
+  const Vector log_scaled = LogExclusionEsp(scaled, degree);
+  const Vector base = ExclusionEsp(mu, degree);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(std::isfinite(log_scaled[i])) << "skip " << i;
+    EXPECT_NEAR(log_scaled[i], degree * std::log(s) + std::log(base[i]),
+                1e-9) << "skip " << i;
+  }
+}
+
 }  // namespace
 }  // namespace lkpdpp

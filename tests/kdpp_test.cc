@@ -305,6 +305,52 @@ TEST(KDppSamplerTest, MarginalFrequenciesMatchMarginalKernel) {
   }
 }
 
+TEST(KDppTest, RejectsEspTableOverflow) {
+  // Regression: with eigenvalues {1e-150, 1e-150, 1e200, 1e200} and k=3,
+  // e_3 itself is ~2e250 (finite) but the intermediate e_2 row of the
+  // Algorithm-1 table overflows to inf. The old code accepted the kernel
+  // and the sampler's backward walk then divided inf by inf; Create must
+  // reject it with a clear NumericalError instead.
+  Matrix k = Matrix::Diagonal(Vector{1e-150, 1e-150, 1e200, 1e200});
+  auto r = KDpp::Create(k, 3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNumericalError);
+  EXPECT_NE(r.status().message().find("ESP table"), std::string::npos);
+}
+
+TEST(KDppTest, MarginalKernelStaysFiniteAcrossMagnitudes) {
+  // Regression for the log-domain marginal weights: uniform kernel
+  // scalings spanning ~200 orders of magnitude must leave the marginal
+  // kernel finite with trace exactly k (the marginal kernel of c*L for a
+  // k-DPP is NOT scale-free, but its trace is).
+  Rng rng(19);
+  const Matrix base = RandomPsdKernel(6, &rng);
+  for (double scale : {1e-100, 1.0, 1e100}) {
+    Matrix kernel = base;
+    kernel *= scale;
+    auto kdpp = KDpp::Create(kernel, 3);
+    ASSERT_TRUE(kdpp.ok()) << "scale " << scale;
+    const Matrix mk = kdpp->MarginalKernel();
+    EXPECT_TRUE(mk.AllFinite()) << "scale " << scale;
+    EXPECT_NEAR(mk.Trace(), 3.0, 1e-8) << "scale " << scale;
+    const Matrix g = kdpp->LogNormalizerGradient();
+    EXPECT_TRUE(g.AllFinite()) << "scale " << scale;
+  }
+}
+
+TEST(KDppTest, LogNormalizerGradientMatchesUnnormalized) {
+  // On moderate kernels the log-domain gradient must equal the raw
+  // gradient divided by Z_k to high relative accuracy.
+  Rng rng(20);
+  auto kdpp = KDpp::Create(RandomPsdKernel(6, &rng), 3);
+  ASSERT_TRUE(kdpp.ok());
+  Matrix expected = kdpp->NormalizerGradient();
+  expected *= std::exp(-kdpp->LogNormalizer());
+  const Matrix actual = kdpp->LogNormalizerGradient();
+  EXPECT_LT((actual - expected).MaxAbs(),
+            1e-10 * std::max(1.0, expected.MaxAbs()));
+}
+
 TEST(KDppTest, EnumerationGuardTriggers) {
   Rng rng(18);
   auto kdpp = KDpp::Create(RandomPsdKernel(12, &rng), 6);

@@ -264,5 +264,59 @@ TEST_P(TransposeLawTest, ProductTranspose) {
 INSTANTIATE_TEST_SUITE_P(Sizes, TransposeLawTest,
                          ::testing::Values(1, 2, 4, 7));
 
+// Unblocked reference products for validating the cache-blocked GEMM
+// paths at sizes that straddle the internal tile edge (64).
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      for (int j = 0; j < b.cols(); ++j) out(i, j) += a(i, k) * b(k, j);
+    }
+  }
+  return out;
+}
+
+class BlockedGemmTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlockedGemmTest, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(900 + m + 7 * k + 31 * n);
+  Matrix a = RandomMatrix(m, k, &rng);
+  Matrix b = RandomMatrix(k, n, &rng);
+  EXPECT_LT((MatMul(a, b) - NaiveMatMul(a, b)).MaxAbs(), 1e-10);
+
+  Matrix at = a.Transpose();
+  EXPECT_LT((MatMulTransA(at, b) - NaiveMatMul(a, b)).MaxAbs(), 1e-10);
+
+  Matrix bt = b.Transpose();
+  EXPECT_LT((MatMulTransB(a, bt) - NaiveMatMul(a, b)).MaxAbs(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileStraddlingShapes, BlockedGemmTest,
+    ::testing::Values(std::tuple{3, 5, 2},        // far below one tile
+                      std::tuple{64, 64, 64},     // exactly one tile
+                      std::tuple{65, 64, 63},     // straddles on m only
+                      std::tuple{65, 130, 47},    // ragged multi-tile k
+                      std::tuple{128, 65, 129},   // straddles everywhere
+                      std::tuple{1, 200, 1}));    // degenerate slivers
+
+TEST(BlockedGemmTest, BlockingPreservesBitExactResults) {
+  // The tiled loops must visit the reduction index in naive order, so
+  // results are bit-identical to the unblocked loops (golden baselines
+  // depend on this).
+  Rng rng(901);
+  Matrix a = RandomMatrix(70, 90, &rng);
+  Matrix b = RandomMatrix(90, 80, &rng);
+  const Matrix blocked = MatMul(a, b);
+  const Matrix naive = NaiveMatMul(a, b);
+  for (int i = 0; i < blocked.rows(); ++i) {
+    for (int j = 0; j < blocked.cols(); ++j) {
+      EXPECT_EQ(blocked(i, j), naive(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lkpdpp
