@@ -8,6 +8,9 @@
 #     rough shape reference (relative costs), not a pass/fail gate.
 #   * serve_throughput contributes its machine-independent determinism
 #     verdict plus indicative throughput numbers.
+#   * train_throughput contributes the machine-independent
+#     training-determinism verdict (serial vs parallel bit-equality at
+#     every thread count) plus indicative step timings/speedups.
 #   * eigen_bench contributes the machine-independent solver-agreement
 #     verdict plus indicative tridiag-vs-Jacobi timings/speedups.
 #
@@ -26,12 +29,17 @@ export LKP_SCALE=1.0
 export LKP_EPOCHS=36
 export LKP_SERVE_REQUESTS=300
 export LKP_THREADS=2
+# 6 epochs keeps the 1-thread lkp_train row around 100ms: comfortably
+# above timer noise, so recorded speedup ratios are meaningful shapes
+# (on a multi-core recorder; a 1-core box reads ~1.0x by construction).
+export LKP_TRAIN_EPOCHS=6
 
 FIG2_OUT=$(mktemp)
 MICRO_OUT=$(mktemp)
 SERVE_OUT=$(mktemp)
+TRAIN_OUT=$(mktemp)
 EIGEN_OUT=$(mktemp)
-trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$EIGEN_OUT"' EXIT
+trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT"' EXIT
 
 echo "running fig2_k_sweep (LKP_SCALE=$LKP_SCALE LKP_EPOCHS=$LKP_EPOCHS)..."
 "$BUILD_DIR/bench/fig2_k_sweep" > "$FIG2_OUT"
@@ -48,15 +56,20 @@ fi
 echo "running serve_throughput (LKP_SERVE_REQUESTS=$LKP_SERVE_REQUESTS)..."
 "$BUILD_DIR/bench/serve_throughput" > "$SERVE_OUT"
 
+echo "running train_throughput (LKP_TRAIN_EPOCHS=$LKP_TRAIN_EPOCHS)..."
+# train_throughput exits non-zero on a determinism violation; keep going
+# so the parser records deterministic_across_threads=false.
+"$BUILD_DIR/bench/train_throughput" > "$TRAIN_OUT" || true
+
 echo "running eigen_bench..."
 # eigen_bench exits non-zero on an accuracy violation; don't let set -e
 # abort before the parser records solvers_agree=false in the baseline.
 "$BUILD_DIR/bench/eigen_bench" > "$EIGEN_OUT" || true
 
-python3 - "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$EIGEN_OUT" <<'EOF'
+python3 - "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" <<'EOF'
 import json, os, re, sys
 
-fig2_path, micro_path, serve_path, eigen_path = sys.argv[1:5]
+fig2_path, micro_path, serve_path, train_path, eigen_path = sys.argv[1:6]
 
 # --- fig2_k_sweep: parse the per-k metric rows under each mode header.
 fig2 = {}
@@ -118,6 +131,35 @@ for line in open(serve_path):
             "hit_rate": float(m.group(3)),
         })
 
+# --- train_throughput: per-thread-count timing rows + the
+# serial-vs-parallel bit-equality verdict.
+train = {"deterministic_across_threads": True, "lkp_train": [],
+         "kernel_train": []}
+section = None
+for line in open(train_path):
+    m = re.match(r"--- (lkp_train|kernel_train) ", line)
+    if m:
+        section = m.group(1)
+        continue
+    if "DETERMINISM VIOLATION" in line:
+        train["deterministic_across_threads"] = False
+    m = re.match(r"\s*(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)x", line)
+    if m and section == "kernel_train":
+        train[section].append({
+            "threads": int(m.group(1)),
+            "train_s": float(m.group(2)),
+            "pairs_per_s": float(m.group(3)),
+            "speedup": float(m.group(4)),
+        })
+        continue
+    m = re.match(r"\s*(\d+)\s+([\d.]+)\s+([\d.]+)x", line)
+    if m and section == "lkp_train":
+        train[section].append({
+            "threads": int(m.group(1)),
+            "train_s": float(m.group(2)),
+            "speedup": float(m.group(3)),
+        })
+
 # --- eigen_bench: per-size timing rows + the solver-agreement verdict.
 eigen = {"solvers_agree": True, "sizes": []}
 for line in open(eigen_path):
@@ -146,11 +188,13 @@ baseline = {
         "LKP_EPOCHS": os.environ["LKP_EPOCHS"],
         "LKP_SERVE_REQUESTS": os.environ["LKP_SERVE_REQUESTS"],
         "LKP_THREADS": os.environ["LKP_THREADS"],
+        "LKP_TRAIN_EPOCHS": os.environ["LKP_TRAIN_EPOCHS"],
         "build_type": "Release",
     },
     "fig2_k_sweep": fig2,
     "micro_kdpp": micro,
     "serve_throughput": serve,
+    "train_throughput": train,
     "eigen": eigen,
 }
 with open("BENCH_baseline.json", "w") as f:

@@ -1,0 +1,201 @@
+// Training throughput: training-step speedup as a function of thread
+// count (1-8) for the two training loops, on the Beauty-like synthetic
+// dataset at fig2 scale.
+//
+// Two sections:
+//   * lkp_train: the full LkP epoch loop on the GCN backbone with the
+//     Figure-2 spec (k = n = 5, dim 16, batch 64) — shared propagation
+//     prefix per batch, per-instance criterion + gradient shards, fixed
+//     instance-order reduction, Adam step;
+//   * kernel_train: the Eq. 3 diversity-kernel pre-trainer — per-pair
+//     log-det gradients sharded across the pool, fixed pair-order
+//     reduction.
+// After each timing row the harness re-checks the run against the
+// 1-thread reference: final parameters, losses, and validation history
+// must be BIT-identical, i.e. the determinism contract of the parallel
+// trainer. A violation exits non-zero.
+//
+//   ./build/bench/train_throughput
+//
+// LKP_SCALE scales the dataset; LKP_TRAIN_EPOCHS overrides the LkP
+// epoch budget (default 2; deliberately not LKP_EPOCHS, which pins the
+// fig2 golden run length). Speedups are relative to the 1-thread row
+// and are only meaningful on a machine with that many physical cores.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "exp/runner.h"
+#include "kernels/diversity_kernel.h"
+
+namespace lkpdpp {
+namespace {
+
+int TrainEpochsFromEnv() {
+  const char* env = std::getenv("LKP_TRAIN_EPOCHS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 2;
+}
+
+bool BitEqual(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      if (a(r, c) != b(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+ExperimentSpec Fig2Spec(int epochs) {
+  ExperimentSpec spec;
+  spec.model = ModelKind::kGcn;
+  spec.criterion = CriterionKind::kLkp;
+  spec.lkp_mode = LkpMode::kPositiveOnly;
+  spec.k = 5;
+  spec.n = 5;
+  spec.embedding_dim = 16;
+  spec.batch_size = 64;
+  spec.learning_rate = 0.01;
+  spec.epochs = epochs;
+  spec.eval_every = epochs;  // Validate once, at the end.
+  spec.patience = 0;
+  return spec;
+}
+
+struct LkpRun {
+  double train_seconds = 0.0;
+  double final_loss = 0.0;
+  std::vector<double> validation;
+  std::vector<Matrix> params;
+};
+
+LkpRun RunLkp(const Dataset& dataset, const ExperimentSpec& spec,
+              int threads) {
+  ThreadPool pool(threads);
+  ExperimentRunner runner(&dataset);
+  runner.SetThreadPool(&pool);
+  std::unique_ptr<RecModel> model;
+  auto result = runner.RunAndKeepModel(spec, &model, {5});
+  result.status().CheckOK();
+  LkpRun out;
+  out.train_seconds = result->train_seconds;
+  out.final_loss = result->final_train_loss;
+  out.validation = result->validation_history;
+  for (ad::Param* p : model->Params()) out.params.push_back(p->value);
+  return out;
+}
+
+bool LkpRunsMatch(const LkpRun& a, const LkpRun& b) {
+  if (a.final_loss != b.final_loss) return false;
+  if (a.validation != b.validation) return false;
+  if (a.params.size() != b.params.size()) return false;
+  for (size_t i = 0; i < a.params.size(); ++i) {
+    if (!BitEqual(a.params[i], b.params[i])) return false;
+  }
+  return true;
+}
+
+void SweepLkp(const Dataset& dataset, int epochs) {
+  std::printf("\n--- lkp_train (GCN, fig2-scale, %d epochs) ---\n", epochs);
+  std::printf("%8s %12s %10s   %s\n", "threads", "train_s", "speedup",
+              "determinism");
+  const ExperimentSpec spec = Fig2Spec(epochs);
+  LkpRun reference;
+  double base_seconds = 0.0;
+  double speedup8 = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    const LkpRun run = RunLkp(dataset, spec, threads);
+    bool identical = true;
+    if (threads == 1) {
+      reference = run;
+      base_seconds = run.train_seconds;
+    } else {
+      identical = LkpRunsMatch(reference, run);
+    }
+    const double speedup =
+        run.train_seconds > 0.0 ? base_seconds / run.train_seconds : 0.0;
+    if (threads == 8) speedup8 = speedup;
+    std::printf("%8d %12.3f %9.2fx   %s\n", threads, run.train_seconds,
+                speedup,
+                threads == 1
+                    ? "reference"
+                    : (identical ? "bit-identical" : "DETERMINISM VIOLATION"));
+    std::fflush(stdout);
+    if (!identical) std::exit(1);
+  }
+  std::printf("lkp_train speedup at 8 threads: %.2fx\n", speedup8);
+}
+
+void SweepKernel(const Dataset& dataset) {
+  DiversityKernel::TrainConfig cfg;
+  cfg.rank = 16;
+  cfg.epochs = 4;
+  cfg.pairs_per_epoch = 3000;  // ~12k pairs: above the timer noise floor.
+  cfg.set_size = 5;
+  cfg.batch_size = 64;
+  const long total_pairs =
+      static_cast<long>(cfg.epochs) * cfg.pairs_per_epoch;
+
+  std::printf("\n--- kernel_train (diversity pre-training, %ld pairs) ---\n",
+              total_pairs);
+  std::printf("%8s %12s %12s %10s   %s\n", "threads", "train_s", "pairs/s",
+              "speedup", "determinism");
+  Matrix reference;
+  double base_seconds = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    DiversityKernel::TrainConfig run_cfg = cfg;
+    run_cfg.pool = &pool;
+    Stopwatch timer;
+    auto kernel = DiversityKernel::Train(dataset, run_cfg);
+    const double seconds = timer.ElapsedSeconds();
+    kernel.status().CheckOK();
+    bool identical = true;
+    if (threads == 1) {
+      reference = kernel->factors();
+      base_seconds = seconds;
+    } else {
+      identical = BitEqual(reference, kernel->factors());
+    }
+    std::printf("%8d %12.3f %12.1f %9.2fx   %s\n", threads, seconds,
+                seconds > 0.0 ? total_pairs / seconds : 0.0,
+                seconds > 0.0 ? base_seconds / seconds : 0.0,
+                threads == 1
+                    ? "reference"
+                    : (identical ? "bit-identical" : "DETERMINISM VIOLATION"));
+    std::fflush(stdout);
+    if (!identical) std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace lkpdpp
+
+int main() {
+  using namespace lkpdpp;
+  std::printf("=== train_throughput: training-step speedup vs thread count "
+              "===\n");
+  auto ds = GenerateSyntheticDataset(BeautyLikeConfig(bench::ScaleFromEnv()));
+  ds.status().CheckOK();
+  Dataset dataset = std::move(ds).ValueOrDie();
+  const int epochs = TrainEpochsFromEnv();
+  std::printf("dataset=%s users=%d items=%d\n", dataset.name().c_str(),
+              dataset.num_users(), dataset.num_items());
+
+  SweepLkp(dataset, epochs);
+  SweepKernel(dataset);
+  std::printf("\nnote: speedups are bounded by physical cores; the "
+              "determinism checks are machine-independent.\n");
+  return 0;
+}

@@ -7,6 +7,39 @@
 
 namespace lkpdpp::ad {
 
+void GradientWorkspace::AccumulateDense(Param* param, Matrix g) {
+  LKP_CHECK(param != nullptr);
+  LKP_CHECK(g.rows() == param->value.rows() &&
+            g.cols() == param->value.cols())
+      << "dense gradient shape mismatch for param " << param->name;
+  entries_.push_back(Entry{param, {}, std::move(g)});
+}
+
+void GradientWorkspace::AccumulateRows(Param* param,
+                                       const std::vector<int>& rows,
+                                       Matrix up) {
+  LKP_CHECK(param != nullptr);
+  LKP_CHECK_EQ(static_cast<int>(rows.size()), up.rows());
+  LKP_CHECK_EQ(up.cols(), param->value.cols());
+  entries_.push_back(Entry{param, rows, std::move(up)});
+}
+
+void GradientWorkspace::FlushIntoParams() const {
+  for (const Entry& e : entries_) {
+    Matrix& grad = e.param->grad;
+    if (e.rows.empty()) {
+      grad += e.data;
+      continue;
+    }
+    for (size_t r = 0; r < e.rows.size(); ++r) {
+      const int row = e.rows[r];
+      for (int c = 0; c < e.data.cols(); ++c) {
+        grad(row, c) += e.data(static_cast<int>(r), c);
+      }
+    }
+  }
+}
+
 const Matrix& Tensor::value() const {
   LKP_CHECK(valid());
   return graph->value(*this);
@@ -14,7 +47,12 @@ const Matrix& Tensor::value() const {
 
 const Matrix& Graph::value(const Tensor& t) const {
   LKP_CHECK(t.id >= 0 && t.id < size());
-  return nodes_[static_cast<size_t>(t.id)].value;
+  return NodeValue(t.id);
+}
+
+const Matrix& Graph::NodeValue(int id) const {
+  const Node& n = nodes_[static_cast<size_t>(id)];
+  return n.external != nullptr ? *n.external : n.value;
 }
 
 Tensor Graph::MakeNode(Matrix value, std::vector<int> parents,
@@ -30,17 +68,50 @@ Tensor Graph::MakeNode(Matrix value, std::vector<int> parents,
 Matrix& Graph::GradRef(int id) {
   Node& n = node(id);
   if (!n.has_grad) {
-    n.grad = Matrix(n.value.rows(), n.value.cols());
+    const Matrix& v = NodeValue(id);
+    n.grad = Matrix(v.rows(), v.cols());
     n.has_grad = true;
   }
   return n.grad;
 }
 
 void Graph::AccumulateGrad(int id, const Matrix& g) {
+  Node& n = node(id);
+  if (n.param != nullptr && workspace_ != nullptr) {
+    workspace_->AccumulateDense(n.param, g);
+    return;
+  }
   Matrix& grad = GradRef(id);
   LKP_CHECK(grad.rows() == g.rows() && grad.cols() == g.cols())
       << "gradient shape mismatch at node " << id;
   grad += g;
+}
+
+void Graph::AccumulateGrad(int id, Matrix&& g) {
+  Node& n = node(id);
+  if (n.param != nullptr && workspace_ != nullptr) {
+    workspace_->AccumulateDense(n.param, std::move(g));
+    return;
+  }
+  Matrix& grad = GradRef(id);
+  LKP_CHECK(grad.rows() == g.rows() && grad.cols() == g.cols())
+      << "gradient shape mismatch at node " << id;
+  grad += g;
+}
+
+void Graph::ScatterRowGrads(int id, const std::vector<int>& rows,
+                            Matrix up) {
+  Node& n = node(id);
+  if (n.param != nullptr && workspace_ != nullptr) {
+    workspace_->AccumulateRows(n.param, rows, std::move(up));
+    return;
+  }
+  Matrix& down = GradRef(id);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (int c = 0; c < up.cols(); ++c) {
+      down(rows[r], c) += up(static_cast<int>(r), c);
+    }
+  }
 }
 
 Tensor Graph::Constant(Matrix value) {
@@ -49,8 +120,9 @@ Tensor Graph::Constant(Matrix value) {
 
 Tensor Graph::Parameter(Param* param) {
   LKP_CHECK(param != nullptr);
-  Tensor t = MakeNode(param->value, {}, nullptr);
+  Tensor t = MakeNode(Matrix(), {}, nullptr);
   node(t.id).param = param;
+  node(t.id).external = &param->value;
   return t;
 }
 
@@ -67,14 +139,10 @@ Tensor Graph::GatherRows(Tensor input, std::vector<int> rows) {
   const int parent = input.id;
   return MakeNode(std::move(out), {parent},
                   [parent, rows_copy](Graph* g, int self) {
-                    const Matrix& up = g->node(self).grad;
-                    Matrix& down = g->GradRef(parent);
-                    for (size_t r = 0; r < rows_copy.size(); ++r) {
-                      for (int c = 0; c < up.cols(); ++c) {
-                        down(rows_copy[r], c) +=
-                            up(static_cast<int>(r), c);
-                      }
-                    }
+                    // A node's grad is dead once its own backward runs,
+                    // so hand the buffer over instead of copying it.
+                    g->ScatterRowGrads(parent, rows_copy,
+                                       std::move(g->node(self).grad));
                   });
 }
 
@@ -96,7 +164,7 @@ Tensor Graph::Sub(Tensor a, Tensor b) {
                     g->AccumulateGrad(pa, up);
                     Matrix neg = up;
                     neg *= -1.0;
-                    g->AccumulateGrad(pb, neg);
+                    g->AccumulateGrad(pb, std::move(neg));
                   });
 }
 
@@ -105,8 +173,8 @@ Tensor Graph::Mul(Tensor a, Tensor b) {
   return MakeNode(Hadamard(value(a), value(b)), {pa, pb},
                   [pa, pb](Graph* g, int self) {
                     const Matrix& up = g->node(self).grad;
-                    g->AccumulateGrad(pa, Hadamard(up, g->node(pb).value));
-                    g->AccumulateGrad(pb, Hadamard(up, g->node(pa).value));
+                    g->AccumulateGrad(pa, Hadamard(up, g->NodeValue(pb)));
+                    g->AccumulateGrad(pb, Hadamard(up, g->NodeValue(pa)));
                   });
 }
 
@@ -124,8 +192,8 @@ Tensor Graph::MatMul(Tensor a, Tensor b) {
       [pa, pb](Graph* g, int self) {
         const Matrix& up = g->node(self).grad;
         // dA = up * B^T ; dB = A^T * up.
-        g->AccumulateGrad(pa, lkpdpp::MatMulTransB(up, g->node(pb).value));
-        g->AccumulateGrad(pb, lkpdpp::MatMulTransA(g->node(pa).value, up));
+        g->AccumulateGrad(pa, lkpdpp::MatMulTransB(up, g->NodeValue(pb)));
+        g->AccumulateGrad(pb, lkpdpp::MatMulTransA(g->NodeValue(pa), up));
       });
 }
 
@@ -136,8 +204,8 @@ Tensor Graph::MatMulTransB(Tensor a, Tensor b) {
       [pa, pb](Graph* g, int self) {
         const Matrix& up = g->node(self).grad;
         // out = A B^T: dA = up * B ; dB = up^T * A.
-        g->AccumulateGrad(pa, lkpdpp::MatMul(up, g->node(pb).value));
-        g->AccumulateGrad(pb, lkpdpp::MatMulTransA(up, g->node(pa).value));
+        g->AccumulateGrad(pa, lkpdpp::MatMul(up, g->NodeValue(pb)));
+        g->AccumulateGrad(pb, lkpdpp::MatMulTransA(up, g->NodeValue(pa)));
       });
 }
 
@@ -158,7 +226,7 @@ Tensor Graph::AddRowBroadcast(Tensor a, Tensor row) {
     for (int r = 0; r < up.rows(); ++r) {
       for (int c = 0; c < up.cols(); ++c) rsum(0, c) += up(r, c);
     }
-    g->AccumulateGrad(pr, rsum);
+    g->AccumulateGrad(pr, std::move(rsum));
   });
 }
 
@@ -177,7 +245,7 @@ Tensor Graph::RepeatRow(Tensor row, int count) {
     for (int r = 0; r < up.rows(); ++r) {
       for (int c = 0; c < up.cols(); ++c) rsum(0, c) += up(r, c);
     }
-    g->AccumulateGrad(pr, rsum);
+    g->AccumulateGrad(pr, std::move(rsum));
   });
 }
 
@@ -203,8 +271,8 @@ Tensor Graph::ConcatCols(Tensor a, Tensor b) {
                         db(r, c - acols) = up(r, c);
                       }
                     }
-                    g->AccumulateGrad(pa, da);
-                    g->AccumulateGrad(pb, db);
+                    g->AccumulateGrad(pa, std::move(da));
+                    g->AccumulateGrad(pb, std::move(db));
                   });
 }
 
@@ -217,11 +285,10 @@ Tensor Graph::SliceRows(Tensor a, int start, int count) {
   }
   const int pa = a.id;
   return MakeNode(std::move(out), {pa}, [pa, start](Graph* g, int self) {
-    const Matrix& up = g->node(self).grad;
-    Matrix& down = g->GradRef(pa);
-    for (int r = 0; r < up.rows(); ++r) {
-      for (int c = 0; c < up.cols(); ++c) down(start + r, c) += up(r, c);
-    }
+    const int up_rows = g->node(self).grad.rows();
+    std::vector<int> rows(static_cast<size_t>(up_rows));
+    for (int r = 0; r < up_rows; ++r) rows[static_cast<size_t>(r)] = start + r;
+    g->ScatterRowGrads(pa, rows, std::move(g->node(self).grad));
   });
 }
 
@@ -236,10 +303,12 @@ Tensor Graph::RowSum(Tensor a) {
   const int pa = a.id;
   return MakeNode(std::move(out), {pa}, [pa](Graph* g, int self) {
     const Matrix& up = g->node(self).grad;
-    Matrix& down = g->GradRef(pa);
+    const Matrix& pv = g->NodeValue(pa);
+    Matrix down(pv.rows(), pv.cols());
     for (int r = 0; r < down.rows(); ++r) {
-      for (int c = 0; c < down.cols(); ++c) down(r, c) += up(r, 0);
+      for (int c = 0; c < down.cols(); ++c) down(r, c) = up(r, 0);
     }
+    g->AccumulateGrad(pa, std::move(down));
   });
 }
 
@@ -260,7 +329,7 @@ Tensor Graph::Relu(Tensor a) {
         if (val(r, c) <= 0.0) down(r, c) = 0.0;
       }
     }
-    g->AccumulateGrad(pa, down);
+    g->AccumulateGrad(pa, std::move(down));
   });
 }
 
@@ -283,7 +352,7 @@ Tensor Graph::Sigmoid(Tensor a) {
         down(r, c) *= val(r, c) * (1.0 - val(r, c));
       }
     }
-    g->AccumulateGrad(pa, down);
+    g->AccumulateGrad(pa, std::move(down));
   });
 }
 
@@ -302,7 +371,7 @@ Tensor Graph::Tanh(Tensor a) {
         down(r, c) *= 1.0 - val(r, c) * val(r, c);
       }
     }
-    g->AccumulateGrad(pa, down);
+    g->AccumulateGrad(pa, std::move(down));
   });
 }
 
@@ -342,20 +411,21 @@ Status Graph::Backward(const std::vector<std::pair<Tensor, Matrix>>& seeds) {
     if (tensor.graph != this || tensor.id < 0 || tensor.id >= size()) {
       return Status::InvalidArgument("seed tensor not from this graph");
     }
-    const Node& n = nodes_[static_cast<size_t>(tensor.id)];
-    if (seed.rows() != n.value.rows() || seed.cols() != n.value.cols()) {
+    const Matrix& v = NodeValue(tensor.id);
+    if (seed.rows() != v.rows() || seed.cols() != v.cols()) {
       return Status::InvalidArgument(
           StrFormat("seed shape %dx%d does not match tensor %dx%d",
-                    seed.rows(), seed.cols(), n.value.rows(),
-                    n.value.cols()));
+                    seed.rows(), seed.cols(), v.rows(), v.cols()));
     }
     AccumulateGrad(tensor.id, seed);
   }
-  // Nodes were created in topological order; sweep in reverse.
+  // Nodes were created in topological order; sweep in reverse. With a
+  // workspace attached, parameter contributions were intercepted at the
+  // accumulation sites, so leaves carry no grad of their own.
   for (int id = size() - 1; id >= 0; --id) {
     Node& n = node(id);
     if (!n.has_grad) continue;
-    if (n.param != nullptr) {
+    if (n.param != nullptr && workspace_ == nullptr) {
       n.param->grad += n.grad;
     }
     if (n.backward) n.backward(this, id);

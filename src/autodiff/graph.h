@@ -3,15 +3,25 @@
 // The paper's criterion gradients are closed-form (core/lkp.cc), but its
 // neural backbones (GCN propagation, NeuMF's MLP, GCMC's graph
 // auto-encoder) need backpropagation through several layers. This tape
-// covers exactly that: a Graph is built fresh per training batch, values
-// are computed eagerly on construction, and Backward() accumulates
-// gradients into externally owned Param structs from caller-supplied
-// seed gradients — which is how the externally computed criterion
-// gradients (dLoss/dScore, dLoss/dEmbedding) are injected.
+// covers exactly that: a Graph is built fresh per training instance (or
+// batch), values are computed eagerly on construction, and Backward()
+// accumulates gradients from caller-supplied seed gradients — which is
+// how the externally computed criterion gradients (dLoss/dScore,
+// dLoss/dEmbedding) are injected.
 //
 // Nodes are created in topological order by construction, so the
 // backward pass is a simple reverse sweep. No graph reuse, no shape
 // polymorphism: everything is a Matrix (vectors are m x 1).
+//
+// Data-parallel training: parameter leaves reference the Param's value
+// in place (no copy), so many graphs over the same parameters can be
+// built concurrently as long as nobody mutates the values. A graph
+// constructed with a GradientWorkspace routes every parameter-gradient
+// contribution into that workspace instead of the shared Param::grad
+// accumulators, so each worker thread writes only its own buffers; the
+// trainer then reduces the workspaces into the Params in a fixed
+// instance order (see opt/parallel_batch.h), which keeps training
+// bit-identical at any thread count.
 
 #ifndef LKPDPP_AUTODIFF_GRAPH_H_
 #define LKPDPP_AUTODIFF_GRAPH_H_
@@ -54,18 +64,75 @@ struct Param {
   void ZeroGrad() { grad = Matrix(value.rows(), value.cols()); }
 };
 
+/// Private per-thread gradient sink.
+///
+/// Instead of accumulating into the shared Param::grad matrices, a graph
+/// bound to a workspace records every parameter-gradient contribution as
+/// an entry in a chronological log: either a dense block (full parameter
+/// shape) or a row scatter (the GatherRows / SliceRows backward paths),
+/// so a training instance that only touches a handful of embedding rows
+/// never allocates a dense embedding-sized buffer.
+///
+/// FlushIntoParams() replays the log into the Params' own grad
+/// accumulators in arrival order. Because entries are replayed
+/// individually (not pre-reduced), flushing N instance workspaces in a
+/// fixed instance order performs exactly the same elementary additions,
+/// in exactly the same order, as one backward sweep over a single graph
+/// holding those instances — so the reduction is bit-identical to the
+/// serial path at any thread count.
+class GradientWorkspace {
+ public:
+  GradientWorkspace() = default;
+  GradientWorkspace(GradientWorkspace&&) = default;
+  GradientWorkspace& operator=(GradientWorkspace&&) = default;
+  GradientWorkspace(const GradientWorkspace&) = delete;
+  GradientWorkspace& operator=(const GradientWorkspace&) = delete;
+
+  /// Records grad(param) += g (shape must match the param). Takes the
+  /// matrix by value so backward closures can move freshly computed
+  /// gradients into the log without an extra copy.
+  void AccumulateDense(Param* param, Matrix g);
+
+  /// Records grad(param).row(rows[r]) += up.row(r) for each r. Takes
+  /// the matrix by value so the caller can move a dead buffer in.
+  void AccumulateRows(Param* param, const std::vector<int>& rows,
+                      Matrix up);
+
+  /// Replays the log into each entry's Param::grad, in arrival order.
+  /// May be called repeatedly (e.g. after Clear + reuse).
+  void FlushIntoParams() const;
+
+  bool empty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    Param* param = nullptr;
+    /// Empty: `data` is a dense block of the param's full shape.
+    /// Otherwise: `data` has rows.size() rows scattered to these rows.
+    std::vector<int> rows;
+    Matrix data;
+  };
+  std::vector<Entry> entries_;
+};
+
 /// One computation tape. Build, read values, call Backward once.
 class Graph {
  public:
   Graph() = default;
+  /// All parameter gradients produced by Backward go into `workspace`
+  /// (which must outlive the graph) instead of Param::grad.
+  explicit Graph(GradientWorkspace* workspace) : workspace_(workspace) {}
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
 
   /// Leaf with no gradient.
   Tensor Constant(Matrix value);
 
-  /// Leaf bound to an external parameter; Backward accumulates into
-  /// `param->grad`. The param must outlive the graph.
+  /// Leaf bound to an external parameter; the node references
+  /// `param->value` in place (no copy), so the param must outlive the
+  /// graph and its value must not be mutated while the graph is alive.
+  /// Backward accumulates into `param->grad` (or the workspace).
   Tensor Parameter(Param* param);
 
   /// out.row(i) = input.row(rows[i]); gradient scatters rows back.
@@ -115,6 +182,8 @@ class Graph {
  private:
   struct Node {
     Matrix value;
+    /// Set for parameter leaves: the node's value lives in the Param.
+    const Matrix* external = nullptr;
     Matrix grad;           // Allocated lazily during Backward.
     bool has_grad = false;
     Param* param = nullptr;
@@ -126,10 +195,20 @@ class Graph {
   Tensor MakeNode(Matrix value, std::vector<int> parents,
                   std::function<void(Graph*, int)> backward);
   Node& node(int id) { return nodes_[static_cast<size_t>(id)]; }
+  /// The node's forward value (owned or external).
+  const Matrix& NodeValue(int id) const;
   Matrix& GradRef(int id);
   void AccumulateGrad(int id, const Matrix& g);
+  /// Overload for freshly computed gradients: moves into the workspace
+  /// log when `id` is a parameter leaf (no copy on the hot path).
+  void AccumulateGrad(int id, Matrix&& g);
+  /// grad(id).row(rows[r]) += up.row(r); routed to the workspace when
+  /// `id` is a parameter leaf, so sparse row updates stay sparse. `up`
+  /// is taken by value: callers hand over the (dead) source buffer.
+  void ScatterRowGrads(int id, const std::vector<int>& rows, Matrix up);
 
   std::vector<Node> nodes_;
+  GradientWorkspace* workspace_ = nullptr;
   bool backward_done_ = false;
 
   friend struct Tensor;

@@ -91,6 +91,20 @@ class ThreadPool {
   long pending_ = 0;
 };
 
+/// Runs fn(0) .. fn(n-1) on `pool`, or inline on the calling thread
+/// when `pool` is null — the shared "optional parallelism" dispatch
+/// used by the trainers and the optimizer. Callers must write results
+/// into index-addressed slots; both paths are then bit-identical by
+/// construction.
+inline void ParallelForOrSerial(ThreadPool* pool, int n,
+                                const std::function<void(int)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, fn);
+    return;
+  }
+  for (int i = 0; i < n; ++i) fn(i);
+}
+
 }  // namespace lkpdpp
 
 #endif  // LKPDPP_COMMON_THREAD_POOL_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "kernels/gaussian_embedding.h"
 #include "models/gcmc.h"
@@ -11,6 +12,7 @@
 #include "models/mf.h"
 #include "models/neumf.h"
 #include "opt/optimizer.h"
+#include "opt/parallel_batch.h"
 
 namespace lkpdpp {
 
@@ -115,6 +117,7 @@ Result<const DiversityKernel*> ExperimentRunner::GetDiversityKernel() {
     cfg.epochs = 8;
     cfg.pairs_per_epoch = 300;
     cfg.set_size = 5;
+    cfg.pool = pool_;  // Bit-identical with or without a pool.
     LKP_ASSIGN_OR_RETURN(DiversityKernel kernel,
                          DiversityKernel::Train(*dataset_, cfg));
     cached_kernel_ = std::make_unique<DiversityKernel>(std::move(kernel));
@@ -173,6 +176,7 @@ Result<ExperimentResult> ExperimentRunner::RunAndKeepModel(
   opts.weight_decay = spec.weight_decay;
   opts.clip_norm = spec.clip_norm;
   AdamOptimizer optimizer(opts);
+  optimizer.SetThreadPool(pool_);
   const std::vector<ad::Param*> params = model->Params();
   Rng rng(spec.seed ^ 0xD1B54A32D192ED03ULL);
 
@@ -182,6 +186,7 @@ Result<ExperimentResult> ExperimentRunner::RunAndKeepModel(
   int rounds_since_best = 0;
 
   for (int epoch = 1; epoch <= spec.epochs; ++epoch) {
+    Stopwatch train_timer;
     LKP_ASSIGN_OR_RETURN(std::vector<TrainingInstance> instances,
                          builder.BuildEpoch(&rng));
     rng.Shuffle(&instances);
@@ -192,15 +197,21 @@ Result<ExperimentResult> ExperimentRunner::RunAndKeepModel(
          start += static_cast<size_t>(spec.batch_size)) {
       const size_t end = std::min(
           instances.size(), start + static_cast<size_t>(spec.batch_size));
-      ad::Graph graph;
-      model->StartBatch(&graph);
-      std::vector<std::pair<ad::Tensor, Matrix>> seeds;
-      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      const int batch_count = static_cast<int>(end - start);
+      const double inv_batch = 1.0 / static_cast<double>(batch_count);
 
-      for (size_t idx = start; idx < end; ++idx) {
-        const TrainingInstance& inst = instances[idx];
+      // Shared forward prefix (e.g. GCN propagation) runs once; the
+      // instances then shard across the pool, each on a private graph,
+      // with gradients reduced in instance order (bit-identical at any
+      // thread count — see opt/parallel_batch.h).
+      std::unique_ptr<RecModel::Batch> batch = model->StartBatch();
+
+      auto build_instance =
+          [&](int i, ad::Graph* graph) -> Result<InstanceGrad> {
+        const TrainingInstance& inst =
+            instances[start + static_cast<size_t>(i)];
         ad::Tensor score_t =
-            model->ScoreItems(&graph, inst.user, inst.items);
+            batch->ScoreItems(graph, inst.user, inst.items);
         const Vector scores = ColumnToVector(score_t.value());
 
         CriterionInput in;
@@ -210,7 +221,7 @@ Result<ExperimentResult> ExperimentRunner::RunAndKeepModel(
         ad::Tensor emb_t;
         if (needs_kernel) {
           if (e_type) {
-            emb_t = model->ItemRepresentations(&graph, inst.items);
+            emb_t = batch->ItemRepresentations(graph, inst.items);
             k_sub = GaussianKernel(emb_t.value(), spec.gaussian_sigma);
             in.want_kernel_grad = true;
           } else {
@@ -224,29 +235,42 @@ Result<ExperimentResult> ExperimentRunner::RunAndKeepModel(
         Result<CriterionOutput> out = criterion->Evaluate(in);
         if (!out.ok()) {
           // A single ill-conditioned instance (e.g. duplicate-category
-          // kernel collapse) should not abort training; skip it.
-          LKP_LOG(kDebug) << "skipping instance: "
-                          << out.status().ToString();
-          continue;
+          // kernel collapse) should not abort training; skip it
+          // (reported through the summary, logged in instance order).
+          InstanceGrad skip;
+          skip.skip_reason = out.status();
+          return skip;
         }
-        epoch_loss += out->loss;
-        ++counted;
-        seeds.emplace_back(score_t,
-                           VectorToColumn(out->dscore) * inv_batch);
+        InstanceGrad grad;
+        grad.loss = out->loss;
+        grad.seeds.emplace_back(score_t,
+                                VectorToColumn(out->dscore) * inv_batch);
         if (e_type && !out->dkernel.empty()) {
           Matrix demb = GaussianKernelBackward(
               emb_t.value(), k_sub, out->dkernel, spec.gaussian_sigma);
           demb *= inv_batch;
-          seeds.emplace_back(emb_t, std::move(demb));
+          grad.seeds.emplace_back(emb_t, std::move(demb));
         }
+        return grad;
+      };
+
+      LKP_ASSIGN_OR_RETURN(
+          BatchGradSummary summary,
+          AccumulateBatchGradients(batch_count, pool_, build_instance));
+      for (const auto& [index, reason] : summary.skipped) {
+        LKP_LOG(kDebug) << "skipping instance " << (start + index) << ": "
+                        << reason.ToString();
       }
-      if (seeds.empty()) continue;
-      LKP_RETURN_IF_ERROR(graph.Backward(seeds));
-      optimizer.Step(params);
+      if (summary.contributed == 0) continue;
+      epoch_loss += summary.loss_sum;
+      counted += summary.contributed;
+      LKP_RETURN_IF_ERROR(batch->Finish());
+      LKP_RETURN_IF_ERROR(optimizer.Step(params));
     }
     result.final_train_loss =
         counted > 0 ? epoch_loss / static_cast<double>(counted) : 0.0;
     result.epochs_run = epoch;
+    result.train_seconds += train_timer.ElapsedSeconds();
 
     const bool eval_now =
         (epoch % spec.eval_every == 0) || epoch == spec.epochs;

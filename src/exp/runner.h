@@ -38,6 +38,11 @@ struct ExperimentResult {
   double final_train_loss = 0.0;
   /// Validation NDCG trace (one entry per evaluation round).
   std::vector<double> validation_history;
+  /// Wall time spent in the training loop proper (epoch construction,
+  /// gradient computation, optimizer steps) — excludes validation and
+  /// the final test evaluation. The quantity bench/train_throughput
+  /// sweeps against thread count.
+  double train_seconds = 0.0;
 };
 
 class ExperimentRunner {
@@ -45,10 +50,12 @@ class ExperimentRunner {
   explicit ExperimentRunner(const Dataset* dataset)
       : dataset_(dataset), evaluator_(dataset) {}
 
-  /// Attaches a pool so the per-epoch validation and final test
-  /// evaluation fan out per user (results stay bit-identical; see
-  /// Evaluator). Pass nullptr to go back to serial. The pool must
-  /// outlive the runner's Run calls.
+  /// Attaches a pool so training minibatches shard per instance (see
+  /// opt/parallel_batch.h), the diversity-kernel pre-training shards
+  /// per pair, and the per-epoch validation and final test evaluation
+  /// fan out per user. Results stay bit-identical at any pool size —
+  /// every parallel section reduces in a fixed order. Pass nullptr to
+  /// go back to serial. The pool must outlive the runner's Run calls.
   void SetThreadPool(ThreadPool* pool) {
     pool_ = pool;
     evaluator_.SetThreadPool(pool);

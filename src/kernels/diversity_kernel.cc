@@ -1,6 +1,8 @@
 #include "kernels/diversity_kernel.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "linalg/cholesky.h"
@@ -24,11 +26,11 @@ void NormalizeRows(Matrix* m) {
   }
 }
 
-// Accumulates d log det(V_S V_S^T + jitter I) / d V_S = 2 (K_S)^{-1} V_S
-// into the rows of `grad` selected by `items`, scaled by `sign`.
-Status AccumulateLogDetGrad(const Matrix& factors,
-                            const std::vector<int>& items, double jitter,
-                            double sign, Matrix* grad) {
+// d log det(V_S V_S^T + jitter I) / d V_S = 2 (K_S)^{-1} V_S, returned
+// as a |S| x rank block aligned with `items`.
+Result<Matrix> LogDetGradBlock(const Matrix& factors,
+                               const std::vector<int>& items,
+                               double jitter) {
   const int s = static_cast<int>(items.size());
   const int r = factors.cols();
   Matrix vs(s, r);
@@ -39,13 +41,35 @@ Status AccumulateLogDetGrad(const Matrix& factors,
   ks.AddDiagonal(jitter);
   LKP_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::Compute(ks));
   const Matrix kinv = chol.Inverse();
-  const Matrix g = MatMul(kinv, vs);  // (K_S^{-1} V_S), times 2 below.
-  for (int i = 0; i < s; ++i) {
-    for (int c = 0; c < r; ++c) {
-      (*grad)(items[i], c) += sign * 2.0 * g(i, c);
-    }
+  Matrix g = MatMul(kinv, vs);  // (K_S^{-1} V_S).
+  g *= 2.0;
+  return g;
+}
+
+// One pair's contribution to the minibatch gradient: row blocks for the
+// positive and negative sets, computed against a fixed factor snapshot.
+struct PairGrad {
+  Status status;
+  Matrix pos;  // |T+| x rank, ascent direction (+).
+  Matrix neg;  // |T-| x rank, to be subtracted.
+};
+
+PairGrad ComputePairGrad(const Matrix& factors, const DiverseSetPair& pair,
+                         double jitter) {
+  PairGrad out;
+  Result<Matrix> pos = LogDetGradBlock(factors, pair.positive, jitter);
+  if (!pos.ok()) {
+    out.status = pos.status();
+    return out;
   }
-  return Status::OK();
+  Result<Matrix> neg = LogDetGradBlock(factors, pair.negative, jitter);
+  if (!neg.ok()) {
+    out.status = neg.status();
+    return out;
+  }
+  out.pos = *std::move(pos);
+  out.neg = *std::move(neg);
+  return out;
 }
 
 }  // namespace
@@ -72,40 +96,95 @@ Result<DiversityKernel> DiversityKernel::Train(const Dataset& dataset,
     return Status::InvalidArgument(
         "set_size must not exceed rank (determinants would vanish)");
   }
+  if (config.batch_size <= 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
   DiversityKernel kernel =
       Random(dataset.num_items(), config.rank, config.seed);
+  Matrix& factors = kernel.factors_;
   Rng rng(config.seed ^ 0x5bd1e995ULL);
   DiversePairSampler sampler(&dataset, config.set_size);
+
+  // Minibatch gradient accumulator, kept row-sparse: only rows on the
+  // `touched` list are ever non-zero, and they are re-zeroed after each
+  // update so the buffer can be reused across batches.
+  Matrix grad(factors.rows(), factors.cols());
+  std::vector<char> is_touched(static_cast<size_t>(factors.rows()), 0);
+  std::vector<int> touched;
+  std::vector<PairGrad> pair_grads;
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     LKP_ASSIGN_OR_RETURN(
         std::vector<DiverseSetPair> pairs,
         sampler.SamplePairs(config.pairs_per_epoch, &rng));
-    for (const DiverseSetPair& pair : pairs) {
-      Matrix grad(kernel.factors_.rows(), kernel.factors_.cols());
-      // Ascend J: +grad for T+, -grad for T-.
-      LKP_RETURN_IF_ERROR(AccumulateLogDetGrad(
-          kernel.factors_, pair.positive, config.jitter, +1.0, &grad));
-      LKP_RETURN_IF_ERROR(AccumulateLogDetGrad(
-          kernel.factors_, pair.negative, config.jitter, -1.0, &grad));
-      // Sparse row update + projection back to the unit sphere.
-      for (const std::vector<int>* items : {&pair.positive, &pair.negative}) {
-        for (int item : *items) {
-          for (int c = 0; c < kernel.factors_.cols(); ++c) {
-            kernel.factors_(item, c) +=
-                config.learning_rate * grad(item, c);
+    for (size_t start = 0; start < pairs.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(
+          pairs.size(), start + static_cast<size_t>(config.batch_size));
+      const int batch = static_cast<int>(end - start);
+
+      // Every pair in the batch differentiates the SAME factor
+      // snapshot, so the pair gradients are independent and can be
+      // computed in any order / on any thread.
+      pair_grads.assign(static_cast<size_t>(batch), PairGrad{});
+      ParallelForOrSerial(config.pool, batch, [&](int j) {
+        pair_grads[static_cast<size_t>(j)] = ComputePairGrad(
+            factors, pairs[start + static_cast<size_t>(j)], config.jitter);
+      });
+
+      // The first failing pair in pair order aborts training — checked
+      // after the barrier so the verdict is thread-count independent,
+      // and before any update so no partial step is applied.
+      for (int j = 0; j < batch; ++j) {
+        const PairGrad& pg = pair_grads[static_cast<size_t>(j)];
+        if (!pg.status.ok()) return pg.status;
+      }
+
+      // Fixed pair-order reduction: ascend J with +T+ and -T- blocks.
+      touched.clear();
+      for (int j = 0; j < batch; ++j) {
+        const DiverseSetPair& pair = pairs[start + static_cast<size_t>(j)];
+        const PairGrad& pg = pair_grads[static_cast<size_t>(j)];
+        for (size_t i = 0; i < pair.positive.size(); ++i) {
+          const int item = pair.positive[i];
+          if (!is_touched[static_cast<size_t>(item)]) {
+            is_touched[static_cast<size_t>(item)] = 1;
+            touched.push_back(item);
           }
-          double norm = 0.0;
-          for (int c = 0; c < kernel.factors_.cols(); ++c) {
-            norm += kernel.factors_(item, c) * kernel.factors_(item, c);
-          }
-          norm = std::sqrt(norm);
-          if (norm > 1e-12) {
-            for (int c = 0; c < kernel.factors_.cols(); ++c) {
-              kernel.factors_(item, c) /= norm;
-            }
+          for (int c = 0; c < factors.cols(); ++c) {
+            grad(item, c) += pg.pos(static_cast<int>(i), c);
           }
         }
+        for (size_t i = 0; i < pair.negative.size(); ++i) {
+          const int item = pair.negative[i];
+          if (!is_touched[static_cast<size_t>(item)]) {
+            is_touched[static_cast<size_t>(item)] = 1;
+            touched.push_back(item);
+          }
+          for (int c = 0; c < factors.cols(); ++c) {
+            grad(item, c) -= pg.neg(static_cast<int>(i), c);
+          }
+        }
+      }
+
+      // One update + unit-sphere projection per touched row, in
+      // first-touch order; then reset the accumulator rows.
+      for (const int item : touched) {
+        for (int c = 0; c < factors.cols(); ++c) {
+          factors(item, c) += config.learning_rate * grad(item, c);
+        }
+        double norm = 0.0;
+        for (int c = 0; c < factors.cols(); ++c) {
+          norm += factors(item, c) * factors(item, c);
+        }
+        norm = std::sqrt(norm);
+        if (norm > 1e-12) {
+          for (int c = 0; c < factors.cols(); ++c) {
+            factors(item, c) /= norm;
+          }
+        }
+        for (int c = 0; c < factors.cols(); ++c) grad(item, c) = 0.0;
+        is_touched[static_cast<size_t>(item)] = 0;
       }
     }
   }

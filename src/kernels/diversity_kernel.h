@@ -16,6 +16,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "linalg/matrix.h"
 
@@ -36,6 +37,14 @@ class DiversityKernel {
     /// Added to K_S diagonals during training for invertibility.
     double jitter = 1e-4;
     uint64_t seed = 7;
+    /// Contrastive pairs per minibatch: pair gradients within a batch
+    /// are computed against the same factor snapshot, reduced in pair
+    /// order, and applied as one update.
+    int batch_size = 16;
+    /// Shards each minibatch's pair gradients across this pool (null =
+    /// inline). Results are bit-identical at any thread count because
+    /// the reduction always runs serially in pair order.
+    ThreadPool* pool = nullptr;
   };
 
   /// Random unit-row factors (the untrained starting point; also useful

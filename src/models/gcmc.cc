@@ -48,41 +48,73 @@ Result<std::unique_ptr<GcmcModel>> GcmcModel::Create(const Dataset& dataset,
       dataset.num_users(), dataset.num_items(), std::move(adj), config));
 }
 
-void GcmcModel::StartBatch(ad::Graph* graph) {
-  ad::Tensor x = graph->Parameter(&features_);
-  ad::Tensor wc = graph->Parameter(&w_conv_);
-  ad::Tensor ws = graph->Parameter(&w_self_);
-  // H = relu(A_hat X W_c + X W_s).
-  ad::Tensor agg = graph->MatMul(graph->Spmm(&adjacency_, x), wc);
-  ad::Tensor self = graph->MatMul(x, ws);
-  encoded_ = graph->Relu(graph->Add(agg, self));
-}
+namespace {
 
-ad::Tensor GcmcModel::ScoreItems(ad::Graph* graph, int user,
-                                 const std::vector<int>& items) {
-  LKP_CHECK(encoded_.valid()) << "StartBatch not called";
-  const int m = static_cast<int>(items.size());
-  ad::Tensor qd = graph->Parameter(&decoder_);
-  ad::Tensor hu =
-      graph->RepeatRow(graph->GatherRows(encoded_, {user}), m);
-  std::vector<int> shifted(items.size());
-  for (size_t i = 0; i < items.size(); ++i) {
-    shifted[i] = num_users_ + items[i];
+// The encoder prefix (one graph convolution + self-connection) runs
+// once per batch; instances decode from a boundary param wrapping the
+// encoded table plus the bilinear decoder bound directly. Finish
+// backpropagates the reduced boundary gradient through the encoder.
+class GcmcBatch final : public RecModel::Batch {
+ public:
+  GcmcBatch(ad::Param* features, ad::Param* w_conv, ad::Param* w_self,
+            ad::Param* decoder, const SparseMatrix* adjacency,
+            int num_users)
+      : num_users_(num_users),
+        decoder_(decoder),
+        boundary_("gcmc.encoded", Matrix()) {
+    ad::Tensor x = prefix_.Parameter(features);
+    ad::Tensor wc = prefix_.Parameter(w_conv);
+    ad::Tensor ws = prefix_.Parameter(w_self);
+    // H = relu(A_hat X W_c + X W_s).
+    ad::Tensor agg = prefix_.MatMul(prefix_.Spmm(adjacency, x), wc);
+    ad::Tensor self = prefix_.MatMul(x, ws);
+    encoded_ = prefix_.Relu(prefix_.Add(agg, self));
+    boundary_.value = encoded_.value();
+    boundary_.ZeroGrad();
   }
-  ad::Tensor hi = graph->GatherRows(encoded_, shifted);
-  // score_i = h_u^T Q h_i, batched as rowsum(h_u_rep ⊙ (h_i Q^T)).
-  ad::Tensor proj = graph->MatMulTransB(hi, qd);
-  return graph->RowSum(graph->Mul(hu, proj));
-}
 
-ad::Tensor GcmcModel::ItemRepresentations(ad::Graph* graph,
-                                          const std::vector<int>& items) {
-  LKP_CHECK(encoded_.valid()) << "StartBatch not called";
-  std::vector<int> shifted(items.size());
-  for (size_t i = 0; i < items.size(); ++i) {
-    shifted[i] = num_users_ + items[i];
+  ad::Tensor ScoreItems(ad::Graph* graph, int user,
+                        const std::vector<int>& items) override {
+    const int m = static_cast<int>(items.size());
+    ad::Tensor enc = graph->Parameter(&boundary_);
+    ad::Tensor qd = graph->Parameter(decoder_);
+    ad::Tensor hu = graph->RepeatRow(graph->GatherRows(enc, {user}), m);
+    ad::Tensor hi = graph->GatherRows(enc, Shift(items));
+    // score_i = h_u^T Q h_i, batched as rowsum(h_u_rep ⊙ (h_i Q^T)).
+    ad::Tensor proj = graph->MatMulTransB(hi, qd);
+    return graph->RowSum(graph->Mul(hu, proj));
   }
-  return graph->GatherRows(encoded_, shifted);
+
+  ad::Tensor ItemRepresentations(ad::Graph* graph,
+                                 const std::vector<int>& items) override {
+    return graph->GatherRows(graph->Parameter(&boundary_), Shift(items));
+  }
+
+  Status Finish() override {
+    return prefix_.Backward({{encoded_, boundary_.grad}});
+  }
+
+ private:
+  std::vector<int> Shift(const std::vector<int>& items) const {
+    std::vector<int> shifted(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      shifted[i] = num_users_ + items[i];
+    }
+    return shifted;
+  }
+
+  int num_users_;
+  ad::Param* decoder_;
+  ad::Graph prefix_;
+  ad::Tensor encoded_;
+  ad::Param boundary_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecModel::Batch> GcmcModel::StartBatch() {
+  return std::make_unique<GcmcBatch>(&features_, &w_conv_, &w_self_,
+                                     &decoder_, &adjacency_, num_users_);
 }
 
 Matrix GcmcModel::EncodeEval() const {

@@ -36,11 +36,7 @@ class GcmcModel final : public RecModel {
   int num_users() const override { return num_users_; }
   int num_items() const override { return num_items_; }
 
-  void StartBatch(ad::Graph* graph) override;
-  ad::Tensor ScoreItems(ad::Graph* graph, int user,
-                        const std::vector<int>& items) override;
-  ad::Tensor ItemRepresentations(ad::Graph* graph,
-                                 const std::vector<int>& items) override;
+  std::unique_ptr<Batch> StartBatch() override;
   void PrepareForEval() override;
   Vector ScoreAllItems(int user) const override;
   std::vector<ad::Param*> Params() override;
@@ -62,7 +58,6 @@ class GcmcModel final : public RecModel {
   ad::Param w_conv_;     // d x h neighbor-aggregation weight.
   ad::Param w_self_;     // d x h self-connection weight.
   ad::Param decoder_;    // h x h bilinear decoder (like-vs-dislike).
-  ad::Tensor encoded_;   // Per-batch encoder output.
   Matrix eval_cache_;
 };
 

@@ -34,37 +34,66 @@ Result<std::unique_ptr<GcnModel>> GcnModel::Create(const Dataset& dataset,
       dataset.num_users(), dataset.num_items(), std::move(adj), config));
 }
 
-void GcnModel::StartBatch(ad::Graph* graph) {
-  ad::Tensor e0 = graph->Parameter(&embeddings_);
-  std::vector<ad::Tensor> layers = {e0};
-  ad::Tensor cur = e0;
-  for (int l = 0; l < num_layers_; ++l) {
-    cur = graph->Spmm(&adjacency_, cur);
-    layers.push_back(cur);
-  }
-  propagated_ = graph->MeanOf(layers);
-}
+namespace {
 
-ad::Tensor GcnModel::ScoreItems(ad::Graph* graph, int user,
-                                const std::vector<int>& items) {
-  LKP_CHECK(propagated_.valid()) << "StartBatch not called";
-  ad::Tensor u_row = graph->GatherRows(propagated_, {user});
-  std::vector<int> shifted(items.size());
-  for (size_t i = 0; i < items.size(); ++i) {
-    shifted[i] = num_users_ + items[i];
+// The propagation prefix runs once per batch; instances gather from a
+// boundary param wrapping the propagated table, and Finish
+// backpropagates the reduced boundary gradient through the prefix into
+// the embedding table.
+class GcnBatch final : public RecModel::Batch {
+ public:
+  GcnBatch(ad::Param* embeddings, const SparseMatrix* adjacency,
+           int num_layers, int num_users)
+      : num_users_(num_users), boundary_("gcn.propagated", Matrix()) {
+    ad::Tensor e0 = prefix_.Parameter(embeddings);
+    std::vector<ad::Tensor> layers = {e0};
+    ad::Tensor cur = e0;
+    for (int l = 0; l < num_layers; ++l) {
+      cur = prefix_.Spmm(adjacency, cur);
+      layers.push_back(cur);
+    }
+    propagated_ = prefix_.MeanOf(layers);
+    boundary_.value = propagated_.value();
+    boundary_.ZeroGrad();
   }
-  ad::Tensor rows = graph->GatherRows(propagated_, shifted);
-  return graph->MatMulTransB(rows, u_row);
-}
 
-ad::Tensor GcnModel::ItemRepresentations(ad::Graph* graph,
-                                         const std::vector<int>& items) {
-  LKP_CHECK(propagated_.valid()) << "StartBatch not called";
-  std::vector<int> shifted(items.size());
-  for (size_t i = 0; i < items.size(); ++i) {
-    shifted[i] = num_users_ + items[i];
+  ad::Tensor ScoreItems(ad::Graph* graph, int user,
+                        const std::vector<int>& items) override {
+    ad::Tensor prop = graph->Parameter(&boundary_);
+    ad::Tensor u_row = graph->GatherRows(prop, {user});
+    ad::Tensor rows = graph->GatherRows(prop, Shift(items));
+    return graph->MatMulTransB(rows, u_row);
   }
-  return graph->GatherRows(propagated_, shifted);
+
+  ad::Tensor ItemRepresentations(ad::Graph* graph,
+                                 const std::vector<int>& items) override {
+    return graph->GatherRows(graph->Parameter(&boundary_), Shift(items));
+  }
+
+  Status Finish() override {
+    return prefix_.Backward({{propagated_, boundary_.grad}});
+  }
+
+ private:
+  std::vector<int> Shift(const std::vector<int>& items) const {
+    std::vector<int> shifted(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      shifted[i] = num_users_ + items[i];
+    }
+    return shifted;
+  }
+
+  int num_users_;
+  ad::Graph prefix_;
+  ad::Tensor propagated_;
+  ad::Param boundary_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecModel::Batch> GcnModel::StartBatch() {
+  return std::make_unique<GcnBatch>(&embeddings_, &adjacency_, num_layers_,
+                                    num_users_);
 }
 
 Matrix GcnModel::PropagateEval() const {

@@ -36,11 +36,7 @@ class GcnModel final : public RecModel {
   int num_users() const override { return num_users_; }
   int num_items() const override { return num_items_; }
 
-  void StartBatch(ad::Graph* graph) override;
-  ad::Tensor ScoreItems(ad::Graph* graph, int user,
-                        const std::vector<int>& items) override;
-  ad::Tensor ItemRepresentations(ad::Graph* graph,
-                                 const std::vector<int>& items) override;
+  std::unique_ptr<Batch> StartBatch() override;
   void PrepareForEval() override;
   Vector ScoreAllItems(int user) const override;
   std::vector<ad::Param*> Params() override;
@@ -57,8 +53,7 @@ class GcnModel final : public RecModel {
   int num_layers_;
   SparseMatrix adjacency_;
   ad::Param embeddings_;  // (N+M) x d joint table.
-  ad::Tensor propagated_;  // Per-batch propagated representations.
-  Matrix eval_cache_;      // PrepareForEval output.
+  Matrix eval_cache_;     // PrepareForEval output.
 };
 
 }  // namespace lkpdpp

@@ -30,21 +30,39 @@ MfModel::MfModel(int num_users, int num_items, const Config& config)
   item_emb_.ZeroGrad();
 }
 
-void MfModel::StartBatch(ad::Graph* graph) {
-  user_t_ = graph->Parameter(&user_emb_);
-  item_t_ = graph->Parameter(&item_emb_);
-}
+namespace {
 
-ad::Tensor MfModel::ScoreItems(ad::Graph* graph, int user,
-                               const std::vector<int>& items) {
-  ad::Tensor u_row = graph->GatherRows(user_t_, {user});
-  ad::Tensor rows = graph->GatherRows(item_t_, items);
-  return graph->MatMulTransB(rows, u_row);  // (|items| x 1)
-}
+// MF has no shared batch prefix: instances gather straight from the
+// embedding tables, so the instance params ARE the model params and
+// Finish has nothing to backpropagate.
+class MfBatch final : public RecModel::Batch {
+ public:
+  MfBatch(ad::Param* user_emb, ad::Param* item_emb)
+      : user_emb_(user_emb), item_emb_(item_emb) {}
 
-ad::Tensor MfModel::ItemRepresentations(ad::Graph* graph,
-                                        const std::vector<int>& items) {
-  return graph->GatherRows(item_t_, items);
+  ad::Tensor ScoreItems(ad::Graph* graph, int user,
+                        const std::vector<int>& items) override {
+    ad::Tensor u_row = graph->GatherRows(graph->Parameter(user_emb_), {user});
+    ad::Tensor rows = graph->GatherRows(graph->Parameter(item_emb_), items);
+    return graph->MatMulTransB(rows, u_row);  // (|items| x 1)
+  }
+
+  ad::Tensor ItemRepresentations(ad::Graph* graph,
+                                 const std::vector<int>& items) override {
+    return graph->GatherRows(graph->Parameter(item_emb_), items);
+  }
+
+  Status Finish() override { return Status::OK(); }
+
+ private:
+  ad::Param* user_emb_;
+  ad::Param* item_emb_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecModel::Batch> MfModel::StartBatch() {
+  return std::make_unique<MfBatch>(&user_emb_, &item_emb_);
 }
 
 Vector MfModel::ScoreAllItems(int user) const {

@@ -26,11 +26,7 @@ class MfModel final : public RecModel {
   int num_users() const override { return num_users_; }
   int num_items() const override { return num_items_; }
 
-  void StartBatch(ad::Graph* graph) override;
-  ad::Tensor ScoreItems(ad::Graph* graph, int user,
-                        const std::vector<int>& items) override;
-  ad::Tensor ItemRepresentations(ad::Graph* graph,
-                                 const std::vector<int>& items) override;
+  std::unique_ptr<Batch> StartBatch() override;
   void PrepareForEval() override {}
   Vector ScoreAllItems(int user) const override;
   std::vector<ad::Param*> Params() override;
@@ -40,8 +36,6 @@ class MfModel final : public RecModel {
   int num_items_;
   ad::Param user_emb_;
   ad::Param item_emb_;
-  ad::Tensor user_t_;
-  ad::Tensor item_t_;
 };
 
 }  // namespace lkpdpp

@@ -50,43 +50,65 @@ NeuMfModel::NeuMfModel(int num_users, int num_items, const Config& config)
   for (ad::Param* p : Params()) p->ZeroGrad();
 }
 
-void NeuMfModel::StartBatch(ad::Graph* graph) {
-  batch_.user_gmf = graph->Parameter(&user_gmf_);
-  batch_.item_gmf = graph->Parameter(&item_gmf_);
-  batch_.user_mlp = graph->Parameter(&user_mlp_);
-  batch_.item_mlp = graph->Parameter(&item_mlp_);
-  batch_.w1 = graph->Parameter(&w1_);
-  batch_.b1 = graph->Parameter(&b1_);
-  batch_.w2 = graph->Parameter(&w2_);
-  batch_.b2 = graph->Parameter(&b2_);
-  batch_.h_out = graph->Parameter(&h_out_);
-}
+namespace {
 
-ad::Tensor NeuMfModel::ScoreItems(ad::Graph* graph, int user,
-                                  const std::vector<int>& items) {
-  const int m = static_cast<int>(items.size());
-  // GMF branch: p_u ⊙ q_i.
-  ad::Tensor pu_g = graph->RepeatRow(
-      graph->GatherRows(batch_.user_gmf, {user}), m);
-  ad::Tensor qi_g = graph->GatherRows(batch_.item_gmf, items);
-  ad::Tensor gmf = graph->Mul(pu_g, qi_g);
-  // MLP branch over [p_u | q_i].
-  ad::Tensor pu_m = graph->RepeatRow(
-      graph->GatherRows(batch_.user_mlp, {user}), m);
-  ad::Tensor qi_m = graph->GatherRows(batch_.item_mlp, items);
-  ad::Tensor x = graph->ConcatCols(pu_m, qi_m);
-  ad::Tensor z1 = graph->Relu(
-      graph->AddRowBroadcast(graph->MatMul(x, batch_.w1), batch_.b1));
-  ad::Tensor z2 = graph->Relu(
-      graph->AddRowBroadcast(graph->MatMul(z1, batch_.w2), batch_.b2));
-  // Fusion head.
-  ad::Tensor fused = graph->ConcatCols(gmf, z2);
-  return graph->MatMul(fused, batch_.h_out);
-}
+// No shared prefix: the GMF/MLP towers are rebuilt per instance on the
+// instance's own graph, binding the model params directly.
+class NeuMfBatch final : public RecModel::Batch {
+ public:
+  struct Weights {
+    ad::Param* user_gmf;
+    ad::Param* item_gmf;
+    ad::Param* user_mlp;
+    ad::Param* item_mlp;
+    ad::Param* w1;
+    ad::Param* b1;
+    ad::Param* w2;
+    ad::Param* b2;
+    ad::Param* h_out;
+  };
 
-ad::Tensor NeuMfModel::ItemRepresentations(ad::Graph* graph,
-                                           const std::vector<int>& items) {
-  return graph->GatherRows(batch_.item_mlp, items);
+  explicit NeuMfBatch(const Weights& w) : w_(w) {}
+
+  ad::Tensor ScoreItems(ad::Graph* graph, int user,
+                        const std::vector<int>& items) override {
+    const int m = static_cast<int>(items.size());
+    // GMF branch: p_u ⊙ q_i.
+    ad::Tensor pu_g = graph->RepeatRow(
+        graph->GatherRows(graph->Parameter(w_.user_gmf), {user}), m);
+    ad::Tensor qi_g = graph->GatherRows(graph->Parameter(w_.item_gmf), items);
+    ad::Tensor gmf = graph->Mul(pu_g, qi_g);
+    // MLP branch over [p_u | q_i].
+    ad::Tensor pu_m = graph->RepeatRow(
+        graph->GatherRows(graph->Parameter(w_.user_mlp), {user}), m);
+    ad::Tensor qi_m = graph->GatherRows(graph->Parameter(w_.item_mlp), items);
+    ad::Tensor x = graph->ConcatCols(pu_m, qi_m);
+    ad::Tensor z1 = graph->Relu(graph->AddRowBroadcast(
+        graph->MatMul(x, graph->Parameter(w_.w1)), graph->Parameter(w_.b1)));
+    ad::Tensor z2 = graph->Relu(graph->AddRowBroadcast(
+        graph->MatMul(z1, graph->Parameter(w_.w2)), graph->Parameter(w_.b2)));
+    // Fusion head.
+    ad::Tensor fused = graph->ConcatCols(gmf, z2);
+    return graph->MatMul(fused, graph->Parameter(w_.h_out));
+  }
+
+  ad::Tensor ItemRepresentations(ad::Graph* graph,
+                                 const std::vector<int>& items) override {
+    return graph->GatherRows(graph->Parameter(w_.item_mlp), items);
+  }
+
+  Status Finish() override { return Status::OK(); }
+
+ private:
+  Weights w_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecModel::Batch> NeuMfModel::StartBatch() {
+  return std::make_unique<NeuMfBatch>(NeuMfBatch::Weights{
+      &user_gmf_, &item_gmf_, &user_mlp_, &item_mlp_, &w1_, &b1_, &w2_,
+      &b2_, &h_out_});
 }
 
 Vector NeuMfModel::ScoreAllItems(int user) const {

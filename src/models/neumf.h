@@ -31,11 +31,7 @@ class NeuMfModel final : public RecModel {
   int num_users() const override { return num_users_; }
   int num_items() const override { return num_items_; }
 
-  void StartBatch(ad::Graph* graph) override;
-  ad::Tensor ScoreItems(ad::Graph* graph, int user,
-                        const std::vector<int>& items) override;
-  ad::Tensor ItemRepresentations(ad::Graph* graph,
-                                 const std::vector<int>& items) override;
+  std::unique_ptr<Batch> StartBatch() override;
   void PrepareForEval() override {}
   Vector ScoreAllItems(int user) const override;
   std::vector<ad::Param*> Params() override;
@@ -55,11 +51,6 @@ class NeuMfModel final : public RecModel {
   ad::Param w2_;
   ad::Param b2_;
   ad::Param h_out_;
-  // Per-batch parameter tensors.
-  struct BatchTensors {
-    ad::Tensor user_gmf, item_gmf, user_mlp, item_mlp, w1, b1, w2, b2, h_out;
-  };
-  BatchTensors batch_;
 };
 
 }  // namespace lkpdpp

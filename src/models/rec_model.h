@@ -1,18 +1,29 @@
 // The recommendation-model interface criteria plug into.
 //
 // A RecModel owns trainable parameters and exposes two views:
-//   * a differentiable view (StartBatch + ScoreItems/ItemRepresentations)
-//     used during training — scores come back as autodiff tensors so a
-//     criterion's dLoss/dScore seed can flow back to parameters;
+//   * a differentiable view (StartBatch -> RecModel::Batch) used during
+//     training — scores come back as autodiff tensors so a criterion's
+//     dLoss/dScore seed can flow back to parameters;
 //   * a plain evaluation view (PrepareForEval + ScoreAllItems) used by
 //     the metric pipeline, which needs scores for the whole catalog.
 // Keeping criteria and models decoupled behind this interface is what
 // the paper's Table IV "rework" experiments exercise: swapping a model's
 // native objective for LkP without touching the model.
+//
+// The differentiable view is built for data-parallel minibatches. A
+// Batch runs any shared forward structure (e.g. GCN propagation) ONCE
+// on a prefix graph it owns, and exposes the resulting representations
+// as per-batch *boundary parameters*. Training instances then score
+// through per-instance graphs that bind those boundary params (and any
+// directly-consumed model params) read-only, so many instances can be
+// evaluated concurrently; after their gradient workspaces are reduced
+// in instance order, Finish() backpropagates the reduced boundary
+// gradients through the prefix into the real model parameters.
 
 #ifndef LKPDPP_MODELS_REC_MODEL_H_
 #define LKPDPP_MODELS_REC_MODEL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,25 +34,43 @@ namespace lkpdpp {
 
 class RecModel {
  public:
+  /// Differentiable view of one minibatch. Construction (StartBatch)
+  /// runs the model's shared forward pass; ScoreItems and
+  /// ItemRepresentations build per-instance subgraphs on caller-owned
+  /// graphs and are safe to call concurrently with distinct graphs.
+  class Batch {
+   public:
+    virtual ~Batch() = default;
+
+    /// Raw scores of `user` for `items`, shape (|items| x 1), built on
+    /// the given per-instance graph. Gradients land on the params the
+    /// instance subgraph binds: the batch's boundary params (fed to the
+    /// model through Finish) and/or model params consumed directly.
+    virtual ad::Tensor ScoreItems(ad::Graph* graph, int user,
+                                  const std::vector<int>& items) = 0;
+
+    /// Final item representations (|items| x d), consumed by the E-type
+    /// Gaussian diversity kernel.
+    virtual ad::Tensor ItemRepresentations(
+        ad::Graph* graph, const std::vector<int>& items) = 0;
+
+    /// Backpropagates the reduced boundary gradients through the shared
+    /// prefix graph into the model's params. Call exactly once, after
+    /// all instance gradients have been reduced. A no-op for models
+    /// whose instances touch their params directly.
+    virtual Status Finish() = 0;
+  };
+
   virtual ~RecModel() = default;
 
   virtual std::string name() const = 0;
   virtual int num_users() const = 0;
   virtual int num_items() const = 0;
 
-  /// Binds parameters into the given per-batch graph and builds any
-  /// shared forward structure (e.g. GCN propagation). Must be called
-  /// before ScoreItems / ItemRepresentations on that graph.
-  virtual void StartBatch(ad::Graph* graph) = 0;
-
-  /// Raw scores of `user` for `items`, shape (|items| x 1).
-  virtual ad::Tensor ScoreItems(ad::Graph* graph, int user,
-                                const std::vector<int>& items) = 0;
-
-  /// Final item representations (|items| x d), consumed by the E-type
-  /// Gaussian diversity kernel.
-  virtual ad::Tensor ItemRepresentations(ad::Graph* graph,
-                                         const std::vector<int>& items) = 0;
+  /// Opens a minibatch: runs the shared forward structure and returns
+  /// the batch's differentiable view. The model must outlive the batch,
+  /// and parameter values must not change while a batch is alive.
+  virtual std::unique_ptr<Batch> StartBatch() = 0;
 
   /// Refreshes any cached forward state used by ScoreAllItems.
   virtual void PrepareForEval() = 0;

@@ -3,27 +3,54 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace lkpdpp {
 
-double Optimizer::ClipGlobalNorm(const std::vector<ad::Param*>& params,
-                                 double clip_norm) {
+void Optimizer::ForEachParam(int n,
+                             const std::function<void(int)>& fn) const {
+  ParallelForOrSerial(pool_, n, fn);
+}
+
+Result<double> Optimizer::ClipGlobalNorm(
+    const std::vector<ad::Param*>& params, double clip_norm,
+    ThreadPool* pool) {
+  const int n = static_cast<int>(params.size());
+  // Per-param norms computed in parallel, reduced in fixed param order
+  // so the total (and thus the scale factor) is thread-count invariant.
+  std::vector<double> sq(static_cast<size_t>(n), 0.0);
+  ParallelForOrSerial(pool, n, [&](int i) {
+    const double nrm = params[static_cast<size_t>(i)]->grad.FrobeniusNorm();
+    sq[static_cast<size_t>(i)] = nrm * nrm;
+  });
   double total = 0.0;
-  for (ad::Param* p : params) {
-    const double n = p->grad.FrobeniusNorm();
-    total += n * n;
-  }
+  for (int i = 0; i < n; ++i) total += sq[static_cast<size_t>(i)];
   total = std::sqrt(total);
+  if (!std::isfinite(total)) {
+    // Name a culprit to make the error actionable.
+    for (int i = 0; i < n; ++i) {
+      if (!params[static_cast<size_t>(i)]->grad.AllFinite()) {
+        return Status::NumericalError(
+            StrFormat("non-finite gradient in param '%s'",
+                      params[static_cast<size_t>(i)]->name.c_str()));
+      }
+    }
+    return Status::NumericalError("non-finite global gradient norm");
+  }
   if (clip_norm > 0.0 && total > clip_norm) {
     const double scale = clip_norm / total;
-    for (ad::Param* p : params) p->grad *= scale;
+    ParallelForOrSerial(pool, n, [&](int i) {
+      params[static_cast<size_t>(i)]->grad *= scale;
+    });
   }
   return total;
 }
 
-void SgdOptimizer::Step(const std::vector<ad::Param*>& params) {
-  ClipGlobalNorm(params, options_.clip_norm);
-  for (ad::Param* p : params) {
+Status SgdOptimizer::Step(const std::vector<ad::Param*>& params) {
+  LKP_RETURN_IF_ERROR(
+      ClipGlobalNorm(params, options_.clip_norm, thread_pool()).status());
+  ForEachParam(static_cast<int>(params.size()), [&](int i) {
+    ad::Param* p = params[static_cast<size_t>(i)];
     for (int r = 0; r < p->value.rows(); ++r) {
       for (int c = 0; c < p->value.cols(); ++c) {
         const double g =
@@ -32,7 +59,8 @@ void SgdOptimizer::Step(const std::vector<ad::Param*>& params) {
       }
     }
     p->ZeroGrad();
-  }
+  });
+  return Status::OK();
 }
 
 AdamOptimizer::State& AdamOptimizer::StateFor(ad::Param* p) {
@@ -45,12 +73,17 @@ AdamOptimizer::State& AdamOptimizer::StateFor(ad::Param* p) {
   return states_.back().second;
 }
 
-void AdamOptimizer::Step(const std::vector<ad::Param*>& params) {
-  ClipGlobalNorm(params, options_.clip_norm);
+Status AdamOptimizer::Step(const std::vector<ad::Param*>& params) {
+  LKP_RETURN_IF_ERROR(
+      ClipGlobalNorm(params, options_.clip_norm, thread_pool()).status());
+  // Materialize moment states serially: StateFor mutates the registry
+  // and must not race with the parallel update loop below.
+  for (ad::Param* p : params) StateFor(p);
   ++t_;
   const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
-  for (ad::Param* p : params) {
+  ForEachParam(static_cast<int>(params.size()), [&](int i) {
+    ad::Param* p = params[static_cast<size_t>(i)];
     State& s = StateFor(p);
     for (int r = 0; r < p->value.rows(); ++r) {
       for (int c = 0; c < p->value.cols(); ++c) {
@@ -67,7 +100,8 @@ void AdamOptimizer::Step(const std::vector<ad::Param*>& params) {
       }
     }
     p->ZeroGrad();
-  }
+  });
+  return Status::OK();
 }
 
 }  // namespace lkpdpp

@@ -4,6 +4,14 @@
 // rate; SGD is kept for ablations. Both support L2 weight decay and
 // global-norm gradient clipping (DPP log-likelihoods can spike early in
 // training).
+//
+// Steps are fallible: a non-finite gradient norm (an instance that blew
+// up upstream) aborts the update with a NumericalError before any
+// parameter is touched, instead of silently scaling every gradient by
+// NaN. With a thread pool attached, the per-parameter update loops run
+// in parallel — updates for distinct params touch disjoint memory and
+// the global-norm reduction stays in fixed parameter order, so stepping
+// is bit-identical at any thread count.
 
 #ifndef LKPDPP_OPT_OPTIMIZER_H_
 #define LKPDPP_OPT_OPTIMIZER_H_
@@ -13,6 +21,8 @@
 #include <vector>
 
 #include "autodiff/graph.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
 
 namespace lkpdpp {
 
@@ -30,13 +40,28 @@ class Optimizer {
   virtual std::string name() const = 0;
 
   /// Applies one update using each param's accumulated grad, then zeroes
-  /// the grads.
-  virtual void Step(const std::vector<ad::Param*>& params) = 0;
+  /// the grads. On error (non-finite gradient norm) no param is
+  /// modified and the grads are left in place for inspection.
+  virtual Status Step(const std::vector<ad::Param*>& params) = 0;
+
+  /// Fans the per-param update loops out over `pool` (results are
+  /// bit-identical to the serial path). Pass nullptr to go serial.
+  void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
 
   /// Scales all gradients so the global L2 norm is at most `clip_norm`;
-  /// returns the pre-clip norm.
-  static double ClipGlobalNorm(const std::vector<ad::Param*>& params,
-                               double clip_norm);
+  /// returns the pre-clip norm. Fails with NumericalError on a
+  /// non-finite norm (NaN/Inf gradients), leaving all grads untouched.
+  static Result<double> ClipGlobalNorm(const std::vector<ad::Param*>& params,
+                                       double clip_norm,
+                                       ThreadPool* pool = nullptr);
+
+ protected:
+  /// Runs fn(i) for each param index, on the pool when attached.
+  void ForEachParam(int n, const std::function<void(int)>& fn) const;
+
+ private:
+  ThreadPool* pool_ = nullptr;
 };
 
 /// Plain SGD with optional weight decay.
@@ -44,7 +69,7 @@ class SgdOptimizer final : public Optimizer {
  public:
   explicit SgdOptimizer(Options options) : options_(options) {}
   std::string name() const override { return "SGD"; }
-  void Step(const std::vector<ad::Param*>& params) override;
+  Status Step(const std::vector<ad::Param*>& params) override;
 
  private:
   Options options_;
@@ -61,7 +86,7 @@ class AdamOptimizer final : public Optimizer {
 
   explicit AdamOptimizer(AdamOptions options) : options_(options) {}
   std::string name() const override { return "Adam"; }
-  void Step(const std::vector<ad::Param*>& params) override;
+  Status Step(const std::vector<ad::Param*>& params) override;
 
  private:
   struct State {

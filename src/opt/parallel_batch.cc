@@ -1,0 +1,75 @@
+#include "opt/parallel_batch.h"
+
+namespace lkpdpp {
+
+namespace {
+
+struct InstanceOutcome {
+  Status status;  // OK even when skipped; the workspace is just empty.
+  Status skip_reason;
+  bool contributed = false;
+  double loss = 0.0;
+  ad::GradientWorkspace workspace;
+};
+
+}  // namespace
+
+Result<BatchGradSummary> AccumulateBatchGradients(
+    int num_instances, ThreadPool* pool,
+    const std::function<Result<InstanceGrad>(int, ad::Graph*)>& build) {
+  if (num_instances < 0) {
+    return Status::InvalidArgument("negative instance count");
+  }
+  std::vector<InstanceOutcome> outcomes(
+      static_cast<size_t>(num_instances));
+
+  auto run_one = [&](int i) {
+    InstanceOutcome& out = outcomes[static_cast<size_t>(i)];
+    ad::Graph graph(&out.workspace);
+    Result<InstanceGrad> built = build(i, &graph);
+    if (!built.ok()) {
+      out.status = built.status();
+      out.workspace.Clear();
+      return;
+    }
+    if (built->seeds.empty()) {  // Skipped instance.
+      out.skip_reason = built->skip_reason;
+      return;
+    }
+    const Status backward = graph.Backward(built->seeds);
+    if (!backward.ok()) {
+      out.status = backward;
+      out.workspace.Clear();
+      return;
+    }
+    out.loss = built->loss;
+    out.contributed = true;
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(num_instances, run_one);
+  } else {
+    for (int i = 0; i < num_instances; ++i) run_one(i);
+  }
+
+  // First failure in instance order wins (deterministic across thread
+  // counts); nothing has touched the params yet at this point.
+  for (const InstanceOutcome& out : outcomes) {
+    if (!out.status.ok()) return out.status;
+  }
+
+  BatchGradSummary summary;
+  for (int i = 0; i < num_instances; ++i) {
+    const InstanceOutcome& out = outcomes[static_cast<size_t>(i)];
+    if (!out.contributed) {
+      if (!out.skip_reason.ok()) summary.skipped.emplace_back(i, out.skip_reason);
+      continue;
+    }
+    out.workspace.FlushIntoParams();
+    ++summary.contributed;
+    summary.loss_sum += out.loss;
+  }
+  return summary;
+}
+
+}  // namespace lkpdpp

@@ -1,0 +1,74 @@
+// Data-parallel minibatch gradient accumulation with a deterministic
+// reduction.
+//
+// Minibatch objectives in this repo (LkP and the baseline criteria, BPR
+// in Rendle et al.'s formulation, the EM gradients of Gillenwater et
+// al.) are sums of independent per-instance terms, so the batch can be
+// sharded across threads: every instance gets a private autodiff Graph
+// whose parameter gradients land in a private GradientWorkspace, and the
+// workspaces are reduced into the shared Param::grad accumulators in
+// fixed instance order 0..N-1 afterwards. Work distribution across
+// threads is dynamic (ThreadPool::ParallelFor), but because each
+// instance's computation depends only on read-only state and the
+// reduction replays contributions in instance order, the result is
+// bit-identical at any thread count — including the inline serial path
+// used when no pool is attached.
+
+#ifndef LKPDPP_OPT_PARALLEL_BATCH_H_
+#define LKPDPP_OPT_PARALLEL_BATCH_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "autodiff/graph.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+
+namespace lkpdpp {
+
+/// What one instance contributes to the batch.
+struct InstanceGrad {
+  /// Seed gradients to backpropagate through the instance's graph.
+  /// Empty means the instance is skipped (it contributes nothing) —
+  /// the soft-failure path for ill-conditioned instances.
+  std::vector<std::pair<ad::Tensor, Matrix>> seeds;
+  /// The instance's loss term (summed into BatchGradSummary::loss_sum).
+  double loss = 0.0;
+  /// Optional reason for an empty-seed skip, reported back through
+  /// BatchGradSummary::skipped (does NOT abort the batch).
+  Status skip_reason;
+};
+
+/// Aggregate over one batch.
+struct BatchGradSummary {
+  /// Instances that produced seeds (skipped ones excluded).
+  long contributed = 0;
+  double loss_sum = 0.0;
+  /// Soft-skipped instances with a reason, in instance order.
+  std::vector<std::pair<int, Status>> skipped;
+};
+
+/// Computes the summed gradient of `num_instances` independent loss
+/// terms into the params referenced by the instances' graphs.
+///
+/// For each instance i, `build(i, graph)` constructs the instance's
+/// subgraph on the given private graph (bound to a private workspace)
+/// and returns its seeds, an empty InstanceGrad to skip it, or an error
+/// to abort the batch. `build` runs concurrently for distinct instances
+/// when `pool` is non-null and must only read shared state; it is run
+/// inline on the calling thread when `pool` is null.
+///
+/// Error semantics: every instance task runs to completion (no
+/// cancellation, so there is nothing to deadlock on), then the first
+/// failing instance in index order determines the returned error and
+/// NO gradients are flushed — the caller skips its optimizer step, so a
+/// mid-batch failure can never leave a partial update behind.
+Result<BatchGradSummary> AccumulateBatchGradients(
+    int num_instances, ThreadPool* pool,
+    const std::function<Result<InstanceGrad>(int instance,
+                                             ad::Graph* graph)>& build);
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_OPT_PARALLEL_BATCH_H_

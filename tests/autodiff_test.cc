@@ -294,5 +294,151 @@ TEST(AutodiffBackwardTest, ParamGradAccumulatesAcrossGraphs) {
   EXPECT_DOUBLE_EQ(a.grad(0, 0), 3.0);
 }
 
+TEST(AutodiffWorkspaceTest, InterceptsParamGradsUntilFlushed) {
+  Param a("a", Matrix{{1.0, 2.0}});
+  a.ZeroGrad();
+  ad::GradientWorkspace ws;
+  Graph g(&ws);
+  Tensor t = g.Scale(g.Parameter(&a), 3.0);
+  ASSERT_TRUE(g.Backward({{t, Matrix{{1.0, 1.0}}}}).ok());
+  // Nothing lands on the shared accumulator until the explicit flush.
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 0.0);
+  EXPECT_FALSE(ws.empty());
+  ws.FlushIntoParams();
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.grad(0, 1), 3.0);
+  // Replay is additive: flushing again doubles the accumulator.
+  ws.FlushIntoParams();
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 6.0);
+}
+
+TEST(AutodiffWorkspaceTest, RowScattersStayRowSparse) {
+  // GatherRows through a workspace must not allocate a dense buffer of
+  // the full param shape; observable contract: the flush touches only
+  // the gathered rows.
+  Param emb("emb", Matrix(100, 2, 1.0));
+  emb.ZeroGrad();
+  ad::GradientWorkspace ws;
+  Graph g(&ws);
+  Tensor rows = g.GatherRows(g.Parameter(&emb), {3, 97, 3});
+  ASSERT_TRUE(g.Backward({{rows, Matrix{{1, 2}, {3, 4}, {5, 6}}}}).ok());
+  ws.FlushIntoParams();
+  EXPECT_DOUBLE_EQ(emb.grad(3, 0), 6.0);   // 1 + 5 (duplicate row).
+  EXPECT_DOUBLE_EQ(emb.grad(3, 1), 8.0);   // 2 + 6.
+  EXPECT_DOUBLE_EQ(emb.grad(97, 0), 3.0);
+  for (int r = 0; r < 100; ++r) {
+    if (r == 3 || r == 97) continue;
+    EXPECT_DOUBLE_EQ(emb.grad(r, 0), 0.0) << r;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Property test: for random small graphs, the per-instance gradients
+// collected in N private workspaces, reduced in the fixed instance
+// order, equal the single-graph batch gradient to BIT precision.
+//
+// Each "instance" is a randomly shaped chain over shared params; the
+// single-graph reference builds all N instance subgraphs on one tape
+// (instance N-1 first, so its reverse-sweep contribution order matches
+// a 0..N-1 workspace flush) and calls Backward once with all N seeds.
+// ---------------------------------------------------------------------
+
+struct RandomInstanceSpec {
+  std::vector<int> rows;  // Gather targets into the embedding param.
+  int activation = 0;     // 0 none, 1 relu, 2 tanh, 3 sigmoid.
+  double scale = 1.0;
+  bool row_sum = false;
+};
+
+Tensor BuildRandomInstance(Graph* g, Param* emb, Param* w,
+                           const RandomInstanceSpec& spec) {
+  Tensor x = g->GatherRows(g->Parameter(emb), spec.rows);
+  Tensor y = g->MatMul(x, g->Parameter(w));
+  switch (spec.activation) {
+    case 1: y = g->Relu(y); break;
+    case 2: y = g->Tanh(y); break;
+    case 3: y = g->Sigmoid(y); break;
+    default: break;
+  }
+  y = g->Scale(y, spec.scale);
+  if (spec.row_sum) y = g->RowSum(y);
+  return y;
+}
+
+TEST(AutodiffWorkspaceTest, WorkspaceSumMatchesSingleGraphBitExactly) {
+  Rng rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    const int num_rows = 6 + rng.UniformInt(6);
+    const int dim = 2 + rng.UniformInt(3);
+    const int out_dim = 1 + rng.UniformInt(3);
+    Param emb("emb", RandomMatrix(num_rows, dim, &rng));
+    Param w("w", RandomMatrix(dim, out_dim, &rng));
+
+    const int n = 2 + rng.UniformInt(4);
+    std::vector<RandomInstanceSpec> specs(static_cast<size_t>(n));
+    for (auto& s : specs) {
+      // Distinct rows per instance (as every backbone gathers): each
+      // param element then receives at most one addition per instance,
+      // which is what makes pre-folded leaf gradients and replayed
+      // workspace entries agree bit-for-bit.
+      std::vector<int> all_rows(static_cast<size_t>(num_rows));
+      for (int i = 0; i < num_rows; ++i) all_rows[static_cast<size_t>(i)] = i;
+      rng.Shuffle(&all_rows);
+      const int gathered = 1 + rng.UniformInt(4);
+      s.rows.assign(all_rows.begin(), all_rows.begin() + gathered);
+      s.activation = rng.UniformInt(4);
+      s.scale = rng.Uniform(-2.0, 2.0);
+      s.row_sum = rng.Bernoulli(0.5);
+    }
+
+    // Reference: one shared graph, instances built in REVERSE order so
+    // the reverse node sweep emits contributions in instance order
+    // 0..N-1, matching the workspace flush below.
+    emb.ZeroGrad();
+    w.ZeroGrad();
+    {
+      Graph shared;
+      std::vector<std::pair<Tensor, Matrix>> seeds;
+      for (int i = n - 1; i >= 0; --i) {
+        Tensor out = BuildRandomInstance(&shared, &emb, &w,
+                                         specs[static_cast<size_t>(i)]);
+        seeds.emplace_back(out, Matrix(out.rows(), out.cols(), 1.0));
+      }
+      ASSERT_TRUE(shared.Backward(seeds).ok());
+    }
+    const Matrix ref_demb = emb.grad;
+    const Matrix ref_dw = w.grad;
+
+    // Candidate: one private graph + workspace per instance, flushed in
+    // instance order 0..N-1.
+    emb.ZeroGrad();
+    w.ZeroGrad();
+    std::vector<ad::GradientWorkspace> workspaces(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Graph g(&workspaces[static_cast<size_t>(i)]);
+      Tensor out =
+          BuildRandomInstance(&g, &emb, &w, specs[static_cast<size_t>(i)]);
+      ASSERT_TRUE(
+          g.Backward({{out, Matrix(out.rows(), out.cols(), 1.0)}}).ok());
+    }
+    for (int i = 0; i < n; ++i) {
+      workspaces[static_cast<size_t>(i)].FlushIntoParams();
+    }
+
+    for (int r = 0; r < ref_demb.rows(); ++r) {
+      for (int c = 0; c < ref_demb.cols(); ++c) {
+        ASSERT_EQ(emb.grad(r, c), ref_demb(r, c))
+            << "round " << round << " demb(" << r << "," << c << ")";
+      }
+    }
+    for (int r = 0; r < ref_dw.rows(); ++r) {
+      for (int c = 0; c < ref_dw.cols(); ++c) {
+        ASSERT_EQ(w.grad(r, c), ref_dw(r, c))
+            << "round " << round << " dw(" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lkpdpp

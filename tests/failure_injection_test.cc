@@ -6,12 +6,15 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "core/kdpp.h"
 #include "core/lkp.h"
 #include "data/synthetic.h"
 #include "exp/probes.h"
 #include "exp/runner.h"
 #include "kernels/diversity_kernel.h"
+#include "opt/optimizer.h"
+#include "opt/parallel_batch.h"
 #include "sampling/diverse_pairs.h"
 #include "sampling/ground_set_builder.h"
 
@@ -190,6 +193,117 @@ TEST(FailureTest, EvaluateOnCriterionMismatchedScores) {
     in.scores = Vector();
     in.num_pos = 0;
     EXPECT_FALSE(crit->Evaluate(in).ok());
+  }
+}
+
+TEST(FailureTest, ParallelBatchWorkerNumericalErrorAbortsCleanly) {
+  // One worker hits a NumericalError mid-batch: the batch must drain
+  // (returning at all proves no deadlock), propagate the error, flush
+  // NOTHING into the params, and therefore never reach the optimizer —
+  // no partial step.
+  ThreadPool pool(4);
+  ad::Param p("p", Matrix{{1.0, -1.0}});
+  p.ZeroGrad();
+  const Matrix before = p.value;
+
+  auto build = [&](int i, ad::Graph* g) -> Result<InstanceGrad> {
+    if (i == 9) {
+      return Status::NumericalError("injected mid-batch blow-up");
+    }
+    InstanceGrad grad;
+    ad::Tensor t = g->Scale(g->Parameter(&p), 2.0);
+    grad.seeds.emplace_back(t, Matrix(1, 2, 1.0));
+    grad.loss = 1.0;
+    return grad;
+  };
+  auto summary = AccumulateBatchGradients(32, &pool, build);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kNumericalError);
+  // No gradient from ANY instance leaked into the shared accumulator.
+  EXPECT_DOUBLE_EQ(p.grad.FrobeniusNorm(), 0.0);
+  // The trainer contract: Step is only reached on OK batches, so the
+  // params are exactly where they started.
+  SgdOptimizer sgd(Optimizer::Options{});
+  if (summary.ok()) (void)sgd.Step({&p});  // Never taken.
+  EXPECT_DOUBLE_EQ(p.value(0, 0), before(0, 0));
+  EXPECT_DOUBLE_EQ(p.value(0, 1), before(0, 1));
+}
+
+TEST(FailureTest, ParallelBatchReportsFirstFailureInInstanceOrder) {
+  // Two workers fail with different codes; whichever thread finishes
+  // first, the LOWEST instance index must determine the verdict so the
+  // error is reproducible at any thread count.
+  ThreadPool pool(4);
+  ad::Param p("p", Matrix{{1.0}});
+  p.ZeroGrad();
+  auto build = [&](int i, ad::Graph* g) -> Result<InstanceGrad> {
+    if (i == 5) return Status::NumericalError("later failure");
+    if (i == 2) return Status::FailedPrecondition("earlier failure");
+    InstanceGrad grad;
+    ad::Tensor t = g->Scale(g->Parameter(&p), 1.0);
+    grad.seeds.emplace_back(t, Matrix(1, 1, 1.0));
+    return grad;
+  };
+  for (int trial = 0; trial < 8; ++trial) {
+    auto summary = AccumulateBatchGradients(16, &pool, build);
+    ASSERT_FALSE(summary.ok());
+    EXPECT_EQ(summary.status().code(), StatusCode::kFailedPrecondition)
+        << "trial " << trial;
+  }
+  EXPECT_DOUBLE_EQ(p.grad.FrobeniusNorm(), 0.0);
+}
+
+TEST(FailureTest, ParallelBatchBackwardFailureAbortsWithoutFlush) {
+  // A bad seed shape makes Graph::Backward itself fail inside a worker;
+  // same contract as a criterion failure: error out, nothing flushed.
+  ThreadPool pool(2);
+  ad::Param p("p", Matrix{{1.0, 2.0}});
+  p.ZeroGrad();
+  auto build = [&](int i, ad::Graph* g) -> Result<InstanceGrad> {
+    InstanceGrad grad;
+    ad::Tensor t = g->Scale(g->Parameter(&p), 2.0);
+    // Instance 3 seeds with a mismatched shape.
+    grad.seeds.emplace_back(
+        t, i == 3 ? Matrix(1, 1, 1.0) : Matrix(1, 2, 1.0));
+    return grad;
+  };
+  auto summary = AccumulateBatchGradients(6, &pool, build);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_DOUBLE_EQ(p.grad.FrobeniusNorm(), 0.0);
+}
+
+TEST(FailureTest, DiversityTrainerSingularPairAbortsWithoutPartialStep) {
+  // Rank-deficient factors (rank < set_size) make every pair's K_S
+  // singular: the minibatch trainer must fail with the pool attached,
+  // without deadlock, identically to the serial path.
+  std::vector<RatingEvent> events;
+  for (int u = 0; u < 12; ++u) {
+    for (int i = 0; i < 11; ++i) events.push_back({u, i, 5.0, i});
+  }
+  CategoryTable cats;
+  cats.num_categories = 2;
+  cats.item_categories.assign(11, {0});
+  auto ds = Dataset::FromRatings(events, cats, "t", 5.0, 5);
+  ASSERT_TRUE(ds.ok());
+  DiversityKernel::TrainConfig cfg;
+  cfg.rank = 6;
+  cfg.set_size = 6;  // set_size == rank passes validation...
+  cfg.jitter = 0.0;  // ...but jitter-free K_S of duplicate rows fails.
+  cfg.epochs = 1;
+  cfg.pairs_per_epoch = 8;
+  cfg.batch_size = 4;
+  auto serial = DiversityKernel::Train(*ds, cfg);
+  ThreadPool pool(4);
+  cfg.pool = &pool;
+  auto parallel = DiversityKernel::Train(*ds, cfg);
+  // Either both succeed or both fail with the same code — the pool must
+  // not change the verdict (here the items repeat categories, so the
+  // unjittered Cholesky is expected to fail; accept either as long as
+  // they agree).
+  EXPECT_EQ(serial.ok(), parallel.ok());
+  if (!serial.ok()) {
+    EXPECT_EQ(serial.status().code(), parallel.status().code());
   }
 }
 

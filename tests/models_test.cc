@@ -57,9 +57,9 @@ TEST_P(RecModelTest, TrainingAndEvalScoresAgree) {
   const int user = 3;
   const std::vector<int> items = {0, 5, 11, 20, 33};
 
+  auto batch = model->StartBatch();
   ad::Graph graph;
-  model->StartBatch(&graph);
-  ad::Tensor scores_t = model->ScoreItems(&graph, user, items);
+  ad::Tensor scores_t = batch->ScoreItems(&graph, user, items);
   ASSERT_EQ(scores_t.rows(), static_cast<int>(items.size()));
   ASSERT_EQ(scores_t.cols(), 1);
 
@@ -79,12 +79,18 @@ TEST_P(RecModelTest, GradientsReachEveryParameter) {
 
   for (ad::Param* p : model->Params()) p->ZeroGrad();
 
-  ad::Graph graph;
-  model->StartBatch(&graph);
+  // Per-instance graph with a private workspace, reduced into the
+  // batch's instance params, then Finish() backpropagates any boundary
+  // gradient through the shared prefix — the full training data path.
+  auto batch = model->StartBatch();
+  ad::GradientWorkspace ws;
+  ad::Graph graph(&ws);
   ad::Tensor scores_t =
-      model->ScoreItems(&graph, 1, {2, 9, 17, 25});
+      batch->ScoreItems(&graph, 1, {2, 9, 17, 25});
   Matrix seed(scores_t.rows(), 1, 1.0);
   ASSERT_TRUE(graph.Backward({{scores_t, seed}}).ok());
+  ws.FlushIntoParams();
+  ASSERT_TRUE(batch->Finish().ok());
 
   for (ad::Param* p : model->Params()) {
     EXPECT_GT(p->grad.FrobeniusNorm(), 0.0)
@@ -95,10 +101,10 @@ TEST_P(RecModelTest, GradientsReachEveryParameter) {
 TEST_P(RecModelTest, ItemRepresentationShapes) {
   Dataset ds = MakeDataset();
   auto model = MakeModel(GetParam(), ds);
+  auto batch = model->StartBatch();
   ad::Graph graph;
-  model->StartBatch(&graph);
   const std::vector<int> items = {1, 2, 3};
-  ad::Tensor reps = model->ItemRepresentations(&graph, items);
+  ad::Tensor reps = batch->ItemRepresentations(&graph, items);
   EXPECT_EQ(reps.rows(), 3);
   EXPECT_GT(reps.cols(), 0);
 }
@@ -132,9 +138,9 @@ TEST(MfModelTest, ScoreIsInnerProduct) {
   MfModel model(4, 6, MfModel::Config{.embedding_dim = 3, .seed = 5});
   model.PrepareForEval();
   const Vector scores = model.ScoreAllItems(2);
+  auto batch = model.StartBatch();
   ad::Graph g;
-  model.StartBatch(&g);
-  ad::Tensor t = model.ScoreItems(&g, 2, {0, 1, 2, 3, 4, 5});
+  ad::Tensor t = batch->ScoreItems(&g, 2, {0, 1, 2, 3, 4, 5});
   for (int i = 0; i < 6; ++i) {
     EXPECT_NEAR(t.value()(i, 0), scores[i], 1e-12);
   }
@@ -148,10 +154,10 @@ TEST(GcnModelTest, PropagationSmoothsTowardNeighbors) {
   ASSERT_TRUE(model.ok());
   (*model)->PrepareForEval();
   // Mean-of-layers with a connected graph cannot equal raw embeddings.
+  auto batch = (*model)->StartBatch();
   ad::Graph g;
-  (*model)->StartBatch(&g);
   const std::vector<int> items = {0};
-  ad::Tensor rep = (*model)->ItemRepresentations(&g, items);
+  ad::Tensor rep = batch->ItemRepresentations(&g, items);
   const Matrix& raw = (*model)->Params()[0]->value;
   double diff = 0.0;
   for (int c = 0; c < rep.cols(); ++c) {

@@ -1,9 +1,12 @@
-// Tests for SGD/Adam optimizers: update math, clipping, convergence.
+// Tests for SGD/Adam optimizers: update math, clipping, convergence,
+// and the non-finite-gradient failure path.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "common/thread_pool.h"
 #include "opt/optimizer.h"
 
 namespace lkpdpp {
@@ -16,7 +19,7 @@ TEST(SgdTest, SingleStepMatchesFormula) {
   opts.learning_rate = 0.1;
   opts.clip_norm = 0.0;
   SgdOptimizer sgd(opts);
-  sgd.Step({&p});
+  ASSERT_TRUE(sgd.Step({&p}).ok());
   EXPECT_NEAR(p.value(0, 0), 1.0 - 0.1 * 0.5, 1e-12);
   EXPECT_NEAR(p.value(0, 1), -2.0 - 0.1 * 1.0, 1e-12);
   // Grad zeroed after step.
@@ -31,7 +34,7 @@ TEST(SgdTest, WeightDecayShrinksParameters) {
   opts.weight_decay = 0.5;
   opts.clip_norm = 0.0;
   SgdOptimizer sgd(opts);
-  sgd.Step({&p});
+  ASSERT_TRUE(sgd.Step({&p}).ok());
   EXPECT_NEAR(p.value(0, 0), 10.0 - 0.1 * 0.5 * 10.0, 1e-12);
 }
 
@@ -40,8 +43,9 @@ TEST(ClippingTest, GlobalNormScalesAllParams) {
   ad::Param b("b", Matrix{{0.0}});
   a.grad = Matrix{{3.0}};
   b.grad = Matrix{{4.0}};  // Global norm = 5.
-  const double pre = Optimizer::ClipGlobalNorm({&a, &b}, 1.0);
-  EXPECT_NEAR(pre, 5.0, 1e-12);
+  auto pre = Optimizer::ClipGlobalNorm({&a, &b}, 1.0);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_NEAR(*pre, 5.0, 1e-12);
   EXPECT_NEAR(a.grad(0, 0), 0.6, 1e-12);
   EXPECT_NEAR(b.grad(0, 0), 0.8, 1e-12);
 }
@@ -49,15 +53,91 @@ TEST(ClippingTest, GlobalNormScalesAllParams) {
 TEST(ClippingTest, NoScalingBelowThreshold) {
   ad::Param a("a", Matrix{{0.0}});
   a.grad = Matrix{{0.5}};
-  Optimizer::ClipGlobalNorm({&a}, 1.0);
+  ASSERT_TRUE(Optimizer::ClipGlobalNorm({&a}, 1.0).ok());
   EXPECT_NEAR(a.grad(0, 0), 0.5, 1e-12);
 }
 
 TEST(ClippingTest, ZeroDisablesClipping) {
   ad::Param a("a", Matrix{{0.0}});
   a.grad = Matrix{{100.0}};
-  Optimizer::ClipGlobalNorm({&a}, 0.0);
+  ASSERT_TRUE(Optimizer::ClipGlobalNorm({&a}, 0.0).ok());
   EXPECT_NEAR(a.grad(0, 0), 100.0, 1e-12);
+}
+
+TEST(ClippingTest, NanGradientIsANumericalError) {
+  // Regression: a NaN gradient used to produce a NaN norm and silently
+  // scale every gradient (and then every parameter) to NaN.
+  ad::Param a("a", Matrix{{0.0, 0.0}});
+  ad::Param b("healthy", Matrix{{0.0}});
+  a.grad = Matrix{{1.0, std::nan("")}};
+  b.grad = Matrix{{1e3}};
+  auto clipped = Optimizer::ClipGlobalNorm({&a, &b}, 1.0);
+  ASSERT_FALSE(clipped.ok());
+  EXPECT_EQ(clipped.status().code(), StatusCode::kNumericalError);
+  // The culprit param is named and NO grad was rescaled.
+  EXPECT_NE(clipped.status().ToString().find("'a'"), std::string::npos);
+  EXPECT_DOUBLE_EQ(b.grad(0, 0), 1e3);
+}
+
+TEST(ClippingTest, InfGradientIsANumericalError) {
+  ad::Param a("a", Matrix{{0.0}});
+  a.grad = Matrix{{std::numeric_limits<double>::infinity()}};
+  EXPECT_EQ(Optimizer::ClipGlobalNorm({&a}, 5.0).status().code(),
+            StatusCode::kNumericalError);
+}
+
+TEST(ClippingTest, PooledClippingMatchesSerial) {
+  // The per-param norm fan-out must not change the clip factor.
+  ThreadPool pool(4);
+  std::vector<Matrix> serial_grads;
+  for (int trial = 0; trial < 2; ++trial) {
+    ad::Param a("a", Matrix{{0.0, 0.0}});
+    ad::Param b("b", Matrix{{0.0}, {0.0}});
+    a.grad = Matrix{{3.0, 1.0}};
+    b.grad = Matrix{{4.0}, {2.0}};
+    auto pre = Optimizer::ClipGlobalNorm({&a, &b}, 1.0,
+                                         trial == 0 ? nullptr : &pool);
+    ASSERT_TRUE(pre.ok());
+    if (trial == 0) {
+      serial_grads = {a.grad, b.grad};
+    } else {
+      for (int c = 0; c < 2; ++c) {
+        EXPECT_DOUBLE_EQ(a.grad(0, c), serial_grads[0](0, c));
+        EXPECT_DOUBLE_EQ(b.grad(c, 0), serial_grads[1](c, 0));
+      }
+    }
+  }
+}
+
+TEST(SgdTest, NonFiniteGradLeavesParamsUntouched) {
+  ad::Param p("p", Matrix{{2.0}});
+  p.grad = Matrix{{std::nan("")}};
+  Optimizer::Options opts;
+  opts.learning_rate = 0.1;
+  SgdOptimizer sgd(opts);
+  EXPECT_EQ(sgd.Step({&p}).code(), StatusCode::kNumericalError);
+  // No partial update: value intact, grad preserved for inspection.
+  EXPECT_DOUBLE_EQ(p.value(0, 0), 2.0);
+  EXPECT_TRUE(std::isnan(p.grad(0, 0)));
+}
+
+TEST(AdamTest, NonFiniteGradLeavesParamsAndMomentsUntouched) {
+  ad::Param p("p", Matrix{{1.0}});
+  AdamOptimizer::AdamOptions opts;
+  opts.learning_rate = 0.1;
+  AdamOptimizer adam(opts);
+  // One healthy step to materialize moment state.
+  p.grad = Matrix{{0.5}};
+  ASSERT_TRUE(adam.Step({&p}).ok());
+  const double after_first = p.value(0, 0);
+  // Poisoned step must fail without moving the value.
+  p.grad = Matrix{{std::numeric_limits<double>::infinity()}};
+  EXPECT_EQ(adam.Step({&p}).code(), StatusCode::kNumericalError);
+  EXPECT_DOUBLE_EQ(p.value(0, 0), after_first);
+  // Recovery: a finite grad afterwards steps normally.
+  p.grad = Matrix{{0.5}};
+  EXPECT_TRUE(adam.Step({&p}).ok());
+  EXPECT_LT(p.value(0, 0), after_first);
 }
 
 TEST(AdamTest, FirstStepMovesByLearningRate) {
@@ -68,7 +148,7 @@ TEST(AdamTest, FirstStepMovesByLearningRate) {
   opts.learning_rate = 0.1;
   opts.clip_norm = 0.0;
   AdamOptimizer adam(opts);
-  adam.Step({&p});
+  ASSERT_TRUE(adam.Step({&p}).ok());
   EXPECT_NEAR(p.value(0, 0), -0.1, 1e-6);
 }
 
@@ -81,7 +161,7 @@ TEST(AdamTest, ConvergesOnQuadratic) {
   AdamOptimizer adam(opts);
   for (int step = 0; step < 2000; ++step) {
     p.grad = p.value - target;
-    adam.Step({&p});
+    ASSERT_TRUE(adam.Step({&p}).ok());
   }
   EXPECT_NEAR(p.value(0, 0), 1.0, 1e-3);
   EXPECT_NEAR(p.value(0, 1), 2.0, 1e-3);
@@ -96,10 +176,39 @@ TEST(AdamTest, HandlesMultipleParamsIndependently) {
   for (int step = 0; step < 800; ++step) {
     a.grad = Matrix{{a.value(0, 0)}};
     b.grad = Matrix{{b.value(0, 0)}};
-    adam.Step({&a, &b});
+    ASSERT_TRUE(adam.Step({&a, &b}).ok());
   }
   EXPECT_NEAR(a.value(0, 0), 0.0, 1e-2);
   EXPECT_NEAR(b.value(0, 0), 0.0, 1e-2);
+}
+
+TEST(AdamTest, PooledStepBitIdenticalToSerial) {
+  // The same trajectory must fall out whether the per-param update
+  // loops run serially or on a pool.
+  ThreadPool pool(4);
+  Matrix serial_a, serial_b;
+  for (int trial = 0; trial < 2; ++trial) {
+    ad::Param a("a", Matrix{{4.0, -1.0}});
+    ad::Param b("b", Matrix{{-4.0}, {2.0}});
+    AdamOptimizer::AdamOptions opts;
+    opts.learning_rate = 0.1;
+    AdamOptimizer adam(opts);
+    if (trial == 1) adam.SetThreadPool(&pool);
+    for (int step = 0; step < 50; ++step) {
+      a.grad = a.value;
+      b.grad = b.value;
+      ASSERT_TRUE(adam.Step({&a, &b}).ok());
+    }
+    if (trial == 0) {
+      serial_a = a.value;
+      serial_b = b.value;
+    } else {
+      EXPECT_DOUBLE_EQ(a.value(0, 0), serial_a(0, 0));
+      EXPECT_DOUBLE_EQ(a.value(0, 1), serial_a(0, 1));
+      EXPECT_DOUBLE_EQ(b.value(0, 0), serial_b(0, 0));
+      EXPECT_DOUBLE_EQ(b.value(1, 0), serial_b(1, 0));
+    }
+  }
 }
 
 TEST(AdamTest, AdaptsToGradientScale) {
@@ -112,7 +221,7 @@ TEST(AdamTest, AdaptsToGradientScale) {
   AdamOptimizer adam(opts);
   for (int step = 0; step < 100; ++step) {
     p.grad = Matrix{{1000.0 * p.value(0, 0), 0.001 * p.value(0, 1)}};
-    adam.Step({&p});
+    ASSERT_TRUE(adam.Step({&p}).ok());
   }
   // Both coordinates should have moved substantially toward zero.
   EXPECT_LT(p.value(0, 0), 0.7);
