@@ -13,6 +13,11 @@
 #     every thread count) plus indicative step timings/speedups.
 #   * eigen_bench contributes the machine-independent solver-agreement
 #     verdict plus indicative tridiag-vs-Jacobi timings/speedups.
+#   * dual_bench contributes the machine-independent dual-vs-primal
+#     agreement verdict (normalizers, marginals, bit-identical sample
+#     streams) plus indicative construction timings/speedups. Its
+#     n=4096 primal eigendecompositions take a few minutes; that cost
+#     is the measurement.
 #
 # Usage: bench/record_baseline.sh [build-dir]   (default: build)
 # The build dir must already contain the Release bench binaries.
@@ -39,7 +44,8 @@ MICRO_OUT=$(mktemp)
 SERVE_OUT=$(mktemp)
 TRAIN_OUT=$(mktemp)
 EIGEN_OUT=$(mktemp)
-trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT"' EXIT
+DUAL_OUT=$(mktemp)
+trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" "$DUAL_OUT"' EXIT
 
 echo "running fig2_k_sweep (LKP_SCALE=$LKP_SCALE LKP_EPOCHS=$LKP_EPOCHS)..."
 "$BUILD_DIR/bench/fig2_k_sweep" > "$FIG2_OUT"
@@ -66,10 +72,17 @@ echo "running eigen_bench..."
 # abort before the parser records solvers_agree=false in the baseline.
 "$BUILD_DIR/bench/eigen_bench" > "$EIGEN_OUT" || true
 
-python3 - "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" <<'EOF'
+echo "running dual_bench (n=4096 primal eigendecompositions: minutes)..."
+# dual_bench exits non-zero on an agreement violation; keep going so the
+# parser records dual_agrees=false in the baseline.
+"$BUILD_DIR/bench/dual_bench" > "$DUAL_OUT" || true
+
+python3 - "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" \
+  "$DUAL_OUT" <<'EOF'
 import json, os, re, sys
 
-fig2_path, micro_path, serve_path, train_path, eigen_path = sys.argv[1:6]
+(fig2_path, micro_path, serve_path, train_path, eigen_path,
+ dual_path) = sys.argv[1:7]
 
 # --- fig2_k_sweep: parse the per-k metric rows under each mode header.
 fig2 = {}
@@ -177,6 +190,32 @@ for line in open(eigen_path):
             "max_rel_dlam": float(m.group(6)),
         })
 
+# --- dual_bench: per-shape timing rows + the dual-agreement verdict
+# (normalizers/marginals to tolerance, sample streams bit-identical).
+dual = {"dual_agrees": True, "shapes": []}
+for line in open(dual_path):
+    if "AGREEMENT VIOLATION" in line or "AGREEMENT UNVERIFIED" in line:
+        dual["dual_agrees"] = False
+    m = re.match(
+        r"\s*(\d+)\s+(\d+)\s+(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)x"
+        r"\s+(\S+)\s+(\S+)\s+(\d+)/(\d+)\s*$",
+        line)
+    if m:
+        dual["shapes"].append({
+            "n": int(m.group(1)),
+            "d": int(m.group(2)),
+            "primal_ms": float(m.group(4)),
+            "dual_ms": float(m.group(5)),
+            "speedup": float(m.group(6)),
+            "dlogz_rel": float(m.group(7)),
+            "dmarg_rel": float(m.group(8)),
+            "identical_draws": int(m.group(9)),
+            "total_draws": int(m.group(10)),
+        })
+if not dual["shapes"]:
+    # A verdict backed by zero measurements is not a green verdict.
+    dual["dual_agrees"] = False
+
 baseline = {
     "comment": (
         "Golden bench baselines. fig2 metrics are bit-deterministic for "
@@ -196,6 +235,7 @@ baseline = {
     "serve_throughput": serve,
     "train_throughput": train,
     "eigen": eigen,
+    "dual": dual,
 }
 with open("BENCH_baseline.json", "w") as f:
     json.dump(baseline, f, indent=2)

@@ -17,19 +17,50 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "linalg/eigen.h"
+#include "linalg/low_rank.h"
 #include "linalg/matrix.h"
 
 namespace lkpdpp {
 
 /// An exact standard DPP with PSD kernel L over {0..m-1}.
+///
+/// Two representations share this type. The primal one (Create) holds the
+/// n x n kernel and its full eigendecomposition. The dual one
+/// (CreateDual) holds a rank-d factor V with L = V V^T plus the d x d
+/// dual eigendecomposition, and never materializes L: probabilities come
+/// from Gram determinants and sampling lifts dual eigenvectors on demand
+/// (Gartrell et al. 2016). Both representations define the same
+/// distribution, and for a fixed seed Sample draws the same subsets
+/// either way: the dual sampler consumes its Rng in the exact draw order
+/// of the primal sampler (including the selection draws the primal spends
+/// on zero eigenvalues), so swapping representations cannot re-randomize
+/// a stream.
 class Dpp {
  public:
   /// Fails on non-square/non-symmetric/indefinite kernels (round-off
   /// negatives are clamped).
   static Result<Dpp> Create(Matrix kernel);
 
-  int ground_size() const { return kernel_.rows(); }
+  /// Builds the DPP with kernel L = V V^T from its factor, at
+  /// O(n d^2 + d^3) instead of O(n^3). Same PSD clamp as Create, applied
+  /// at primal ground size, so rank detection is representation-
+  /// independent.
+  static Result<Dpp> CreateDual(LowRankFactor factor);
+
+  int ground_size() const {
+    return dual_ ? factor_.ground_size() : kernel_.rows();
+  }
+  bool is_dual() const { return dual_; }
+
+  /// Primal-mode kernel. Empty in dual mode (the whole point is never
+  /// materializing it); use factor() there.
   const Matrix& kernel() const { return kernel_; }
+  /// Dual-mode factor V. Empty (0 x 0 v()) in primal mode.
+  const LowRankFactor& factor() const { return factor_; }
+
+  /// Primal mode: all n eigenvalues of L, ascending. Dual mode: the d
+  /// eigenvalues of the dual kernel C = V^T V, ascending — L's spectrum
+  /// is these plus (n - d) implicit zeros.
   const Vector& eigenvalues() const { return eig_.eigenvalues; }
 
   /// log det(L + I): the normalizer over all 2^m subsets.
@@ -40,8 +71,13 @@ class Dpp {
   Result<double> LogProb(const std::vector<int>& subset) const;
   Result<double> Prob(const std::vector<int>& subset) const;
 
-  /// Marginal kernel M = L (L + I)^{-1}; M_ii = P(i in S).
+  /// Marginal kernel M = L (L + I)^{-1}; M_ii = P(i in S). Dual mode
+  /// assembles it from lifted eigenvectors at O(n^2 r) — prefer
+  /// MarginalDiagonal when only inclusion probabilities are needed.
   Matrix MarginalKernel() const;
+
+  /// diag(M) without materializing M: P(i in S) for every item.
+  Vector MarginalDiagonal() const;
 
   /// Expected sample cardinality: sum_i lambda_i / (1 + lambda_i).
   double ExpectedSize() const;
@@ -53,7 +89,11 @@ class Dpp {
 
  private:
   Dpp(Matrix kernel, EigenDecomposition eig, double log_z);
-  Matrix kernel_;
+  Dpp(LowRankFactor factor, EigenDecomposition dual_eig, double log_z);
+  Matrix kernel_;       // Primal mode only.
+  LowRankFactor factor_;  // Dual mode only.
+  bool dual_ = false;
+  // Primal: eigenpairs of L. Dual: eigenpairs of C = V^T V (d x d).
   EigenDecomposition eig_;
   double log_z_;
 };

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "core/dpp.h"
 #include "core/esp.h"
@@ -37,6 +39,36 @@ Result<std::vector<int>> ValidateSubset(const std::vector<int>& subset, int k,
   return sorted;
 }
 
+// Shared spectrum -> (ESP table, log Z_k) finishing for both
+// representations. `eigenvalues` must already be PSD-clamped; `m` is the
+// primal ground size (only used in messages). Fails on ESP overflow or a
+// vanished normalizer, identically for primal and dual spectra (the
+// padding zeros of the primal spectrum leave every ESP bit-unchanged:
+// e_l <- e_l + 0 * e_{l-1}).
+Result<std::pair<Matrix, double>> FinishSpectrum(const Vector& eigenvalues,
+                                                 int k, int m) {
+  // One Algorithm-1 DP table serves both the normalizer (last column)
+  // and every subsequent Sample call's backward walk.
+  Matrix esp_table = EspTable(eigenvalues, k);
+  if (!esp_table.AllFinite()) {
+    // An intermediate e_l can overflow while e_k itself stays finite
+    // (huge eigenvalues balanced by tiny ones); the sampler's backward
+    // walk would then divide inf by inf, so reject loudly here.
+    return Status::NumericalError(
+        StrFormat("ESP table overflowed for k=%d over %d eigenvalues: "
+                  "eigenvalue dynamic range too large for exact sampling",
+                  k, m));
+  }
+  const double zk = esp_table(k, eigenvalues.size());
+  if (!(zk > 0.0) || !std::isfinite(zk)) {
+    return Status::NumericalError(
+        StrFormat("k-DPP normalizer e_%d = %.3e is not positive/finite "
+                  "(kernel rank < k?)",
+                  k, zk));
+  }
+  return std::make_pair(std::move(esp_table), std::log(zk));
+}
+
 }  // namespace
 
 KDpp::KDpp(Matrix kernel, int k, EigenDecomposition eig, double log_zk,
@@ -44,6 +76,15 @@ KDpp::KDpp(Matrix kernel, int k, EigenDecomposition eig, double log_zk,
     : kernel_(std::move(kernel)),
       k_(k),
       eig_(std::move(eig)),
+      log_zk_(log_zk),
+      esp_table_(std::move(esp_table)) {}
+
+KDpp::KDpp(LowRankFactor factor, int k, EigenDecomposition dual_eig,
+           double log_zk, Matrix esp_table)
+    : factor_(std::move(factor)),
+      dual_(true),
+      k_(k),
+      eig_(std::move(dual_eig)),
       log_zk_(log_zk),
       esp_table_(std::move(esp_table)) {}
 
@@ -66,47 +107,50 @@ Result<KDpp> KDpp::Create(Matrix kernel, int k) {
   // (either sign: exact zeros of rank-deficient kernels come back as
   // +/- O(eps * lambda_max) noise, and a spurious positive would make
   // the rank check below pass vacuously). Genuinely indefinite kernels
-  // are rejected.
-  const double lam_max = std::max(eig.eigenvalues.Max(), 0.0);
-  const double neg_tol = -1e-8 * std::max(1.0, lam_max);
-  const double zero_tol =
-      static_cast<double>(m) * std::numeric_limits<double>::epsilon() *
-      lam_max;
-  for (int i = 0; i < eig.eigenvalues.size(); ++i) {
-    if (eig.eigenvalues[i] < neg_tol) {
-      return Status::NumericalError(
-          StrFormat("kernel is not PSD: eigenvalue %d = %.3e", i,
-                    eig.eigenvalues[i]));
-    }
-    if (eig.eigenvalues[i] < zero_tol) eig.eigenvalues[i] = 0.0;
+  // are rejected. The policy lives in ClampSpectrumToPsd so the dual
+  // path below detects the same rank from the same kernel.
+  LKP_RETURN_IF_ERROR(ClampSpectrumToPsd(&eig.eigenvalues, m));
+  LKP_ASSIGN_OR_RETURN(auto finish, FinishSpectrum(eig.eigenvalues, k, m));
+  return KDpp(std::move(kernel), k, std::move(eig), finish.second,
+              std::move(finish.first));
+}
+
+Result<KDpp> KDpp::CreateDual(LowRankFactor factor, int k) {
+  const int m = factor.ground_size();
+  if (m < 1) {
+    return Status::InvalidArgument("dual k-DPP requires a non-empty factor");
   }
-  // One Algorithm-1 DP table serves both the normalizer (last column)
-  // and every subsequent Sample call's backward walk.
-  Matrix esp_table = EspTable(eig.eigenvalues, k);
-  if (!esp_table.AllFinite()) {
-    // An intermediate e_l can overflow while e_k itself stays finite
-    // (huge eigenvalues balanced by tiny ones); the sampler's backward
-    // walk would then divide inf by inf, so reject loudly here.
+  if (k < 1 || k > m) {
+    return Status::InvalidArgument(
+        StrFormat("k=%d outside [1, %d]", k, m));
+  }
+  if (k > factor.rank_bound()) {
+    // rank(L) <= d < k: no cardinality-k subset has positive probability.
+    // Primal Create discovers this as e_k = 0; report it the same way
+    // without building a table the ESP recursion cannot size.
     return Status::NumericalError(
-        StrFormat("ESP table overflowed for k=%d over %d eigenvalues: "
-                  "eigenvalue dynamic range too large for exact sampling",
-                  k, m));
+        StrFormat("k-DPP normalizer e_%d = 0 is not positive/finite "
+                  "(kernel rank < k?): factor rank bound is %d",
+                  k, factor.rank_bound()));
   }
-  const double zk = esp_table(k, m);
-  if (!(zk > 0.0) || !std::isfinite(zk)) {
-    return Status::NumericalError(
-        StrFormat("k-DPP normalizer e_%d = %.3e is not positive/finite "
-                  "(kernel rank < k?)",
-                  k, zk));
-  }
-  return KDpp(std::move(kernel), k, std::move(eig), std::log(zk),
-              std::move(esp_table));
+  // EigenDual applies ClampSpectrumToPsd at primal ground size m, so a
+  // rank-deficient kernel reports the same rank as KDpp::Create would.
+  LKP_ASSIGN_OR_RETURN(DualEigen dual, factor.EigenDual());
+  LKP_ASSIGN_OR_RETURN(auto finish, FinishSpectrum(dual.eigenvalues, k, m));
+  EigenDecomposition eig;
+  eig.eigenvalues = std::move(dual.eigenvalues);
+  eig.eigenvectors = std::move(dual.dual_vectors);
+  return KDpp(std::move(factor), k, std::move(eig), finish.second,
+              std::move(finish.first));
 }
 
 Result<double> KDpp::LogProb(const std::vector<int>& subset) const {
   LKP_ASSIGN_OR_RETURN(std::vector<int> sorted,
                        ValidateSubset(subset, k_, ground_size()));
-  const Matrix sub = kernel_.PrincipalSubmatrix(sorted);
+  // det(L_S) from the kernel submatrix, or from the Gram of the factor's
+  // rows — the same k x k matrix, assembled without materializing L.
+  const Matrix sub = dual_ ? factor_.SubsetGram(sorted)
+                           : kernel_.PrincipalSubmatrix(sorted);
   LKP_ASSIGN_OR_RETURN(double det, Determinant(sub));
   if (det <= 0.0) {
     // PSD principal minors are >= 0; tiny negatives are round-off.
@@ -148,12 +192,18 @@ Result<std::vector<int>> KDpp::Sample(Rng* rng) const {
 
   // Phase 1 (Kulesza & Taskar Alg. 8): choose k eigenvector indices J,
   // P(n in J) proportional to products of eigenvalues, by walking the
-  // ESP table (precomputed at Create) backwards.
+  // ESP table (precomputed at Create) backwards. The walk is identical
+  // for both representations: it starts at the top of the ascending
+  // spectrum and always completes its k selections before descending
+  // into the zero eigenvalues (inclusion is forced once the remaining
+  // positive eigenvalues are exactly the l still needed), so the
+  // (m - d) padding zeros the dual spectrum omits are never visited and
+  // both representations consume the Rng draw-for-draw.
   const Matrix& table = esp_table_;
   std::vector<int> selected;
   selected.reserve(k_);
   int l = k_;
-  for (int col = m; col >= 1 && l > 0; --col) {
+  for (int col = lambda.size(); col >= 1 && l > 0; --col) {
     if (l > col) {
       return Status::Internal("k-DPP sampler ran out of eigenvalues");
     }
@@ -172,7 +222,14 @@ Result<std::vector<int>> KDpp::Sample(Rng* rng) const {
   }
 
   // Phase 2: sample the elementary DPP spanned by the selected
-  // eigenvectors (shared with the standard DPP sampler in dpp.h).
+  // eigenvectors (shared with the standard DPP sampler in dpp.h). Dual
+  // mode lifts the selected dual vectors to L-space on demand:
+  // O(m d k) for the lift, never an m x m materialization.
+  if (dual_) {
+    Matrix basis = factor_.LiftEigenvectors(eig_.eigenvalues,
+                                            eig_.eigenvectors, selected);
+    return SampleElementaryDpp(std::move(basis), rng);
+  }
   Matrix v(m, k_);
   for (int c = 0; c < k_; ++c) {
     v.SetCol(c, eig_.eigenvectors.Col(selected[static_cast<size_t>(c)]));
@@ -196,24 +253,46 @@ Matrix WeightedEigenvectorOuter(const Matrix& vecs, const Vector& w) {
 
 }  // namespace
 
-Matrix KDpp::MarginalKernel() const {
-  const int m = ground_size();
+// Per-column marginal weight lambda[c] * e_{k-1}(lambda \ c) / Z_k,
+// assembled in log domain: the raw exclusion polynomial overflows to inf
+// (and the zero-eigenvalue columns then produce 0 * inf = NaN) long
+// before the ratio itself leaves double range. Works on either spectrum
+// — the padding zeros the dual omits would all get weight zero, and
+// excluding a value from a zero-padded list leaves every ESP unchanged.
+Vector KDpp::MarginalWeights() const {
   const Vector& lambda = eig_.eigenvalues;
-  // Per-column weight lambda[c] * e_{k-1}(lambda \ c) / Z_k, assembled in
-  // log domain: the raw exclusion polynomial overflows to inf (and the
-  // zero-eigenvalue columns then produce 0 * inf = NaN) long before the
-  // ratio itself leaves double range.
   const Vector log_excl = LogExclusionEsp(lambda, k_ - 1);
-  Vector w(m);
-  for (int c = 0; c < m; ++c) {
+  Vector w(lambda.size());
+  for (int c = 0; c < lambda.size(); ++c) {
     w[c] = lambda[c] > 0.0
                ? std::exp(std::log(lambda[c]) + log_excl[c] - log_zk_)
                : 0.0;
   }
+  return w;
+}
+
+Matrix KDpp::MarginalKernel() const {
+  const Vector w = MarginalWeights();
+  if (dual_) {
+    return WeightedLiftedOuter(factor_, eig_.eigenvalues,
+                               eig_.eigenvectors, w);
+  }
   return WeightedEigenvectorOuter(eig_.eigenvectors, w);
 }
 
+Vector KDpp::MarginalDiagonal() const {
+  const Vector w = MarginalWeights();
+  if (dual_) {
+    return WeightedLiftedDiagonal(factor_, eig_.eigenvalues,
+                                  eig_.eigenvectors, w);
+  }
+  return WeightedEigenvectorDiagonal(eig_.eigenvectors, w);
+}
+
 Matrix KDpp::NormalizerGradient() const {
+  LKP_CHECK(!dual_)
+      << "NormalizerGradient is primal-only: d Z_k / d L has components "
+         "along null-space eigenvectors the dual factor cannot represent";
   const int m = ground_size();
   const Vector log_excl = LogExclusionEsp(eig_.eigenvalues, k_ - 1);
   Vector w(m);
@@ -222,6 +301,10 @@ Matrix KDpp::NormalizerGradient() const {
 }
 
 Matrix KDpp::LogNormalizerGradient() const {
+  LKP_CHECK(!dual_)
+      << "LogNormalizerGradient is primal-only: d log Z_k / d L has "
+         "components along null-space eigenvectors the dual factor "
+         "cannot represent";
   const int m = ground_size();
   // exp(log e_{k-1}(lambda \ c) - log Z_k) directly, instead of scaling
   // NormalizerGradient by exp(-log Z_k): the unnormalized gradient can

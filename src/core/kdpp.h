@@ -18,11 +18,22 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "linalg/eigen.h"
+#include "linalg/low_rank.h"
 #include "linalg/matrix.h"
 
 namespace lkpdpp {
 
 /// An exact k-DPP over a ground set {0, .., m-1} with PSD kernel L.
+///
+/// Two representations share this type. The primal one (Create)
+/// eigendecomposes the m x m kernel. The dual one (CreateDual) takes a
+/// rank-d factor V with L = V V^T and works entirely through the d x d
+/// dual kernel C = V^T V (Gartrell et al. 2016): construction costs
+/// O(m d^2 + d^3) instead of O(m^3), each Sample costs O(m d k), and the
+/// m x m kernel is never materialized. Both define the same distribution;
+/// the dual sampler consumes its Rng in the exact draw order of the
+/// primal sampler, so a fixed seed yields the same subset stream in
+/// either representation.
 class KDpp {
  public:
   /// Builds the distribution. Fails if the kernel is not square/symmetric,
@@ -33,11 +44,29 @@ class KDpp {
   /// Slightly negative eigenvalues from round-off are clamped to zero.
   static Result<KDpp> Create(Matrix kernel, int k);
 
-  int k() const { return k_; }
-  int ground_size() const { return kernel_.rows(); }
+  /// Builds the k-DPP with kernel L = V V^T from its factor, without
+  /// materializing L. Applies the same spectrum checks as Create — PSD
+  /// clamp at primal ground size (rank detection is representation-
+  /// independent), rank >= k, ESP-table overflow rejection.
+  static Result<KDpp> CreateDual(LowRankFactor factor, int k);
 
+  int k() const { return k_; }
+  int ground_size() const {
+    return dual_ ? factor_.ground_size() : kernel_.rows();
+  }
+  bool is_dual() const { return dual_; }
+
+  /// Primal-mode kernel. Empty in dual mode; use factor() there.
   const Matrix& kernel() const { return kernel_; }
+  /// Dual-mode factor V. Empty (0 x 0 v()) in primal mode.
+  const LowRankFactor& factor() const { return factor_; }
+
+  /// Primal mode: all m eigenvalues of L, ascending. Dual mode: the d
+  /// eigenvalues of C = V^T V, ascending — L's spectrum is these plus
+  /// (m - d) implicit zeros, which no ESP or sampler ever needs.
   const Vector& eigenvalues() const { return eig_.eigenvalues; }
+  /// Primal mode: eigenvectors of L. Dual mode: eigenvectors of C (d x d
+  /// dual vectors; lift via factor().LiftEigenvectors to reach L-space).
   const Matrix& eigenvectors() const { return eig_.eigenvectors; }
 
   /// log Z_k = log e_k(lambda).
@@ -69,30 +98,51 @@ class KDpp {
   ///   M = sum_n [lambda_n * e_{k-1}(lambda \ n) / e_k] u_n u_n^T,
   /// whose trace is exactly k. The per-column weights are assembled in
   /// log domain, so wide eigenvalue dynamic ranges cannot overflow the
-  /// exclusion polynomials into inf/NaN entries.
+  /// exclusion polynomials into inf/NaN entries. Dual mode assembles the
+  /// sum from lifted eigenvectors at O(m^2 r); zero eigenvalues carry
+  /// zero weight in either representation, so the (m - d) implicit zeros
+  /// contribute nothing.
   Matrix MarginalKernel() const;
+
+  /// diag(M) without materializing M: P(i in S) for every item. O(m^2)
+  /// primal, O(m d r) dual.
+  Vector MarginalDiagonal() const;
 
   /// Gradient of the normalizer: d Z_k / d L
   ///   = sum_n e_{k-1}(lambda \ n) u_n u_n^T.
   /// Unnormalized: entries overflow to inf where the gradient itself
   /// exceeds double range; prefer LogNormalizerGradient for training.
+  /// Primal mode only (LKP_CHECK): the gradient has components along
+  /// L's null-space eigenvectors, which the dual factor cannot
+  /// represent — training paths construct primal KDpps.
   Matrix NormalizerGradient() const;
 
   /// Gradient of log Z_k w.r.t. L (NormalizerGradient / Z_k), computed in
-  /// log domain so it stays finite whenever Z_k does.
+  /// log domain so it stays finite whenever Z_k does. Primal mode only
+  /// (LKP_CHECK), see NormalizerGradient.
   Matrix LogNormalizerGradient() const;
 
  private:
   KDpp(Matrix kernel, int k, EigenDecomposition eig, double log_zk,
        Matrix esp_table);
+  KDpp(LowRankFactor factor, int k, EigenDecomposition dual_eig,
+       double log_zk, Matrix esp_table);
 
-  Matrix kernel_;
+  /// Per-spectrum-column marginal weight lambda_c e_{k-1}(lambda \ c)/Z_k.
+  Vector MarginalWeights() const;
+
+  Matrix kernel_;         // Primal mode only.
+  LowRankFactor factor_;  // Dual mode only.
+  bool dual_ = false;
   int k_;
+  // Primal: eigenpairs of L. Dual: eigenpairs of C = V^T V (d x d).
   EigenDecomposition eig_;
   double log_zk_;
-  Matrix esp_table_;  // Full Algorithm-1 table, reused by every Sample;
-                      // its last column holds e_0..e_k over all
-                      // eigenvalues (e_k is the normalizer).
+  Matrix esp_table_;  // Full Algorithm-1 table over eigenvalues() (m+1
+                      // columns primal, d+1 dual), reused by every
+                      // Sample; its last column holds e_0..e_k (e_k is
+                      // the normalizer, identical either way because
+                      // zero eigenvalues leave ESPs unchanged).
 };
 
 /// Number of cardinality-k subsets of an m-set, as a double (exact for the

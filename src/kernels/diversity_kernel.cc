@@ -199,6 +199,22 @@ double DiversityKernel::Entry(int i, int j) const {
   return s;
 }
 
+Matrix DiversityKernel::FactorRows(const std::vector<int>& items) const {
+  const int s = static_cast<int>(items.size());
+  const int r = factors_.cols();
+  Matrix out(s, r);
+  for (int i = 0; i < s; ++i) {
+    LKP_CHECK(items[static_cast<size_t>(i)] >= 0 &&
+              items[static_cast<size_t>(i)] < factors_.rows())
+        << "item " << items[static_cast<size_t>(i)] << " outside catalog of "
+        << factors_.rows();
+    for (int c = 0; c < r; ++c) {
+      out(i, c) = factors_(items[static_cast<size_t>(i)], c);
+    }
+  }
+  return out;
+}
+
 Matrix DiversityKernel::Submatrix(const std::vector<int>& items) const {
   const int s = static_cast<int>(items.size());
   Matrix out(s, s);

@@ -64,6 +64,12 @@ class DiversityKernel {
   /// Principal submatrix K_S for the given items.
   Matrix Submatrix(const std::vector<int>& items) const;
 
+  /// Factor rows for the given items (|items| x rank): the exact
+  /// low-rank factor of Submatrix(items), i.e. FactorRows(S) *
+  /// FactorRows(S)^T == Submatrix(S) up to round-off. This is what lets
+  /// serving build the dual k-DPP without materializing K_S.
+  Matrix FactorRows(const std::vector<int>& items) const;
+
   /// Item factor rows (num_items x rank).
   const Matrix& factors() const { return factors_; }
 

@@ -31,6 +31,11 @@ Vector ApplyQuality(const Vector& scores, QualityTransform transform);
 Vector QualityLogDerivative(const Vector& scores, QualityTransform transform);
 
 /// L = Diag(q) K Diag(q). Shapes must agree.
+///
+/// Factor-space counterpart: when the diversity kernel advertises a
+/// factor (K = F F^T), quality conditioning is the O(n d) row scaling
+/// `LowRankFactor::ScaleRows(q)`, since (Diag(q) F)(Diag(q) F)^T =
+/// Diag(q) K Diag(q) — see linalg/low_rank.h.
 Matrix AssembleKernel(const Vector& quality, const Matrix& diversity);
 
 }  // namespace lkpdpp

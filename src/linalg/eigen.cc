@@ -25,10 +25,10 @@ Status CheckSquareSymmetric(const Matrix& a, const char* solver) {
   return Status::OK();
 }
 
-// Sorts eigenpairs ascending and canonicalizes each eigenvector's sign
-// (largest-magnitude entry positive, ties broken by lowest index) so the
-// two solvers emit identical decompositions on simple spectra and the
-// sampling streams downstream are stable under solver swaps.
+// Sorts eigenpairs ascending and applies the shared sign convention
+// (CanonicalizeColumnSigns) so the two solvers emit identical
+// decompositions on simple spectra and the sampling streams downstream
+// are stable under solver swaps.
 //
 // `vecs` holds one eigenvector per row when `vectors_in_rows` (the QL
 // path rotates rows because they are contiguous in the row-major layout)
@@ -46,20 +46,11 @@ EigenDecomposition FinalizeEigenpairs(const Vector& vals, const Matrix& vecs,
   for (int i = 0; i < n; ++i) {
     const int src = order[i];
     out.eigenvalues[i] = vals[src];
-    double peak = -1.0;
-    double sign = 1.0;
     for (int r = 0; r < n; ++r) {
-      const double x = vectors_in_rows ? vecs(src, r) : vecs(r, src);
-      if (std::fabs(x) > peak) {
-        peak = std::fabs(x);
-        sign = x < 0.0 ? -1.0 : 1.0;
-      }
-    }
-    for (int r = 0; r < n; ++r) {
-      const double x = vectors_in_rows ? vecs(src, r) : vecs(r, src);
-      out.eigenvectors(r, i) = sign * x;
+      out.eigenvectors(r, i) = vectors_in_rows ? vecs(src, r) : vecs(r, src);
     }
   }
+  CanonicalizeColumnSigns(&out.eigenvectors);
   return out;
 }
 
@@ -328,6 +319,53 @@ Result<EigenDecomposition> SymmetricEigenJacobi(const Matrix& a,
   return Status::NumericalError(
       StrFormat("Jacobi failed to converge in %d sweeps (n=%d)", max_sweeps,
                 n));
+}
+
+Vector WeightedEigenvectorDiagonal(const Matrix& vecs, const Vector& w) {
+  Vector diag(vecs.rows());
+  for (int r = 0; r < vecs.rows(); ++r) {
+    double s = 0.0;
+    for (int c = 0; c < vecs.cols(); ++c) {
+      const double u = vecs(r, c);
+      s += w[c] * u * u;
+    }
+    diag[r] = s;
+  }
+  return diag;
+}
+
+void CanonicalizeColumnSigns(Matrix* m_ptr) {
+  Matrix& m = *m_ptr;
+  for (int c = 0; c < m.cols(); ++c) {
+    double peak = -1.0;
+    double sign = 1.0;
+    for (int r = 0; r < m.rows(); ++r) {
+      const double x = m(r, c);
+      if (std::fabs(x) > peak) {
+        peak = std::fabs(x);
+        sign = x < 0.0 ? -1.0 : 1.0;
+      }
+    }
+    if (sign < 0.0) {
+      for (int r = 0; r < m.rows(); ++r) m(r, c) = -m(r, c);
+    }
+  }
+}
+
+Status ClampSpectrumToPsd(Vector* eigenvalues, int ground_size) {
+  Vector& lam = *eigenvalues;
+  const double lam_max = lam.empty() ? 0.0 : std::max(lam.Max(), 0.0);
+  const double neg_tol = -1e-8 * std::max(1.0, lam_max);
+  const double zero_tol = static_cast<double>(ground_size) *
+                          std::numeric_limits<double>::epsilon() * lam_max;
+  for (int i = 0; i < lam.size(); ++i) {
+    if (lam[i] < neg_tol) {
+      return Status::NumericalError(
+          StrFormat("kernel is not PSD: eigenvalue %d = %.3e", i, lam[i]));
+    }
+    if (lam[i] < zero_tol) lam[i] = 0.0;
+  }
+  return Status::OK();
 }
 
 Result<Matrix> ProjectToPsd(const Matrix& a, double floor) {

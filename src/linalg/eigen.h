@@ -58,6 +58,31 @@ Result<EigenDecomposition> SymmetricEigenJacobi(const Matrix& a,
 /// factorable in the presence of round-off.
 Result<Matrix> ProjectToPsd(const Matrix& a, double floor = 0.0);
 
+/// diag(V diag(w) V^T) without materializing the product:
+/// out[r] = sum_c w[c] * vecs(r, c)^2. The primal-mode counterpart of
+/// the dual path's WeightedLiftedDiagonal (low_rank.h), shared by the
+/// DPP and k-DPP marginal diagonals.
+Vector WeightedEigenvectorDiagonal(const Matrix& vecs, const Vector& w);
+
+/// Flips each column's sign so its largest-magnitude entry is positive
+/// (ties broken by lowest row index). This is THE eigenvector sign
+/// convention: both solvers apply it to their outputs, and the dual
+/// path applies it to lifted eigenvectors so primal and dual
+/// decompositions agree in sign, not just up to it.
+void CanonicalizeColumnSigns(Matrix* m);
+
+/// PSD-boundary policy shared by every DPP construction path, primal or
+/// dual: eigenvalues within working precision of zero — either sign,
+/// |lambda| < ground_size * eps * lambda_max — are clamped to exactly
+/// zero, and genuinely negative eigenvalues (below -1e-8 * max(1,
+/// lambda_max)) fail with NumericalError. `ground_size` must be the size
+/// of the PRIMAL ground set even when `eigenvalues` came from a d x d
+/// dual kernel: the clamp threshold is a property of the n x n operator
+/// the spectrum represents, so rank detection is representation-
+/// independent (a rank-deficient kernel reports the same rank whether it
+/// was eigendecomposed primally or through its low-rank factor).
+Status ClampSpectrumToPsd(Vector* eigenvalues, int ground_size);
+
 }  // namespace lkpdpp
 
 #endif  // LKPDPP_LINALG_EIGEN_H_

@@ -40,7 +40,11 @@ struct ServedKernel {
   /// storing a second copy.
   Matrix kernel;
   /// Decomposed k-DPP over the conditioned kernel (sampling mode only;
-  /// null for MAP rerank, which needs no eigendecomposition).
+  /// null for MAP rerank, which needs no eigendecomposition). May be a
+  /// primal k-DPP (n x n kernel + eigendecomposition) or a low-rank dual
+  /// one (factor + d x d dual eigendecomposition, kdpp->is_dual()) —
+  /// the cache is representation-agnostic, and one service's cache can
+  /// hold a mix when pool sizes straddle the factor rank.
   std::shared_ptr<const KDpp> kdpp;
 };
 

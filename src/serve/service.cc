@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/map_inference.h"
+#include "linalg/low_rank.h"
 
 namespace lkpdpp {
 
@@ -105,21 +106,35 @@ Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
       pool_scores[static_cast<int>(i)] = scores[work.pool[i]];
     }
     const Vector quality = ApplyQuality(pool_scores, config_.quality);
-    Matrix k_sub = diversity_->Submatrix(work.pool);
-    k_sub *= config_.kernel_blend_alpha;
-    k_sub.AddDiagonal(1.0 - config_.kernel_blend_alpha);
 
     auto built = std::make_shared<ServedKernel>();
     built->items = work.pool;
-    Matrix conditioned = AssembleKernel(quality, k_sub);
-    if (config_.mode == ServeMode::kSample) {
-      // KDpp keeps its own copy of the kernel, so hand ours over rather
-      // than storing it twice per cache entry.
+    if (config_.mode == ServeMode::kSample && UseDualPath(work.pool)) {
+      // The conditioned kernel is exactly Diag(q) K_S Diag(q) with
+      // K_S = F_S F_S^T, so condition in factor space (ScaleRows) and
+      // build the dual k-DPP — O(n d^2) instead of O(n^3), no n x n
+      // materialization.
       LKP_ASSIGN_OR_RETURN(
-          KDpp kdpp, KDpp::Create(std::move(conditioned), effective_k));
+          LowRankFactor factor,
+          LowRankFactor::Create(diversity_->FactorRows(work.pool)));
+      LKP_ASSIGN_OR_RETURN(
+          KDpp kdpp,
+          KDpp::CreateDual(factor.ScaleRows(quality), effective_k));
       built->kdpp = std::make_shared<const KDpp>(std::move(kdpp));
     } else {
-      built->kernel = std::move(conditioned);
+      Matrix k_sub = diversity_->Submatrix(work.pool);
+      k_sub *= config_.kernel_blend_alpha;
+      k_sub.AddDiagonal(1.0 - config_.kernel_blend_alpha);
+      Matrix conditioned = AssembleKernel(quality, k_sub);
+      if (config_.mode == ServeMode::kSample) {
+        // KDpp keeps its own copy of the kernel, so hand ours over rather
+        // than storing it twice per cache entry.
+        LKP_ASSIGN_OR_RETURN(
+            KDpp kdpp, KDpp::Create(std::move(conditioned), effective_k));
+        built->kdpp = std::make_shared<const KDpp>(std::move(kdpp));
+      } else {
+        built->kernel = std::move(conditioned);
+      }
     }
     cache_.Put(user, hash, built);
     entry = std::move(built);
@@ -127,6 +142,15 @@ Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
   work.entry = std::move(entry);
   work.kernel_ms = timer.ElapsedMillis();
   return work;
+}
+
+bool RecommendationService::UseDualPath(const std::vector<int>& pool) const {
+  // The dual representation is exact only when the conditioned kernel
+  // is itself low-rank, i.e. the identity blend vanishes (alpha == 1);
+  // any alpha < 1 adds a full-rank diagonal the factor cannot carry.
+  // Profitable only when the factor is thinner than the pool.
+  return !config_.force_primal && config_.kernel_blend_alpha == 1.0 &&
+         diversity_->rank() < static_cast<int>(pool.size());
 }
 
 Result<RecResponse> RecommendationService::SelectTopK(int user,
@@ -140,6 +164,8 @@ Result<RecResponse> RecommendationService::SelectTopK(int user,
     response.latency_ms = work.kernel_ms;
     return response;
   }
+  response.dual_path =
+      work.entry->kdpp != nullptr && work.entry->kdpp->is_dual();
   const int effective_k =
       std::min(config_.top_k, static_cast<int>(work.pool.size()));
 

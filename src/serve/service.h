@@ -13,6 +13,12 @@
 //   2. KernelCache — the conditioned kernel submatrix and its
 //      eigendecomposition + ESP table are memoized per (user, ground-set
 //      hash), so repeat requests skip the O(n^3) work entirely.
+//      When the conditioned kernel advertises an exact low-rank factor
+//      (pure diversity blend, kernel_blend_alpha == 1, with factor rank
+//      below the pool size), sampling-mode entries are built through the
+//      dual path instead — O(pool * rank^2) conditioning in factor space,
+//      never materializing the pool kernel (set force_primal to disable
+//      for cross-checks).
 //   3. ThreadPool — per-request work fans out over the work-stealing
 //      pool; per-request Rng streams are forked in request order
 //      (Rng::Fork), which makes every response bit-identical at any
@@ -68,6 +74,12 @@ struct ServeConfig {
   int cache_capacity = 4096;
   /// Master seed for sampling-mode Rng streams.
   uint64_t seed = 0x5EEDF00DULL;
+  /// Disables the low-rank dual path: every sampling-mode kernel is
+  /// materialized and eigendecomposed primally even when it advertises a
+  /// factor. The dual path is exact (same distribution, same per-seed
+  /// sample streams), so this exists for cross-checking and debugging,
+  /// not correctness.
+  bool force_primal = false;
 };
 
 struct RecRequest {
@@ -80,6 +92,9 @@ struct RecResponse {
   /// order; sampling mode: sampled set ordered by descending score.
   std::vector<int> items;
   bool cache_hit = false;
+  /// True when this request was served from a low-rank dual k-DPP
+  /// (sampling mode, kernel advertised a factor, dual was profitable).
+  bool dual_path = false;
   double latency_ms = 0.0;
 };
 
@@ -136,6 +151,11 @@ class RecommendationService {
 
   /// Builds the pool and fetches-or-builds the served kernel for a user.
   Result<UserWork> PrepareUser(int user, const Vector& scores);
+
+  /// True when this pool's sampling kernel should be built through the
+  /// low-rank dual path (exact factor available and thinner than the
+  /// pool; see the KernelCache note above).
+  bool UseDualPath(const std::vector<int>& pool) const;
 
   /// Distills one request's top-k list from its user's prepared kernel.
   Result<RecResponse> SelectTopK(int user, const UserWork& work, Rng* rng);

@@ -464,6 +464,211 @@ TEST(ServeTest, ConcurrentCallersStress) {
 }
 
 // ---------------------------------------------------------------------
+// Low-rank dual serving path
+
+// Pure-diversity blend: the conditioned kernel is exactly
+// Diag(q) K_S Diag(q) with K_S = F_S F_S^T, so sampling-mode entries are
+// built through the dual path whenever the factor is thinner than the
+// pool (serve-world diversity rank is 8, pools are 20).
+ServeConfig DualConfig() {
+  ServeConfig config = BaseConfig(ServeMode::kSample);
+  config.kernel_blend_alpha = 1.0;
+  return config;
+}
+
+TEST(ServeTest, DualPathMatchesForcedPrimalExactly) {
+  ServeWorld* w = World();
+  ServeConfig dual_cfg = DualConfig();
+  ServeConfig primal_cfg = DualConfig();
+  primal_cfg.force_primal = true;
+  auto dual_service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr, dual_cfg);
+  auto primal_service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr, primal_cfg);
+  ASSERT_TRUE(dual_service.ok());
+  ASSERT_TRUE(primal_service.ok());
+  int dual_responses = 0;
+  for (int b = 0; b < 3; ++b) {
+    auto rd = (*dual_service)->HandleBatch(RoundRobinBatch(24, b * 5));
+    auto rp = (*primal_service)->HandleBatch(RoundRobinBatch(24, b * 5));
+    ASSERT_TRUE(rd.ok()) << rd.status().ToString();
+    ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+    ASSERT_EQ(rd->size(), rp->size());
+    for (size_t i = 0; i < rd->size(); ++i) {
+      EXPECT_EQ((*rd)[i].items, (*rp)[i].items)
+          << "batch " << b << " request " << i
+          << ": dual and primal representations diverged";
+      EXPECT_FALSE((*rp)[i].dual_path);
+      if ((*rd)[i].dual_path) ++dual_responses;
+    }
+  }
+  // The dual path actually engaged (rank 8 < pool 20 everywhere).
+  EXPECT_GT(dual_responses, 0);
+}
+
+TEST(ServeTest, DualPathBitIdenticalAcrossThreadCounts) {
+  ServeWorld* w = World();
+  auto serve_many = [&](int threads) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+    auto service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, pool.get(),
+        DualConfig());
+    service.status().CheckOK();
+    std::vector<std::vector<int>> all_items;
+    bool saw_dual = false;
+    for (int b = 0; b < 4; ++b) {
+      auto responses = (*service)->HandleBatch(RoundRobinBatch(25, b * 7));
+      responses.status().CheckOK();
+      for (const RecResponse& r : *responses) {
+        all_items.push_back(r.items);
+        saw_dual = saw_dual || r.dual_path;
+      }
+    }
+    EXPECT_TRUE(saw_dual);
+    return all_items;
+  };
+  const auto serial = serve_many(/*threads=*/0);
+  for (int threads : {1, 2, 4}) {
+    const auto parallel = serve_many(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i])
+          << "dual-path response " << i << " diverged at " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST(ServeTest, DualEntriesSurviveLruEvictionChurn) {
+  ServeWorld* w = World();
+  ServeConfig config = DualConfig();
+  config.cache_capacity = 1;  // Every factored entry is evicted in turn.
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr, config);
+  ASSERT_TRUE(service.ok());
+  // Same seed, untouched cache: the reference stream for the same batch.
+  auto reference = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr, DualConfig());
+  ASSERT_TRUE(reference.ok());
+  const std::vector<RecRequest> batch = RoundRobinBatch(10, 0);
+  auto churned = (*service)->HandleBatch(batch);
+  auto golden = (*reference)->HandleBatch(batch);
+  ASSERT_TRUE(churned.ok());
+  ASSERT_TRUE(golden.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ((*churned)[i].items, (*golden)[i].items)
+        << "eviction churn changed a dual-path recommendation";
+    EXPECT_TRUE((*churned)[i].dual_path);
+  }
+  EXPECT_LE((*service)->cache().size(), 1);
+  EXPECT_GT((*service)->cache().evictions(), 0);
+}
+
+// A bespoke world where pool sizes straddle the factor rank: user 0 has
+// rated the whole catalog, so after the 70/10 train/val split their
+// servable pool (the ~20% test remainder, 6 items) is smaller than the
+// diversity rank (8) and goes primal, while everyone else's pool (16)
+// exceeds it and goes dual — mixed representations in ONE cache, served
+// interchangeably.
+struct MixedWorld {
+  Dataset dataset;
+  std::unique_ptr<MfModel> model;
+  DiversityKernel diversity;
+};
+
+MixedWorld* Mixed() {
+  static MixedWorld* world = [] {
+    const int num_items = 30;
+    std::vector<RatingEvent> events;
+    long ts = 0;
+    // User 0: rates every item -> only the test split stays servable.
+    for (int item = 0; item < num_items; ++item) {
+      events.push_back(RatingEvent{0, item, 5.0, ts++});
+    }
+    // Users 1..6: six ratings each, staggered so every item keeps at
+    // least one positive after filtering.
+    for (int user = 1; user <= 6; ++user) {
+      for (int j = 0; j < 6; ++j) {
+        const int item = (user * 5 + j * 4) % num_items;
+        events.push_back(RatingEvent{user, item, 5.0, ts++});
+      }
+    }
+    CategoryTable categories;
+    categories.num_categories = 5;
+    categories.item_categories.resize(num_items);
+    for (int item = 0; item < num_items; ++item) {
+      categories.item_categories[static_cast<size_t>(item)] = {item % 5};
+    }
+    auto ds = Dataset::FromRatings(events, std::move(categories),
+                                   "mixed-world", /*positive_threshold=*/5.0,
+                                   /*min_interactions=*/1);
+    ds.status().CheckOK();
+    Dataset dataset = std::move(ds).ValueOrDie();
+    DiversityKernel diversity =
+        DiversityKernel::Random(dataset.num_items(), 8, /*seed=*/19);
+    auto* w = new MixedWorld{std::move(dataset), nullptr,
+                             std::move(diversity)};
+    MfModel::Config mcfg;
+    mcfg.embedding_dim = 6;
+    mcfg.seed = 9;
+    w->model = std::make_unique<MfModel>(w->dataset.num_users(),
+                                         w->dataset.num_items(), mcfg);
+    return w;
+  }();
+  return world;
+}
+
+TEST(ServeTest, MixedDualAndPrimalEntriesShareOneCacheCorrectly) {
+  MixedWorld* w = Mixed();
+  ServeConfig config;
+  config.mode = ServeMode::kSample;
+  config.kernel_blend_alpha = 1.0;
+  config.top_k = 2;
+  config.pool_size = 16;
+  config.cache_capacity = 64;
+  config.seed = 77;
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr, config);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  std::vector<RecRequest> batch;
+  for (int u = 0; u < w->dataset.num_users(); ++u) {
+    batch.push_back(RecRequest{u});
+  }
+  auto cold = (*service)->HandleBatch(batch);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  bool saw_primal = false;
+  bool saw_dual = false;
+  for (const RecResponse& r : *cold) {
+    EXPECT_FALSE(r.cache_hit);
+    if (r.items.empty()) continue;
+    (r.dual_path ? saw_dual : saw_primal) = true;
+  }
+  EXPECT_TRUE(saw_dual) << "no pool exceeded the factor rank";
+  EXPECT_TRUE(saw_primal) << "no pool stayed under the factor rank";
+
+  // Warm pass: every entry — dual or primal — hits, keeps its
+  // representation, and still serves valid recommendations.
+  auto warm = (*service)->HandleBatch(batch);
+  ASSERT_TRUE(warm.ok());
+  for (size_t i = 0; i < warm->size(); ++i) {
+    const RecResponse& r = (*warm)[i];
+    if (r.items.empty()) continue;
+    EXPECT_TRUE(r.cache_hit) << "user " << r.user;
+    EXPECT_EQ(r.dual_path, (*cold)[i].dual_path)
+        << "cache hit changed representation for user " << r.user;
+    std::set<int> distinct(r.items.begin(), r.items.end());
+    EXPECT_EQ(distinct.size(), r.items.size());
+    for (int item : r.items) {
+      EXPECT_FALSE(w->dataset.IsObserved(r.user, item));
+    }
+  }
+  EXPECT_EQ((*service)->Snapshot().cache_hits,
+            static_cast<long>(batch.size()));
+}
+
+// ---------------------------------------------------------------------
 // Evaluator on the pool
 
 TEST(ServeTest, ParallelEvaluatorMatchesSerialExactly) {
