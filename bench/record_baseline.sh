@@ -32,7 +32,8 @@ cd "$ROOT"
 # and any future comparison use the SAME pins.
 export LKP_SCALE=1.0
 export LKP_EPOCHS=36
-export LKP_SERVE_REQUESTS=300
+export LKP_SERVE_USERS=100000
+export LKP_SERVE_REQUESTS=2000
 export LKP_THREADS=2
 # 6 epochs keeps the 1-thread lkp_train row around 100ms: comfortably
 # above timer noise, so recorded speedup ratios are meaningful shapes
@@ -59,8 +60,12 @@ else
   echo '{}' > "$MICRO_OUT"
 fi
 
-echo "running serve_throughput (LKP_SERVE_REQUESTS=$LKP_SERVE_REQUESTS)..."
-"$BUILD_DIR/bench/serve_throughput" > "$SERVE_OUT"
+echo "running serve_throughput (LKP_SERVE_USERS=$LKP_SERVE_USERS" \
+     "LKP_SERVE_REQUESTS=$LKP_SERVE_REQUESTS)..."
+# serve_throughput exits non-zero on a determinism violation (and, with
+# LKP_SCALING_GATE=1, on a scaling shortfall); keep going so the parser
+# records the red verdict instead of aborting the baseline.
+"$BUILD_DIR/bench/serve_throughput" > "$SERVE_OUT" || true
 
 echo "running train_throughput (LKP_TRAIN_EPOCHS=$LKP_TRAIN_EPOCHS)..."
 # train_throughput exits non-zero on a determinism violation; keep going
@@ -116,15 +121,30 @@ try:
 except (json.JSONDecodeError, KeyError):
     pass
 
-# --- serve_throughput: throughput rows + the determinism verdict.
-serve = {"deterministic_across_threads": True, "cold": [], "warm": []}
+# --- serve_throughput: throughput rows + the determinism verdicts
+# (sync across thread counts AND async-vs-sync admission slicing).
+serve = {"deterministic_across_threads": True,
+         "async_matches_sync": True,
+         "users": None, "cores": None,
+         "cold": [], "warm": [], "async": []}
 section = None
 for line in open(serve_path):
+    m = re.search(r"users=(\d+).*cores=(\d+)", line)
+    if m:
+        serve["users"] = int(m.group(1))
+        serve["cores"] = int(m.group(2))
+        continue
     m = re.match(r"--- mode=(\w+), (cold|warm) cache", line)
     if m:
         section = (m.group(1), m.group(2))
         continue
-    if "DETERMINISM VIOLATION" in line:
+    m = re.match(r"--- async admission \(mode=(\w+)\)", line)
+    if m:
+        section = (m.group(1), "async")
+        continue
+    if "ASYNC DETERMINISM VIOLATION" in line:
+        serve["async_matches_sync"] = False
+    elif "DETERMINISM VIOLATION" in line:
         serve["deterministic_across_threads"] = False
     m = re.match(r"\s*(\d+)\s+([\d.]+)\s+([\d.]+)x", line)
     if m and section and section[1] == "cold":
@@ -135,9 +155,9 @@ for line in open(serve_path):
             "speedup": float(m.group(3)),
         })
         continue
-    m = re.match(r"\s*(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$", line)
-    if m and section and section[1] == "warm":
-        serve["warm"].append({
+    m = re.match(r"\s*(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)", line)
+    if m and section and section[1] in ("warm", "async"):
+        serve[section[1]].append({
             "mode": section[0],
             "threads": int(m.group(1)),
             "rps": float(m.group(2)),
@@ -225,9 +245,11 @@ baseline = {
     "environment": {
         "LKP_SCALE": os.environ["LKP_SCALE"],
         "LKP_EPOCHS": os.environ["LKP_EPOCHS"],
+        "LKP_SERVE_USERS": os.environ["LKP_SERVE_USERS"],
         "LKP_SERVE_REQUESTS": os.environ["LKP_SERVE_REQUESTS"],
         "LKP_THREADS": os.environ["LKP_THREADS"],
         "LKP_TRAIN_EPOCHS": os.environ["LKP_TRAIN_EPOCHS"],
+        "recorder_cores": os.cpu_count(),
         "build_type": "Release",
     },
     "fig2_k_sweep": fig2,

@@ -1,28 +1,41 @@
 // Serving throughput: requests/sec of RecommendationService as a
-// function of thread count (1-8), for both serve modes, on the
-// Beauty-like synthetic dataset with an MF backbone.
+// function of thread count (1-8), for both serve modes, under
+// Zipf-skewed traffic over a serving-scale user population (100k users
+// by default) with an MF backbone.
 //
-// Two sections per mode:
+// Sections per mode:
 //   * cold: cache disabled, every request pays the full kernel build +
 //     (sampling mode) eigendecomposition — the CPU-scaling story;
-//   * warm: production-size cache after a priming pass — the memoization
-//     story (hit-rate ~1, so this measures the cache path).
-// After the sweep the harness re-serves the same request trace at every
-// thread count and verifies the responses are bit-identical, i.e. the
-// determinism contract of the serving engine.
+//   * warm: sharded cache after a priming pass — the memoization story
+//     under skewed traffic (head users hit, tail users miss).
+// Then one async-admission section: the same arrival sequence is pushed
+// through SubmitAsync one request at a time and the resolved responses
+// are compared bit-for-bit against the synchronous run — the admission
+// determinism contract (batch slicing must not change responses).
+//
+// All timed regions cover request serving only: dataset generation,
+// model/service construction and cache priming happen outside the
+// bench-owned Stopwatch, and req/s is requests / elapsed rather than
+// any service-internal accounting.
 //
 //   ./build/bench/serve_throughput
 //
-// LKP_SCALE scales the dataset; LKP_SERVE_REQUESTS overrides the trace
-// length (default 600). Speedups are relative to the 1-thread row and
-// are only meaningful on a machine with that many physical cores.
+// Env knobs: LKP_SERVE_USERS (population, default 100000),
+// LKP_SERVE_REQUESTS (trace length, default 2000), LKP_SCALE is unused
+// here (the population knob replaces it). With LKP_SCALING_GATE=1 the
+// binary exits non-zero unless the 8-thread cold speedup reaches
+// 4.0 * min(cores, 8) / 8 in each mode; machines with fewer than 2
+// cores skip the gate loudly instead of failing it.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
-#include "bench_common.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "data/synthetic.h"
@@ -32,34 +45,57 @@
 namespace lkpdpp {
 namespace {
 
-int RequestsFromEnv() {
-  const char* env = std::getenv("LKP_SERVE_REQUESTS");
+int IntFromEnv(const char* name, int fallback) {
+  const char* env = std::getenv(name);
   if (env != nullptr) {
     const int v = std::atoi(env);
     if (v > 0) return v;
   }
-  return 600;
+  return fallback;
 }
 
-std::vector<std::vector<RecRequest>> BuildTrace(int num_users,
-                                                int num_requests,
-                                                int batch_size) {
-  // Round-robin users with a stride that is coprime to most catalog
-  // sizes, so consecutive batches mix users instead of replaying them.
-  std::vector<std::vector<RecRequest>> trace;
-  int emitted = 0;
-  int cursor = 0;
-  while (emitted < num_requests) {
-    std::vector<RecRequest> batch;
-    const int take = std::min(batch_size, num_requests - emitted);
-    for (int i = 0; i < take; ++i) {
-      batch.push_back(RecRequest{cursor % num_users});
-      cursor += 7;
-    }
-    trace.push_back(std::move(batch));
-    emitted += take;
+// Deterministic Zipf(s) traffic over the user population: request r hits
+// popularity rank drawn by inverse-CDF from a fixed Rng stream, and a
+// fixed shuffle decorrelates rank from user id. The head of the
+// distribution dominates (rank 1 ~ 7% of traffic at s=1.05, 100k
+// users), which is what makes the warm-cache section meaningful at this
+// population size.
+std::vector<RecRequest> BuildZipfTrace(int num_users, int num_requests,
+                                       double exponent, uint64_t seed) {
+  std::vector<double> cdf(static_cast<size_t>(num_users));
+  double total = 0.0;
+  for (int r = 0; r < num_users; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf[static_cast<size_t>(r)] = total;
+  }
+  std::vector<int> rank_to_user(static_cast<size_t>(num_users));
+  for (int u = 0; u < num_users; ++u) rank_to_user[static_cast<size_t>(u)] = u;
+  Rng rng(seed);
+  rng.Shuffle(&rank_to_user);
+
+  std::vector<RecRequest> trace;
+  trace.reserve(static_cast<size_t>(num_requests));
+  for (int r = 0; r < num_requests; ++r) {
+    const double draw = rng.Uniform() * total;
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), draw);
+    const size_t rank = std::min(
+        static_cast<size_t>(it - cdf.begin()), cdf.size() - 1);
+    trace.push_back(RecRequest{rank_to_user[rank]});
   }
   return trace;
+}
+
+std::vector<std::vector<RecRequest>> SliceIntoBatches(
+    const std::vector<RecRequest>& trace, int batch_size) {
+  std::vector<std::vector<RecRequest>> batches;
+  for (size_t start = 0; start < trace.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(trace.size(), start + static_cast<size_t>(batch_size));
+    batches.emplace_back(trace.begin() + static_cast<long>(start),
+                         trace.begin() + static_cast<long>(end));
+  }
+  return batches;
 }
 
 struct RunResult {
@@ -70,65 +106,119 @@ struct RunResult {
   std::vector<std::vector<int>> items;  // Flattened response trace.
 };
 
-RunResult RunTrace(const Dataset& dataset, MfModel* model,
-                   const DiversityKernel& diversity, ServeMode mode,
-                   int threads, int cache_capacity, bool prime,
-                   const std::vector<std::vector<RecRequest>>& trace) {
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+ServeConfig BenchConfig(ServeMode mode, int cache_capacity) {
   ServeConfig config;
   config.mode = mode;
   config.top_k = 10;
   config.pool_size = 30;
   config.cache_capacity = cache_capacity;
   config.seed = 0xBE7C4;
-  auto service = RecommendationService::Create(&dataset, model, &diversity,
-                                               pool.get(), config);
+  return config;
+}
+
+RunResult RunSync(const Dataset& dataset, MfModel* model,
+                  const DiversityKernel& diversity, ServeMode mode,
+                  int threads, int cache_capacity, bool prime,
+                  const std::vector<std::vector<RecRequest>>& batches) {
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  auto service = RecommendationService::Create(
+      &dataset, model, &diversity, pool.get(),
+      BenchConfig(mode, cache_capacity));
   service.status().CheckOK();
   if (prime) {
-    for (const auto& batch : trace) {
+    for (const auto& batch : batches) {
       (*service)->HandleBatch(batch).status().CheckOK();
     }
     (*service)->ResetStats();
   }
   RunResult out;
-  for (const auto& batch : trace) {
+  long served = 0;
+  Stopwatch timer;  // Timed region: request serving only.
+  for (const auto& batch : batches) {
     auto responses = (*service)->HandleBatch(batch);
     responses.status().CheckOK();
+    served += static_cast<long>(responses->size());
     for (const RecResponse& r : *responses) {
       out.items.push_back(r.items);
     }
   }
+  const double elapsed = timer.ElapsedSeconds();
+  out.rps = elapsed > 0.0 ? static_cast<double>(served) / elapsed : 0.0;
   const ServeStats stats = (*service)->Snapshot();
-  out.rps = stats.throughput_rps;
   out.hit_rate = stats.CacheHitRate();
   out.p50 = stats.latency_p50_ms;
   out.p99 = stats.latency_p99_ms;
   return out;
 }
 
-void Sweep(const Dataset& dataset, MfModel* model,
-           const DiversityKernel& diversity, ServeMode mode,
-           const std::vector<std::vector<RecRequest>>& trace) {
+RunResult RunAsync(const Dataset& dataset, MfModel* model,
+                   const DiversityKernel& diversity, ServeMode mode,
+                   int threads, int cache_capacity,
+                   const std::vector<RecRequest>& trace) {
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  auto service = RecommendationService::Create(
+      &dataset, model, &diversity, pool.get(),
+      BenchConfig(mode, cache_capacity));
+  service.status().CheckOK();
+  std::vector<std::future<Result<RecResponse>>> futures;
+  futures.reserve(trace.size());
+  RunResult out;
+  Stopwatch timer;  // Timed region: admission + serving + resolution.
+  for (const RecRequest& request : trace) {
+    futures.push_back((*service)->SubmitAsync(request));
+  }
+  (*service)->Flush();
+  for (auto& f : futures) {
+    Result<RecResponse> response = f.get();
+    response.status().CheckOK();
+    out.items.push_back(response->items);
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  out.rps = elapsed > 0.0
+                ? static_cast<double>(trace.size()) / elapsed
+                : 0.0;
+  const ServeStats stats = (*service)->Snapshot();
+  out.hit_rate = stats.CacheHitRate();
+  out.p50 = stats.latency_p50_ms;
+  out.p99 = stats.latency_p99_ms;
+  return out;
+}
+
+long CountMismatches(const std::vector<std::vector<int>>& got,
+                     const std::vector<std::vector<int>>& want) {
+  long mismatches = 0;
+  if (got.size() != want.size()) return static_cast<long>(want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (got[i] != want[i]) ++mismatches;
+  }
+  return mismatches;
+}
+
+// 8-thread cold speedup per mode, consumed by the scaling gate.
+double Sweep(const Dataset& dataset, MfModel* model,
+             const DiversityKernel& diversity, ServeMode mode,
+             const std::vector<std::vector<RecRequest>>& batches) {
   std::printf("\n--- mode=%s, cold cache ---\n", ServeModeName(mode));
   std::printf("%8s %12s %10s %10s %10s\n", "threads", "req/s", "speedup",
               "p50(ms)", "p99(ms)");
   double base_rps = 0.0;
+  double top_speedup = 0.0;
   std::vector<std::vector<int>> reference;
   for (int threads : {1, 2, 4, 8}) {
-    const RunResult r = RunTrace(dataset, model, diversity, mode, threads,
-                                 /*cache_capacity=*/0, /*prime=*/false,
-                                 trace);
+    const RunResult r = RunSync(dataset, model, diversity, mode, threads,
+                                /*cache_capacity=*/0, /*prime=*/false,
+                                batches);
     if (threads == 1) {
       base_rps = r.rps;
       reference = r.items;
     }
-    long mismatches = 0;
-    for (size_t i = 0; i < reference.size(); ++i) {
-      if (r.items[i] != reference[i]) ++mismatches;
-    }
+    const long mismatches = CountMismatches(r.items, reference);
+    const double speedup = base_rps > 0.0 ? r.rps / base_rps : 0.0;
+    if (threads == 8) top_speedup = speedup;
     std::printf("%8d %12.1f %9.2fx %10.3f %10.3f   %s\n", threads, r.rps,
-                base_rps > 0.0 ? r.rps / base_rps : 0.0, r.p50, r.p99,
+                speedup, r.p50, r.p99,
                 mismatches == 0 ? "bit-identical"
                                 : "DETERMINISM VIOLATION");
     std::fflush(stdout);
@@ -138,14 +228,66 @@ void Sweep(const Dataset& dataset, MfModel* model,
   std::printf("--- mode=%s, warm cache (primed) ---\n", ServeModeName(mode));
   std::printf("%8s %12s %10s %10s\n", "threads", "req/s", "hit_rate",
               "p50(ms)");
-  for (int threads : {1, 4}) {
-    const RunResult r = RunTrace(dataset, model, diversity, mode, threads,
-                                 /*cache_capacity=*/4096, /*prime=*/true,
-                                 trace);
+  for (int threads : {1, 4, 8}) {
+    const RunResult r = RunSync(dataset, model, diversity, mode, threads,
+                                /*cache_capacity=*/8192, /*prime=*/true,
+                                batches);
     std::printf("%8d %12.1f %10.3f %10.3f\n", threads, r.rps, r.hit_rate,
                 r.p50);
     std::fflush(stdout);
   }
+  return top_speedup;
+}
+
+void AsyncSection(const Dataset& dataset, MfModel* model,
+                  const DiversityKernel& diversity,
+                  const std::vector<RecRequest>& trace,
+                  const std::vector<std::vector<RecRequest>>& batches) {
+  // Sampling mode is the sharpest determinism probe: every response
+  // consumes a per-request Rng stream, so any batch-slicing or
+  // fork-order bug shows up as a flipped item list.
+  std::printf("\n--- async admission (mode=%s) ---\n",
+              ServeModeName(ServeMode::kSample));
+  std::printf("%8s %12s %10s %10s\n", "threads", "req/s", "hit_rate",
+              "p50(ms)");
+  const RunResult sync = RunSync(dataset, model, diversity,
+                                 ServeMode::kSample, /*threads=*/4,
+                                 /*cache_capacity=*/8192, /*prime=*/false,
+                                 batches);
+  for (int threads : {1, 4, 8}) {
+    const RunResult r = RunAsync(dataset, model, diversity,
+                                 ServeMode::kSample, threads,
+                                 /*cache_capacity=*/8192, trace);
+    const long mismatches = CountMismatches(r.items, sync.items);
+    std::printf("%8d %12.1f %10.3f %10.3f   %s\n", threads, r.rps,
+                r.hit_rate, r.p50,
+                mismatches == 0 ? "async==sync"
+                                : "ASYNC DETERMINISM VIOLATION");
+    std::fflush(stdout);
+    if (mismatches != 0) std::exit(1);
+  }
+}
+
+// The gate only makes sense on hardware that can express the speedup;
+// thresholds scale with available cores and the gate steps aside (with
+// a loud note, not silent success) below 2 cores.
+int ApplyScalingGate(double map_speedup, double sample_speedup) {
+  const char* env = std::getenv("LKP_SCALING_GATE");
+  if (env == nullptr || std::atoi(env) != 1) return 0;
+  const int cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+  if (cores < 2) {
+    std::printf("\nscaling gate: SKIPPED — %d core(s) detected; a "
+                "parallel speedup cannot be measured here.\n", cores);
+    return 0;
+  }
+  const double required = 4.0 * std::min(cores, 8) / 8.0;
+  const bool ok = map_speedup >= required && sample_speedup >= required;
+  std::printf("\nscaling gate: cores=%d required=%.2fx "
+              "map_rerank=%.2fx sample=%.2fx -> %s\n",
+              cores, required, map_speedup, sample_speedup,
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -154,7 +296,11 @@ void Sweep(const Dataset& dataset, MfModel* model,
 int main() {
   using namespace lkpdpp;
   std::printf("=== serve_throughput: requests/sec vs thread count ===\n");
-  auto ds = GenerateSyntheticDataset(BeautyLikeConfig(bench::ScaleFromEnv()));
+
+  // Everything below up to the sweeps is setup — never timed.
+  ServingWorldConfig wcfg;
+  wcfg.num_users = IntFromEnv("LKP_SERVE_USERS", 100000);
+  auto ds = GenerateServingWorld(wcfg);
   ds.status().CheckOK();
   Dataset dataset = std::move(ds).ValueOrDie();
 
@@ -165,16 +311,23 @@ int main() {
   DiversityKernel diversity =
       DiversityKernel::Random(dataset.num_items(), 16, /*seed=*/21);
 
-  const int num_requests = RequestsFromEnv();
-  const auto trace = BuildTrace(dataset.num_users(), num_requests,
-                                /*batch_size=*/32);
-  std::printf("dataset=%s users=%d items=%d requests=%d batch=32\n",
+  const int num_requests = IntFromEnv("LKP_SERVE_REQUESTS", 2000);
+  const auto trace = BuildZipfTrace(dataset.num_users(), num_requests,
+                                    /*exponent=*/1.05, /*seed=*/0x21F);
+  const auto batches = SliceIntoBatches(trace, /*batch_size=*/64);
+  std::printf("dataset=%s users=%d items=%d requests=%d batch=64 "
+              "zipf=1.05 cores=%u\n",
               dataset.name().c_str(), dataset.num_users(),
-              dataset.num_items(), num_requests);
+              dataset.num_items(), num_requests,
+              std::thread::hardware_concurrency());
 
-  Sweep(dataset, &model, diversity, ServeMode::kMapRerank, trace);
-  Sweep(dataset, &model, diversity, ServeMode::kSample, trace);
+  const double map_speedup =
+      Sweep(dataset, &model, diversity, ServeMode::kMapRerank, batches);
+  const double sample_speedup =
+      Sweep(dataset, &model, diversity, ServeMode::kSample, batches);
+  AsyncSection(dataset, &model, diversity, trace, batches);
+
   std::printf("\nnote: speedups are bounded by physical cores; the "
-              "determinism check is machine-independent.\n");
-  return 0;
+              "determinism checks are machine-independent.\n");
+  return ApplyScalingGate(map_speedup, sample_speedup);
 }

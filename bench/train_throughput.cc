@@ -21,11 +21,16 @@
 // epoch budget (default 2; deliberately not LKP_EPOCHS, which pins the
 // fig2 golden run length). Speedups are relative to the 1-thread row
 // and are only meaningful on a machine with that many physical cores.
+// With LKP_SCALING_GATE=1 the binary exits non-zero unless both loops
+// reach 3.0 * min(cores, 8) / 8 speedup at 8 threads (skipped loudly
+// below 2 cores).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -106,7 +111,7 @@ bool LkpRunsMatch(const LkpRun& a, const LkpRun& b) {
   return true;
 }
 
-void SweepLkp(const Dataset& dataset, int epochs) {
+double SweepLkp(const Dataset& dataset, int epochs) {
   std::printf("\n--- lkp_train (GCN, fig2-scale, %d epochs) ---\n", epochs);
   std::printf("%8s %12s %10s   %s\n", "threads", "train_s", "speedup",
               "determinism");
@@ -135,9 +140,10 @@ void SweepLkp(const Dataset& dataset, int epochs) {
     if (!identical) std::exit(1);
   }
   std::printf("lkp_train speedup at 8 threads: %.2fx\n", speedup8);
+  return speedup8;
 }
 
-void SweepKernel(const Dataset& dataset) {
+double SweepKernel(const Dataset& dataset) {
   DiversityKernel::TrainConfig cfg;
   cfg.rank = 16;
   cfg.epochs = 4;
@@ -153,6 +159,7 @@ void SweepKernel(const Dataset& dataset) {
               "speedup", "determinism");
   Matrix reference;
   double base_seconds = 0.0;
+  double speedup8 = 0.0;
   for (int threads : {1, 2, 4, 8}) {
     ThreadPool pool(threads);
     DiversityKernel::TrainConfig run_cfg = cfg;
@@ -168,15 +175,38 @@ void SweepKernel(const Dataset& dataset) {
     } else {
       identical = BitEqual(reference, kernel->factors());
     }
+    const double speedup = seconds > 0.0 ? base_seconds / seconds : 0.0;
+    if (threads == 8) speedup8 = speedup;
     std::printf("%8d %12.3f %12.1f %9.2fx   %s\n", threads, seconds,
-                seconds > 0.0 ? total_pairs / seconds : 0.0,
-                seconds > 0.0 ? base_seconds / seconds : 0.0,
+                seconds > 0.0 ? total_pairs / seconds : 0.0, speedup,
                 threads == 1
                     ? "reference"
                     : (identical ? "bit-identical" : "DETERMINISM VIOLATION"));
     std::fflush(stdout);
     if (!identical) std::exit(1);
   }
+  return speedup8;
+}
+
+// Same shape as the serve-side gate: ≥3x at 8 threads for both training
+// loops, scaled down with available cores, skipped loudly below 2.
+int ApplyScalingGate(double lkp_speedup, double kernel_speedup) {
+  const char* env = std::getenv("LKP_SCALING_GATE");
+  if (env == nullptr || std::atoi(env) != 1) return 0;
+  const int cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+  if (cores < 2) {
+    std::printf("\nscaling gate: SKIPPED — %d core(s) detected; a "
+                "parallel speedup cannot be measured here.\n", cores);
+    return 0;
+  }
+  const double required = 3.0 * std::min(cores, 8) / 8.0;
+  const bool ok = lkp_speedup >= required && kernel_speedup >= required;
+  std::printf("\nscaling gate: cores=%d required=%.2fx lkp_train=%.2fx "
+              "kernel_train=%.2fx -> %s\n",
+              cores, required, lkp_speedup, kernel_speedup,
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -193,9 +223,9 @@ int main() {
   std::printf("dataset=%s users=%d items=%d\n", dataset.name().c_str(),
               dataset.num_users(), dataset.num_items());
 
-  SweepLkp(dataset, epochs);
-  SweepKernel(dataset);
+  const double lkp_speedup = SweepLkp(dataset, epochs);
+  const double kernel_speedup = SweepKernel(dataset);
   std::printf("\nnote: speedups are bounded by physical cores; the "
               "determinism checks are machine-independent.\n");
-  return 0;
+  return ApplyScalingGate(lkp_speedup, kernel_speedup);
 }

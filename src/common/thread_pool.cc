@@ -105,48 +105,71 @@ void ThreadPool::WorkerLoop(int self) {
 }
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  ParallelFor(n, /*grain=*/1, fn);
+}
+
+void ThreadPool::ParallelFor(int n, int grain,
+                             const std::function<void(int)>& fn) {
   if (n <= 0) return;
-  if (n == 1) {
-    fn(0);
+  if (grain < 1) grain = 1;
+  if (n <= grain) {
+    for (int i = 0; i < n; ++i) fn(i);
     return;
   }
-  // Shared claim state. Helpers that get scheduled after the loop is
-  // drained see next >= n and return immediately; the shared_ptr keeps
-  // the state alive past this call for those stragglers.
+  // Shared claim state over *chunks* of `grain` indices. Helpers that get
+  // scheduled after the loop is drained see next >= chunks and return
+  // immediately; the shared_ptr keeps the state alive past this call for
+  // those stragglers.
   struct State {
     std::atomic<int> next{0};
     std::atomic<int> completed{0};
     int n;
+    int grain;
+    int chunks;
     std::function<void(int)> fn;
     std::mutex mu;
     std::condition_variable cv;
   };
   auto state = std::make_shared<State>();
   state->n = n;
+  state->grain = grain;
+  state->chunks = (n + grain - 1) / grain;
   state->fn = fn;
 
   auto drain = [](const std::shared_ptr<State>& s) {
-    int i;
-    while ((i = s->next.fetch_add(1, std::memory_order_relaxed)) < s->n) {
-      s->fn(i);
-      if (s->completed.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+    int c;
+    while ((c = s->next.fetch_add(1, std::memory_order_relaxed)) <
+           s->chunks) {
+      const int begin = c * s->grain;
+      const int end = std::min(s->n, begin + s->grain);
+      for (int i = begin; i < end; ++i) s->fn(i);
+      if (s->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          s->chunks) {
         std::lock_guard<std::mutex> lk(s->mu);
         s->cv.notify_all();
       }
     }
   };
 
-  const int helpers = std::min(num_threads(), n - 1);
+  const int helpers = std::min(num_threads(), state->chunks - 1);
   for (int h = 0; h < helpers; ++h) {
     Submit([state, drain] { drain(state); });
   }
-  // The calling thread claims iterations too, so completion never depends
+  // The calling thread claims chunks too, so completion never depends
   // on the helpers actually being scheduled.
   drain(state);
   std::unique_lock<std::mutex> lk(state->mu);
   state->cv.wait(lk, [&state] {
-    return state->completed.load(std::memory_order_acquire) == state->n;
+    return state->completed.load(std::memory_order_acquire) ==
+           state->chunks;
   });
+}
+
+int ThreadPool::GrainFor(int n, int min_grain) const {
+  if (min_grain < 1) min_grain = 1;
+  const int lanes = num_threads() + 1;  // Workers + the calling thread.
+  const int grain = n / (lanes * 4);
+  return grain > min_grain ? grain : min_grain;
 }
 
 int ThreadPool::DefaultThreadCount(int max_default) {

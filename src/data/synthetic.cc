@@ -152,6 +152,101 @@ Result<Dataset> GenerateSyntheticDataset(const SyntheticConfig& config) {
                               config.min_interactions);
 }
 
+Result<Dataset> GenerateServingWorld(const ServingWorldConfig& config) {
+  if (config.num_users <= 0 || config.num_items <= 0 ||
+      config.num_categories <= 0 || config.events_per_user <= 0 ||
+      config.categories_per_user <= 0) {
+    return Status::InvalidArgument(
+        "serving world config sizes must be positive");
+  }
+  if (config.events_per_user < 5) {
+    return Status::InvalidArgument(
+        "events_per_user below the interaction floor would drop users");
+  }
+  Rng rng(config.seed);
+
+  // One primary category per item (round-robin keeps every category
+  // populated even when items barely outnumber categories), plus an
+  // occasional random extra so the category table has some overlap.
+  CategoryTable cats;
+  cats.num_categories = config.num_categories;
+  cats.item_categories.resize(static_cast<size_t>(config.num_items));
+  std::vector<std::vector<int>> items_of_category(
+      static_cast<size_t>(config.num_categories));
+  for (int i = 0; i < config.num_items; ++i) {
+    std::vector<int>& ic = cats.item_categories[static_cast<size_t>(i)];
+    const int primary = i % config.num_categories;
+    ic.push_back(primary);
+    items_of_category[static_cast<size_t>(primary)].push_back(i);
+    if (rng.Bernoulli(0.3)) {
+      const int extra = rng.UniformInt(config.num_categories);
+      if (extra != primary) {
+        ic.push_back(extra);
+        items_of_category[static_cast<size_t>(extra)].push_back(i);
+      }
+    }
+    std::sort(ic.begin(), ic.end());
+  }
+
+  // Per-category popularity CDF: within a category, the j-th member item
+  // carries Zipf weight (j+1)^-s. Inverse-CDF draws are then one
+  // upper_bound per event instead of an O(items) Categorical.
+  std::vector<std::vector<double>> category_cdf(
+      static_cast<size_t>(config.num_categories));
+  for (int c = 0; c < config.num_categories; ++c) {
+    const auto& members = items_of_category[static_cast<size_t>(c)];
+    auto& cdf = category_cdf[static_cast<size_t>(c)];
+    cdf.resize(members.size());
+    double total = 0.0;
+    for (size_t j = 0; j < members.size(); ++j) {
+      total += 1.0 / std::pow(static_cast<double>(j + 1),
+                              config.popularity_exponent);
+      cdf[j] = total;
+    }
+  }
+
+  const int cats_per_user =
+      std::min(config.categories_per_user, config.num_categories);
+  std::vector<RatingEvent> events;
+  events.reserve(static_cast<size_t>(config.num_users) *
+                 static_cast<size_t>(config.events_per_user));
+  std::vector<int> preferred(static_cast<size_t>(cats_per_user));
+  for (int u = 0; u < config.num_users; ++u) {
+    // A user's taste: a few distinct preferred categories.
+    for (int p = 0; p < cats_per_user; ++p) {
+      int c;
+      bool fresh;
+      do {
+        c = rng.UniformInt(config.num_categories);
+        fresh = true;
+        for (int q = 0; q < p; ++q) {
+          if (preferred[static_cast<size_t>(q)] == c) fresh = false;
+        }
+      } while (!fresh);
+      preferred[static_cast<size_t>(p)] = c;
+    }
+    for (int e = 0; e < config.events_per_user; ++e) {
+      const int c =
+          preferred[static_cast<size_t>(rng.UniformInt(cats_per_user))];
+      const auto& members = items_of_category[static_cast<size_t>(c)];
+      const auto& cdf = category_cdf[static_cast<size_t>(c)];
+      if (members.empty()) continue;  // Unreachable with round-robin.
+      const double draw = rng.Uniform() * cdf.back();
+      const size_t j = static_cast<size_t>(
+          std::upper_bound(cdf.begin(), cdf.end(), draw) - cdf.begin());
+      const int item = members[std::min(j, members.size() - 1)];
+      events.push_back(RatingEvent{u, item, 5.0, static_cast<long>(e)});
+    }
+  }
+
+  // Floor of 5: users carry events_per_user >= 5 raw positives each, so
+  // the user filter never fires; the item filter may drop deep-tail
+  // items, which costs affected users at most a few events.
+  return Dataset::FromRatings(events, std::move(cats), config.name,
+                              /*positive_threshold=*/5.0,
+                              /*min_interactions=*/5);
+}
+
 SyntheticConfig BeautyLikeConfig(double scale, uint64_t seed) {
   SyntheticConfig c;
   c.name = "beauty-sim";

@@ -55,6 +55,32 @@ struct SyntheticConfig {
 /// following the paper's protocol.
 Result<Dataset> GenerateSyntheticDataset(const SyntheticConfig& config);
 
+/// A serving-scale world: populations large enough to exercise the
+/// online path (100k+ users) while keeping generation cost at
+/// O(events * log items). Compared with GenerateSyntheticDataset it
+/// trades the per-event Dirichlet/affinity machinery for a fixed set of
+/// preferred categories per user and precomputed inverse-CDF popularity
+/// tables per category, so the event loop never touches an O(items)
+/// weight vector. Every user receives exactly events_per_user positive
+/// events, which guarantees all of them survive the interaction floor
+/// and remain addressable by serving requests.
+struct ServingWorldConfig {
+  std::string name = "serving-world";
+  int num_users = 100000;
+  int num_items = 2000;
+  int num_categories = 32;
+  /// Positive events drawn per user (all rated 5.0). Must stay >= the
+  /// FromRatings interaction floor used below (5) for users to survive.
+  int events_per_user = 12;
+  /// Preferred categories per user; events are drawn from these.
+  int categories_per_user = 3;
+  /// Zipf exponent of within-category item popularity.
+  double popularity_exponent = 0.8;
+  uint64_t seed = 42;
+};
+
+Result<Dataset> GenerateServingWorld(const ServingWorldConfig& config);
+
 /// Table-I-shaped presets, scaled by `scale` (>= 1 enlarges populations).
 /// Names: "beauty-sim", "ml-sim", "anime-sim".
 SyntheticConfig BeautyLikeConfig(double scale = 1.0, uint64_t seed = 42);

@@ -127,7 +127,9 @@ Result<DiversityKernel> DiversityKernel::Train(const Dataset& dataset,
       // snapshot, so the pair gradients are independent and can be
       // computed in any order / on any thread.
       pair_grads.assign(static_cast<size_t>(batch), PairGrad{});
-      ParallelForOrSerial(config.pool, batch, [&](int j) {
+      // Grain-coarsened: per-pair gradients are microsecond-scale, so
+      // chunked claiming keeps dispatch from dominating the shard.
+      ParallelForOrSerial(config.pool, batch, /*min_grain=*/1, [&](int j) {
         pair_grads[static_cast<size_t>(j)] = ComputePairGrad(
             factors, pairs[start + static_cast<size_t>(j)], config.jitter);
       });

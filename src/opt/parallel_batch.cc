@@ -16,7 +16,8 @@ struct InstanceOutcome {
 
 Result<BatchGradSummary> AccumulateBatchGradients(
     int num_instances, ThreadPool* pool,
-    const std::function<Result<InstanceGrad>(int, ad::Graph*)>& build) {
+    const std::function<Result<InstanceGrad>(int, ad::Graph*)>& build,
+    int grain) {
   if (num_instances < 0) {
     return Status::InvalidArgument("negative instance count");
   }
@@ -47,7 +48,8 @@ Result<BatchGradSummary> AccumulateBatchGradients(
   };
 
   if (pool != nullptr) {
-    pool->ParallelFor(num_instances, run_one);
+    if (grain <= 0) grain = pool->GrainFor(num_instances);
+    pool->ParallelFor(num_instances, grain, run_one);
   } else {
     for (int i = 0; i < num_instances; ++i) run_one(i);
   }

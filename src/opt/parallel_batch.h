@@ -64,10 +64,16 @@ struct BatchGradSummary {
 /// failing instance in index order determines the returned error and
 /// NO gradients are flushed — the caller skips its optimizer step, so a
 /// mid-batch failure can never leave a partial update behind.
+///
+/// `grain` coarsens the ParallelFor dispatch (contiguous runs of
+/// `grain` instances per claim); 0 picks pool->GrainFor(num_instances).
+/// Chunking changes only which thread runs an instance, never the
+/// instance-order reduction, so results stay bit-identical.
 Result<BatchGradSummary> AccumulateBatchGradients(
     int num_instances, ThreadPool* pool,
     const std::function<Result<InstanceGrad>(int instance,
-                                             ad::Graph* graph)>& build);
+                                             ad::Graph* graph)>& build,
+    int grain = 0);
 
 }  // namespace lkpdpp
 

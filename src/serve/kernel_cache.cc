@@ -1,5 +1,7 @@
 #include "serve/kernel_cache.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -16,76 +18,199 @@ uint64_t HashGroundSet(const std::vector<int>& items) {
   return state;
 }
 
-KernelCache::KernelCache(int capacity) : capacity_(capacity) {
+KernelCache::KernelCache(int capacity, int shards) : capacity_(capacity) {
   LKP_CHECK_GE(capacity, 0);
+  if (shards < 1) shards = 1;
+  // Collapse to fewer shards rather than let per-shard capacity drop
+  // below the floor: a capacity-2 cache must behave as one exact LRU,
+  // not as two 1-entry shards with hash-dependent eviction.
+  const int max_shards =
+      capacity > 0 ? std::max(1, capacity / kMinEntriesPerShard) : 1;
+  const int effective = std::min(shards, max_shards);
+  shards_.reserve(static_cast<size_t>(effective));
+  for (int s = 0; s < effective; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    // Distribute the budget so shard capacities sum exactly to capacity_.
+    shards_.back()->capacity =
+        capacity / effective + (s < capacity % effective ? 1 : 0);
+  }
 }
 
 std::shared_ptr<const ServedKernel> KernelCache::Get(int user,
                                                      uint64_t ground_hash) {
   const Key key{user, ground_hash};
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
     return nullptr;
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->second;
+}
+
+void KernelCache::PutLocked(Shard& shard, const Key& key,
+                            std::shared_ptr<const ServedKernel> value) {
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Concurrent fill of the same key: keep the newer value, refresh.
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index[key] = shard.lru.begin();
+  while (static_cast<int>(shard.lru.size()) > shard.capacity) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
 }
 
 void KernelCache::Put(int user, uint64_t ground_hash,
                       std::shared_ptr<const ServedKernel> value) {
   if (capacity_ == 0) return;
   const Key key{user, ground_hash};
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    // Concurrent fill of the same key: keep the newer value, refresh.
-    it->second->second = std::move(value);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  PutLocked(shard, key, std::move(value));
+}
+
+Result<std::shared_ptr<const ServedKernel>> KernelCache::GetOrBuild(
+    int user, uint64_t ground_hash, const std::vector<int>& items,
+    const Builder& build, bool* was_hit) {
+  const Key key{user, ground_hash};
+  Shard& shard = ShardFor(key);
+  if (was_hit != nullptr) *was_hit = false;
+
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end() && it->second->second != nullptr &&
+        it->second->second->items == items) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      if (was_hit != nullptr) *was_hit = true;
+      return it->second->second;
+    }
+    // Miss (or a 64-bit hash collision whose entry was conditioned on a
+    // different ground set — rebuilt rather than served wrong).
+    ++shard.misses;
+    auto [fit, inserted] = shard.inflight.try_emplace(key, nullptr);
+    if (inserted) {
+      fit->second = std::make_shared<InFlight>();
+      owner = true;
+    }
+    flight = fit->second;
   }
-  lru_.emplace_front(key, std::move(value));
-  index_[key] = lru_.begin();
-  while (static_cast<int>(lru_.size()) > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++evictions_;
+
+  if (!owner) {
+    // Someone else is already computing this key: wait for their result
+    // instead of duplicating the O(n^3) work.
+    std::unique_lock<std::mutex> lk(flight->mu);
+    flight->cv.wait(lk, [&flight] { return flight->done; });
+    Result<std::shared_ptr<const ServedKernel>> shared = flight->result;
+    lk.unlock();
+    if (shared.ok() && (*shared)->items == items) return shared;
+    if (!shared.ok()) return shared;
+    // Astronomically rare: the in-flight build was for a colliding key
+    // with different items. Fall back to a direct unguarded build.
+    {
+      std::lock_guard<std::mutex> slk(shard.mu);
+      ++shard.builds;
+    }
+    return build();
   }
+
+  // Owner path: compute with NO shard lock held, publish, then release
+  // the waiters.
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    ++shard.builds;
+  }
+  Result<std::shared_ptr<const ServedKernel>> built = build();
+  if (built.ok() && *built == nullptr) {
+    built = Status::Internal("kernel builder returned null");
+  }
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    if (built.ok() && capacity_ > 0) PutLocked(shard, key, *built);
+    shard.inflight.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lk(flight->mu);
+    flight->result = built;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return built;
 }
 
 void KernelCache::Clear() {
-  std::lock_guard<std::mutex> lk(mu_);
-  lru_.clear();
-  index_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
 }
 
 void KernelCache::ResetCounters() {
-  std::lock_guard<std::mutex> lk(mu_);
-  hits_ = 0;
-  misses_ = 0;
-  evictions_ = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    shard->hits = 0;
+    shard->misses = 0;
+    shard->evictions = 0;
+    shard->builds = 0;
+  }
 }
 
 int KernelCache::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return static_cast<int>(lru_.size());
+  int total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    total += static_cast<int>(shard->lru.size());
+  }
+  return total;
 }
 
 long KernelCache::hits() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return hits_;
+  long total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    total += shard->hits;
+  }
+  return total;
 }
 
 long KernelCache::misses() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return misses_;
+  long total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    total += shard->misses;
+  }
+  return total;
 }
 
 long KernelCache::evictions() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return evictions_;
+  long total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    total += shard->evictions;
+  }
+  return total;
+}
+
+long KernelCache::builds() const {
+  long total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    total += shard->builds;
+  }
+  return total;
 }
 
 }  // namespace lkpdpp

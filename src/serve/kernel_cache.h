@@ -1,4 +1,4 @@
-// LRU memoization of per-(user, ground set) serving kernels.
+// Sharded LRU memoization of per-(user, ground set) serving kernels.
 //
 // Building a personalized k-DPP over a candidate pool costs an O(n^3)
 // eigendecomposition plus the ESP table (the hot path the ROADMAP flags).
@@ -8,6 +8,18 @@
 // the fully decomposed KDpp (eigenpairs + ESP table) behind shared_ptr,
 // so an entry evicted mid-request stays alive for its readers.
 //
+// Concurrency: the table is lock-striped into N independent shards, each
+// with its own mutex, LRU list, and counters, so concurrent lookups on
+// different keys never serialize on one global lock. Eviction is LRU
+// *per shard* (globally approximate LRU). Small capacities collapse to a
+// single shard so the exact-LRU behavior unit tests rely on survives.
+//
+// The expensive build path goes through GetOrBuild: the builder runs
+// with NO shard lock held, and a per-key in-flight guard makes
+// concurrent misses on the same key compute once — the first caller
+// builds, the rest block on the guard and share the result instead of
+// duplicating (or serializing under a held lock) the O(n^3) work.
+//
 // Invalidation: entries are valid only for the model snapshot they were
 // computed under. Retraining or swapping the model requires Clear() (the
 // service owns this; see RecommendationService).
@@ -15,7 +27,9 @@
 #ifndef LKPDPP_SERVE_KERNEL_CACHE_H_
 #define LKPDPP_SERVE_KERNEL_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -23,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "core/kdpp.h"
 #include "linalg/matrix.h"
 
@@ -53,31 +68,62 @@ struct ServedKernel {
 /// hash equally.
 uint64_t HashGroundSet(const std::vector<int>& items);
 
-/// Thread-safe LRU cache keyed on (user, ground-set hash). Capacity 0
-/// disables caching (Get always misses, Put drops).
+/// Thread-safe sharded LRU cache keyed on (user, ground-set hash).
+/// Capacity 0 disables storage (Get always misses, Put drops) but the
+/// in-flight guard of GetOrBuild still deduplicates concurrent builds.
 class KernelCache {
  public:
-  explicit KernelCache(int capacity);
+  /// `capacity` is the total entry budget, distributed across shards.
+  /// The effective shard count is clamped so every shard holds at least
+  /// kMinEntriesPerShard entries (exact single-shard LRU for small
+  /// caches); pass `shards` <= 1 to force one shard.
+  explicit KernelCache(int capacity, int shards = kDefaultShards);
 
   /// Returns the entry and refreshes its recency, or null on miss.
   std::shared_ptr<const ServedKernel> Get(int user, uint64_t ground_hash);
 
   /// Inserts (or refreshes) an entry, evicting the least recently used
-  /// entry when over capacity.
+  /// entry of its shard when that shard is over capacity.
   void Put(int user, uint64_t ground_hash,
            std::shared_ptr<const ServedKernel> value);
 
+  /// Builds one ServedKernel; runs with no cache lock held.
+  using Builder =
+      std::function<Result<std::shared_ptr<const ServedKernel>>()>;
+
+  /// The memoized build path: returns the cached entry for (user,
+  /// ground_hash) whose `items` equal `items`, or runs `build` to create
+  /// it. Concurrent calls for the same key run the builder ONCE — the
+  /// winner computes (lock-free for the cache), the rest wait on the
+  /// per-key in-flight guard and share the result. Builder failures
+  /// propagate to the owner and every waiter, and nothing is cached.
+  /// `was_hit`, when non-null, reports whether the entry came from the
+  /// cache (piggybacking on another caller's in-flight build counts as a
+  /// miss: the kernel was not in the cache when this call arrived).
+  Result<std::shared_ptr<const ServedKernel>> GetOrBuild(
+      int user, uint64_t ground_hash, const std::vector<int>& items,
+      const Builder& build, bool* was_hit = nullptr);
+
   void Clear();
 
-  /// Zeroes hit/miss/eviction counters without touching the entries
-  /// (used by ServeStats windows).
+  /// Zeroes hit/miss/eviction/build counters without touching the
+  /// entries (used by ServeStats windows).
   void ResetCounters();
 
   int capacity() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
   int size() const;
   long hits() const;
   long misses() const;
   long evictions() const;
+  /// Number of Builder invocations GetOrBuild actually ran. With the
+  /// in-flight guard, concurrent misses on one key contribute one build.
+  long builds() const;
+
+  static constexpr int kDefaultShards = 16;
+  /// Floor on per-shard capacity; below it the cache collapses to fewer
+  /// shards (capacity < 2 * kMinEntriesPerShard means exactly one).
+  static constexpr int kMinEntriesPerShard = 8;
 
  private:
   struct Key {
@@ -99,13 +145,41 @@ class KernelCache {
   };
   using Entry = std::pair<Key, std::shared_ptr<const ServedKernel>>;
 
+  /// One caller computes, the rest block on `cv` until `done`.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<std::shared_ptr<const ServedKernel>> result =
+        Result<std::shared_ptr<const ServedKernel>>(
+            Status::Internal("in-flight build not finished"));
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    int capacity = 0;
+    std::list<Entry> lru;  // Front = most recently used.
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index;
+    std::unordered_map<Key, std::shared_ptr<InFlight>, KeyHasher> inflight;
+    long hits = 0;
+    long misses = 0;
+    long evictions = 0;
+    long builds = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[KeyHasher{}(key) % shards_.size()];
+  }
+  const Shard& ShardFor(const Key& key) const {
+    return *shards_[KeyHasher{}(key) % shards_.size()];
+  }
+
+  /// Inserts or refreshes `key` in `shard` (shard.mu must be held).
+  void PutLocked(Shard& shard, const Key& key,
+                 std::shared_ptr<const ServedKernel> value);
+
   const int capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // Front = most recently used.
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index_;
-  long hits_ = 0;
-  long misses_ = 0;
-  long evictions_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace lkpdpp

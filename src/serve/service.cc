@@ -32,8 +32,17 @@ RecommendationService::RecommendationService(const Dataset* dataset,
       diversity_(diversity),
       pool_(pool),
       config_(config),
-      cache_(config.cache_capacity),
+      cache_(config.cache_capacity, config.cache_shards),
       master_rng_(config.seed) {}
+
+RecommendationService::~RecommendationService() {
+  {
+    std::lock_guard<std::mutex> lk(adm_mu_);
+    adm_stop_ = true;
+  }
+  adm_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
 
 Result<std::unique_ptr<RecommendationService>> RecommendationService::Create(
     const Dataset* dataset, RecModel* model, const DiversityKernel* diversity,
@@ -59,6 +68,19 @@ Result<std::unique_ptr<RecommendationService>> RecommendationService::Create(
   if (config.cache_capacity < 0) {
     return Status::InvalidArgument("cache_capacity must be >= 0");
   }
+  if (config.cache_shards < 1) {
+    return Status::InvalidArgument("cache_shards must be >= 1");
+  }
+  if (config.max_batch_size < 1) {
+    return Status::InvalidArgument(
+        StrFormat("max_batch_size=%d must be >= 1", config.max_batch_size));
+  }
+  if (config.batch_deadline_ms < 0.0) {
+    return Status::InvalidArgument("batch_deadline_ms must be >= 0");
+  }
+  if (config.parallel_grain < 0) {
+    return Status::InvalidArgument("parallel_grain must be >= 0");
+  }
   if (model->num_items() != dataset->num_items()) {
     return Status::InvalidArgument(
         StrFormat("model covers %d items but dataset has %d",
@@ -79,6 +101,12 @@ void RecommendationService::InvalidateModel() {
   cache_.Clear();
 }
 
+int RecommendationService::StageGrain(int n) const {
+  if (pool_ == nullptr) return 1;
+  if (config_.parallel_grain > 0) return config_.parallel_grain;
+  return pool_->GrainFor(n);
+}
+
 Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
     int user, const Vector& scores) {
   Stopwatch timer;
@@ -93,14 +121,9 @@ Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
       std::min(config_.top_k, static_cast<int>(work.pool.size()));
 
   const uint64_t hash = HashGroundSet(work.pool);
-  std::shared_ptr<const ServedKernel> entry = cache_.Get(user, hash);
-  if (entry != nullptr && entry->items != work.pool) {
-    // 64-bit hash collision: rebuild rather than serve a kernel that was
-    // conditioned on a different ground set.
-    entry = nullptr;
-  }
-  work.cache_hit = entry != nullptr;
-  if (entry == nullptr) {
+  // The expensive build, run by the cache with no shard lock held and at
+  // most once per key even under concurrent misses (in-flight guard).
+  auto build = [&]() -> Result<std::shared_ptr<const ServedKernel>> {
     Vector pool_scores(static_cast<int>(work.pool.size()));
     for (size_t i = 0; i < work.pool.size(); ++i) {
       pool_scores[static_cast<int>(i)] = scores[work.pool[i]];
@@ -136,10 +159,11 @@ Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
         built->kernel = std::move(conditioned);
       }
     }
-    cache_.Put(user, hash, built);
-    entry = std::move(built);
-  }
-  work.entry = std::move(entry);
+    return std::shared_ptr<const ServedKernel>(std::move(built));
+  };
+  LKP_ASSIGN_OR_RETURN(
+      work.entry,
+      cache_.GetOrBuild(user, hash, work.pool, build, &work.cache_hit));
   work.kernel_ms = timer.ElapsedMillis();
   return work;
 }
@@ -230,22 +254,22 @@ Result<std::vector<RecResponse>> RecommendationService::HandleBatch(
     if (inserted) unique_users.push_back(batch[i].user);
     request_slot[i] = it->second;
   }
+  const int num_unique = static_cast<int>(unique_users.size());
   std::vector<Vector> scores(unique_users.size());
   auto score_user = [&](int i) {
     scores[static_cast<size_t>(i)] =
         model_->ScoreAllItems(unique_users[static_cast<size_t>(i)]);
   };
   if (pool_ != nullptr) {
-    pool_->ParallelFor(static_cast<int>(unique_users.size()), score_user);
+    pool_->ParallelFor(num_unique, StageGrain(num_unique), score_user);
   } else {
-    for (int i = 0; i < static_cast<int>(unique_users.size()); ++i) {
-      score_user(i);
-    }
+    for (int i = 0; i < num_unique; ++i) score_user(i);
   }
 
   // Stage 2: fork one Rng per request in request order. Fork order is
-  // independent of thread count, which is what keeps sampling-mode
-  // responses bit-identical under any parallelism.
+  // independent of thread count AND of batch slicing, which is what
+  // keeps sampling-mode responses bit-identical under any parallelism
+  // and under async admission.
   std::vector<Rng> rngs;
   if (config_.mode == ServeMode::kSample) {
     rngs.reserve(batch.size());
@@ -256,7 +280,10 @@ Result<std::vector<RecResponse>> RecommendationService::HandleBatch(
   }
 
   // Stage 3: kernel work once per unique user — duplicate requests for
-  // a user share the O(n^3) build even when the cache is cold or off.
+  // a user share the O(n^3) build even when the cache is cold or off
+  // (and, through the cache's in-flight guard, even across concurrent
+  // batches). Grain stays 1: per-user cost is large and uneven (hit vs
+  // O(n^3) miss), so fine-grained claiming balances best.
   std::vector<UserWork> works(unique_users.size());
   std::vector<Status> user_statuses(unique_users.size(), Status::OK());
   auto prepare_user = [&](int i) {
@@ -269,11 +296,9 @@ Result<std::vector<RecResponse>> RecommendationService::HandleBatch(
     }
   };
   if (pool_ != nullptr) {
-    pool_->ParallelFor(static_cast<int>(unique_users.size()), prepare_user);
+    pool_->ParallelFor(num_unique, prepare_user);
   } else {
-    for (int i = 0; i < static_cast<int>(unique_users.size()); ++i) {
-      prepare_user(i);
-    }
+    for (int i = 0; i < num_unique; ++i) prepare_user(i);
   }
   for (const Status& s : user_statuses) {
     if (!s.ok()) return s;
@@ -294,31 +319,23 @@ Result<std::vector<RecResponse>> RecommendationService::HandleBatch(
       statuses[idx] = r.status();
     }
   };
+  const int num_requests = static_cast<int>(batch.size());
   if (pool_ != nullptr) {
-    pool_->ParallelFor(static_cast<int>(batch.size()), serve_request);
+    pool_->ParallelFor(num_requests, StageGrain(num_requests),
+                       serve_request);
   } else {
-    for (int i = 0; i < static_cast<int>(batch.size()); ++i) {
-      serve_request(i);
-    }
+    for (int i = 0; i < num_requests; ++i) serve_request(i);
   }
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
 
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    requests_ += static_cast<long>(batch.size());
-    ++batches_;
-    batch_wall_seconds_ += batch_timer.ElapsedSeconds();
-    for (const RecResponse& r : responses) {
-      if (latencies_ms_.size() < kLatencyWindow) {
-        latencies_ms_.push_back(r.latency_ms);
-      } else {
-        latencies_ms_[latency_cursor_] = r.latency_ms;
-        latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
-      }
-    }
-  }
+  std::vector<double> latencies;
+  latencies.reserve(responses.size());
+  for (const RecResponse& r : responses) latencies.push_back(r.latency_ms);
+  recorder_.RecordBatch(static_cast<long>(batch.size()),
+                        batch_timer.ElapsedSeconds(), latencies.data(),
+                        latencies.size());
   return responses;
 }
 
@@ -328,37 +345,105 @@ Result<RecResponse> RecommendationService::HandleOne(int user) {
   return responses.front();
 }
 
+std::future<Result<RecResponse>> RecommendationService::SubmitAsync(
+    const RecRequest& request) {
+  std::future<Result<RecResponse>> future;
+  {
+    std::lock_guard<std::mutex> lk(adm_mu_);
+    if (!batcher_started_) {
+      batcher_started_ = true;
+      batcher_ = std::thread([this] { BatcherLoop(); });
+    }
+    if (adm_queue_.empty()) {
+      adm_oldest_ = std::chrono::steady_clock::now();
+    }
+    adm_queue_.emplace_back();
+    adm_queue_.back().request = request;
+    future = adm_queue_.back().promise.get_future();
+  }
+  adm_cv_.notify_one();
+  return future;
+}
+
+void RecommendationService::Flush() {
+  std::unique_lock<std::mutex> lk(adm_mu_);
+  if (adm_queue_.empty() && !adm_busy_) return;
+  adm_flush_ = true;
+  adm_cv_.notify_all();
+  adm_idle_cv_.wait(lk, [this] { return adm_queue_.empty() && !adm_busy_; });
+}
+
+void RecommendationService::BatcherLoop() {
+  std::unique_lock<std::mutex> lk(adm_mu_);
+  while (true) {
+    adm_cv_.wait(lk, [this] { return adm_stop_ || !adm_queue_.empty(); });
+    if (adm_queue_.empty()) {
+      if (adm_stop_) return;
+      continue;
+    }
+    // Occupancy/deadline window: flush early when the batch fills, at
+    // the deadline otherwise. Stop/Flush cut the wait short.
+    const auto deadline =
+        adm_oldest_ + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              config_.batch_deadline_ms));
+    adm_cv_.wait_until(lk, deadline, [this] {
+      return adm_stop_ || adm_flush_ ||
+             static_cast<int>(adm_queue_.size()) >= config_.max_batch_size;
+    });
+    const size_t take = std::min(
+        adm_queue_.size(), static_cast<size_t>(config_.max_batch_size));
+    std::vector<Pending> pending;
+    pending.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      pending.push_back(std::move(adm_queue_.front()));
+      adm_queue_.pop_front();
+    }
+    if (!adm_queue_.empty()) {
+      // The remainder became the oldest pending work just now as far as
+      // the deadline is concerned (its true arrival is at most one
+      // deadline old, so worst-case wait stays bounded by 2x).
+      adm_oldest_ = std::chrono::steady_clock::now();
+    } else {
+      adm_flush_ = false;
+    }
+    adm_busy_ = true;
+    lk.unlock();
+
+    std::vector<RecRequest> batch;
+    batch.reserve(pending.size());
+    for (const Pending& p : pending) batch.push_back(p.request);
+    Result<std::vector<RecResponse>> served = HandleBatch(batch);
+    if (served.ok()) {
+      for (size_t i = 0; i < pending.size(); ++i) {
+        pending[i].promise.set_value(std::move((*served)[i]));
+      }
+    } else {
+      for (Pending& p : pending) {
+        p.promise.set_value(served.status());
+      }
+    }
+
+    lk.lock();
+    adm_busy_ = false;
+    if (adm_queue_.empty()) {
+      adm_idle_cv_.notify_all();
+      if (adm_stop_) return;
+    }
+  }
+}
+
 ServeStats RecommendationService::Snapshot() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
   ServeStats out;
-  out.requests = requests_;
-  out.batches = batches_;
+  recorder_.Snapshot(&out);
   out.cache_hits = cache_.hits();
   out.cache_misses = cache_.misses();
-  out.mean_batch_occupancy =
-      batches_ > 0 ? static_cast<double>(requests_) / batches_ : 0.0;
-  if (!latencies_ms_.empty()) {
-    // One sorted copy serves every percentile (nearest-rank).
-    std::vector<double> sorted = latencies_ms_;
-    std::sort(sorted.begin(), sorted.end());
-    out.latency_p50_ms = PercentileOfSorted(sorted, 0.50);
-    out.latency_p95_ms = PercentileOfSorted(sorted, 0.95);
-    out.latency_p99_ms = PercentileOfSorted(sorted, 0.99);
-    out.latency_max_ms = sorted.back();
-  }
-  out.wall_seconds = batch_wall_seconds_;
-  out.throughput_rps =
-      batch_wall_seconds_ > 0.0 ? requests_ / batch_wall_seconds_ : 0.0;
   return out;
 }
 
 void RecommendationService::ResetStats() {
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  requests_ = 0;
-  batches_ = 0;
-  batch_wall_seconds_ = 0.0;
-  latencies_ms_.clear();
-  latency_cursor_ = 0;
+  recorder_.Reset();
   cache_.ResetCounters();
 }
 

@@ -7,35 +7,53 @@
 // draw from the personalized k-DPP (paper Eq. 2/4).
 //
 // The request path is built for throughput:
-//   1. Batching — HandleBatch deduplicates users and evaluates model
+//   1. Admission — requests can be submitted individually (SubmitAsync):
+//      they land in an admission queue, a batcher thread flushes on
+//      occupancy (max_batch_size) or deadline (batch_deadline_ms), and
+//      each caller's std::future resolves when its batch completes. The
+//      synchronous HandleBatch path remains for callers that already
+//      have a batch in hand.
+//   2. Batching — HandleBatch deduplicates users and evaluates model
 //      scores for the whole batch in one parallel pass before any
 //      per-request work runs.
-//   2. KernelCache — the conditioned kernel submatrix and its
+//   3. KernelCache — the conditioned kernel submatrix and its
 //      eigendecomposition + ESP table are memoized per (user, ground-set
-//      hash), so repeat requests skip the O(n^3) work entirely.
-//      When the conditioned kernel advertises an exact low-rank factor
-//      (pure diversity blend, kernel_blend_alpha == 1, with factor rank
-//      below the pool size), sampling-mode entries are built through the
-//      dual path instead — O(pool * rank^2) conditioning in factor space,
-//      never materializing the pool kernel (set force_primal to disable
-//      for cross-checks).
-//   3. ThreadPool — per-request work fans out over the work-stealing
-//      pool; per-request Rng streams are forked in request order
-//      (Rng::Fork), which makes every response bit-identical at any
-//      thread count for a fixed seed.
+//      hash) in a lock-striped sharded LRU; the O(n^3) build runs with
+//      no cache lock held, and a per-key in-flight guard makes
+//      concurrent misses on one key compute once (the rest wait and
+//      share). When the conditioned kernel advertises an exact low-rank
+//      factor (pure diversity blend, kernel_blend_alpha == 1, with
+//      factor rank below the pool size), sampling-mode entries are built
+//      through the dual path instead — O(pool * rank^2) conditioning in
+//      factor space, never materializing the pool kernel (set
+//      force_primal to disable for cross-checks).
+//   4. ThreadPool — per-request work fans out over the work-stealing
+//      pool with grain-size chunking so tiny per-request tasks do not
+//      pay one dispatch each; per-request Rng streams are forked in
+//      request order (Rng::Fork), which makes every response
+//      bit-identical at any thread count for a fixed seed.
 //
 // Determinism contract: for a fixed (model, diversity kernel, config,
-// seed) and a fixed sequence of HandleBatch calls, responses are
-// bit-identical regardless of the pool's thread count — including
-// sampling mode. Concurrent HandleBatch calls from multiple caller
-// threads remain individually consistent but the interleaving of their
-// Rng forks follows arrival order, so cross-batch determinism then
-// depends on the caller serializing submissions.
+// seed) and a fixed *arrival order* of requests, responses are
+// bit-identical regardless of the pool's thread count AND regardless of
+// how admission slices the sequence into batches — Rng forks depend only
+// on arrival position, not on batch boundaries, so a SubmitAsync stream
+// matches a synchronous caller submitting the same sequence. Concurrent
+// HandleBatch / SubmitAsync calls from multiple caller threads remain
+// individually consistent but the interleaving of their Rng forks
+// follows arrival order, so cross-caller determinism then depends on the
+// callers serializing submissions.
 
 #ifndef LKPDPP_SERVE_SERVICE_H_
 #define LKPDPP_SERVE_SERVICE_H_
 
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -70,8 +88,21 @@ struct ServeConfig {
   double kernel_blend_alpha = 0.4;
   /// Raw-score -> quality transform (use the model's PreferredQuality).
   QualityTransform quality = QualityTransform::kExp;
-  /// LRU entries; 0 disables caching.
+  /// Total LRU entries across all cache shards; 0 disables caching.
   int cache_capacity = 4096;
+  /// Lock-striped shards of the KernelCache. The cache clamps this so
+  /// every shard holds at least KernelCache::kMinEntriesPerShard
+  /// entries; small caches collapse to one exact-LRU shard.
+  int cache_shards = KernelCache::kDefaultShards;
+  /// Async admission: flush the queue when this many requests are
+  /// pending...
+  int max_batch_size = 64;
+  /// ...or when the oldest pending request has waited this long (ms),
+  /// whichever comes first. 0 flushes as fast as the batcher can spin.
+  double batch_deadline_ms = 2.0;
+  /// Chunk size for the per-request ParallelFor stages. 0 picks a grain
+  /// automatically (ThreadPool::GrainFor: ~4 chunks per lane).
+  int parallel_grain = 0;
   /// Master seed for sampling-mode Rng streams.
   uint64_t seed = 0x5EEDF00DULL;
   /// Disables the low-rank dual path: every sampling-mode kernel is
@@ -111,6 +142,10 @@ class RecommendationService {
       const DiversityKernel* diversity, ThreadPool* pool,
       ServeConfig config);
 
+  /// Stops the admission batcher, resolving every still-queued request
+  /// before returning.
+  ~RecommendationService();
+
   /// Serves a batch of requests in three parallel passes keyed on the
   /// batch's unique users: (1) score each user's catalog once, (2) build
   /// or fetch each user's served kernel once — duplicate requests for a
@@ -123,6 +158,18 @@ class RecommendationService {
 
   /// Single-request convenience wrapper (a batch of one).
   Result<RecResponse> HandleOne(int user);
+
+  /// Async admission: enqueues one request and returns a future that
+  /// resolves when its batch is served. The batcher thread (started
+  /// lazily on first use) flushes the queue on occupancy
+  /// (max_batch_size) or deadline (batch_deadline_ms). Futures resolve
+  /// to the same bit-identical responses a synchronous caller submitting
+  /// the same arrival sequence would get, for any batch slicing.
+  std::future<Result<RecResponse>> SubmitAsync(const RecRequest& request);
+
+  /// Forces the batcher to drain immediately and blocks until every
+  /// request enqueued before the call has resolved.
+  void Flush();
 
   /// Re-runs PrepareForEval and drops every cache entry. Required after
   /// the underlying model's parameters change.
@@ -145,11 +192,19 @@ class RecommendationService {
     double kernel_ms = 0.0;
   };
 
+  /// One queued async request: its payload plus the promise its future
+  /// hangs off.
+  struct Pending {
+    RecRequest request;
+    std::promise<Result<RecResponse>> promise;
+  };
+
   RecommendationService(const Dataset* dataset, RecModel* model,
                         const DiversityKernel* diversity, ThreadPool* pool,
                         ServeConfig config);
 
-  /// Builds the pool and fetches-or-builds the served kernel for a user.
+  /// Builds the pool and fetches-or-builds the served kernel for a user
+  /// through the cache's deduplicated build path.
   Result<UserWork> PrepareUser(int user, const Vector& scores);
 
   /// True when this pool's sampling kernel should be built through the
@@ -159,6 +214,13 @@ class RecommendationService {
 
   /// Distills one request's top-k list from its user's prepared kernel.
   Result<RecResponse> SelectTopK(int user, const UserWork& work, Rng* rng);
+
+  /// Grain for a per-request ParallelFor stage of n items.
+  int StageGrain(int n) const;
+
+  /// The admission batcher: sleeps until work arrives, flushes on
+  /// occupancy/deadline/stop, serves via HandleBatch, resolves promises.
+  void BatcherLoop();
 
   const Dataset* dataset_;
   RecModel* model_;
@@ -170,16 +232,22 @@ class RecommendationService {
   std::mutex rng_mu_;
   Rng master_rng_;
 
-  // Stats window. latencies_ms_ is a bounded ring so a long-lived
-  // service cannot grow without bound; percentiles are computed over the
-  // most recent window.
-  static constexpr size_t kLatencyWindow = 1 << 16;
-  mutable std::mutex stats_mu_;
-  long requests_ = 0;
-  long batches_ = 0;
-  double batch_wall_seconds_ = 0.0;
-  std::vector<double> latencies_ms_;
-  size_t latency_cursor_ = 0;
+  // Lock-striped stats window (latency ring + counters); merged only at
+  // Snapshot().
+  ServeRecorder recorder_;
+
+  // Admission queue state. The batcher thread starts lazily on the
+  // first SubmitAsync and is joined by the destructor after draining.
+  std::mutex adm_mu_;
+  std::condition_variable adm_cv_;       // Wakes the batcher.
+  std::condition_variable adm_idle_cv_;  // Wakes Flush waiters.
+  std::deque<Pending> adm_queue_;
+  std::chrono::steady_clock::time_point adm_oldest_;
+  bool adm_flush_ = false;
+  bool adm_stop_ = false;
+  bool adm_busy_ = false;  // A flushed batch is being served.
+  bool batcher_started_ = false;
+  std::thread batcher_;
 };
 
 }  // namespace lkpdpp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace lkpdpp {
@@ -21,13 +22,120 @@ double Percentile(std::vector<double> sample, double q) {
   return PercentileOfSorted(sample, q);
 }
 
+namespace {
+
+// Nearest-rank element via one nth_element partition (no full sort).
+double NthPercentile(std::vector<double>* scratch, double q) {
+  const size_t n = scratch->size();
+  size_t rank =
+      static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank > 0) --rank;
+  std::nth_element(scratch->begin(),
+                   scratch->begin() + static_cast<std::ptrdiff_t>(rank),
+                   scratch->end());
+  return (*scratch)[rank];
+}
+
+}  // namespace
+
+LatencySummary SummarizeLatencies(std::vector<double> window) {
+  LatencySummary out;
+  if (window.empty()) return out;
+  out.p50 = NthPercentile(&window, 0.50);
+  out.p95 = NthPercentile(&window, 0.95);
+  out.p99 = NthPercentile(&window, 0.99);
+  out.max = *std::max_element(window.begin(), window.end());
+  return out;
+}
+
+ServeRecorder::ServeRecorder(size_t window_capacity, int stripes) {
+  if (stripes < 1) stripes = 1;
+  if (window_capacity < static_cast<size_t>(stripes)) {
+    window_capacity = static_cast<size_t>(stripes);
+  }
+  stripes_.reserve(static_cast<size_t>(stripes));
+  for (int s = 0; s < stripes; ++s) {
+    stripes_.push_back(std::make_unique<Stripe>());
+    stripes_.back()->capacity =
+        window_capacity / static_cast<size_t>(stripes) +
+        (static_cast<size_t>(s) <
+                 window_capacity % static_cast<size_t>(stripes)
+             ? 1
+             : 0);
+  }
+  window_start_ = std::chrono::steady_clock::now();
+}
+
+void ServeRecorder::RecordBatch(long requests, double batch_seconds,
+                                const double* latencies_ms, size_t count) {
+  Stripe& stripe =
+      *stripes_[next_stripe_.fetch_add(1, std::memory_order_relaxed) %
+                stripes_.size()];
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  stripe.requests += requests;
+  ++stripe.batches;
+  stripe.busy_seconds += batch_seconds;
+  for (size_t i = 0; i < count; ++i) {
+    if (stripe.window.size() < stripe.capacity) {
+      stripe.window.push_back(latencies_ms[i]);
+    } else {
+      stripe.window[stripe.cursor] = latencies_ms[i];
+      stripe.cursor = (stripe.cursor + 1) % stripe.capacity;
+    }
+  }
+}
+
+void ServeRecorder::Reset() {
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lk(stripe->mu);
+    stripe->requests = 0;
+    stripe->batches = 0;
+    stripe->busy_seconds = 0.0;
+    stripe->window.clear();
+    stripe->cursor = 0;
+  }
+  std::lock_guard<std::mutex> lk(start_mu_);
+  window_start_ = std::chrono::steady_clock::now();
+}
+
+void ServeRecorder::Snapshot(ServeStats* out) const {
+  std::vector<double> merged;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lk(stripe->mu);
+    out->requests += stripe->requests;
+    out->batches += stripe->batches;
+    out->busy_seconds += stripe->busy_seconds;
+    merged.insert(merged.end(), stripe->window.begin(),
+                  stripe->window.end());
+  }
+  out->mean_batch_occupancy =
+      out->batches > 0
+          ? static_cast<double>(out->requests) / out->batches
+          : 0.0;
+  const LatencySummary lat = SummarizeLatencies(std::move(merged));
+  out->latency_p50_ms = lat.p50;
+  out->latency_p95_ms = lat.p95;
+  out->latency_p99_ms = lat.p99;
+  out->latency_max_ms = lat.max;
+  double elapsed;
+  {
+    std::lock_guard<std::mutex> lk(start_mu_);
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - window_start_)
+                  .count();
+  }
+  out->wall_seconds = elapsed;
+  out->throughput_rps = elapsed > 0.0 ? out->requests / elapsed : 0.0;
+}
+
 std::string ServeStats::ToString() const {
   return StrFormat(
       "requests=%ld batches=%ld occupancy=%.1f hit_rate=%.3f "
-      "p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms rps=%.1f",
+      "p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms rps=%.1f "
+      "busy/wall=%.2f",
       requests, batches, mean_batch_occupancy, CacheHitRate(),
       latency_p50_ms, latency_p95_ms, latency_p99_ms, latency_max_ms,
-      throughput_rps);
+      throughput_rps, wall_seconds > 0.0 ? busy_seconds / wall_seconds : 0.0);
 }
 
 }  // namespace lkpdpp

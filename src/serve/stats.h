@@ -1,9 +1,19 @@
 // Serving-side observability: latency percentiles, cache hit rate, and
 // batch occupancy for RecommendationService.
+//
+// Accumulation is lock-striped (ServeRecorder): each recorded batch
+// lands in one of a fixed set of independently locked stripes, so
+// concurrent recorders — async admission flushes, multiple caller
+// threads — never serialize on a single stats mutex. Stripes are merged
+// only at Snapshot() time.
 
 #ifndef LKPDPP_SERVE_STATS_H_
 #define LKPDPP_SERVE_STATS_H_
 
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,16 +30,21 @@ struct ServeStats {
   /// Mean number of requests per HandleBatch call.
   double mean_batch_occupancy = 0.0;
   /// Per-request latency distribution, milliseconds, over the most
-  /// recent window (the service keeps a bounded ring, not full history).
+  /// recent window (the recorder keeps a bounded ring, not full history).
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
-  /// Wall time summed across HandleBatch calls and the derived request
-  /// rate. Accurate for serialized callers (the bench harnesses);
-  /// concurrent callers overlap in real time, so their summed wall time
-  /// overstates elapsed time and throughput_rps reads conservatively low.
+  /// Real (monotonic) time elapsed since the stats window opened —
+  /// construction or the last ResetStats. This is what throughput_rps
+  /// divides by, so overlapping batches (async admission, concurrent
+  /// callers) can no longer overstate the denominator: elapsed time is
+  /// elapsed time no matter how many batches ran inside it.
   double wall_seconds = 0.0;
+  /// Summed per-batch wall time. Under concurrency this exceeds
+  /// wall_seconds (batches overlap); the ratio busy/wall is effective
+  /// serving parallelism.
+  double busy_seconds = 0.0;
   double throughput_rps = 0.0;
 
   double CacheHitRate() const {
@@ -47,6 +62,65 @@ double Percentile(std::vector<double> sample, double q);
 /// Nearest-rank percentile of an already ascending-sorted sample; lets
 /// callers pay one sort for several quantiles. 0 on an empty sample.
 double PercentileOfSorted(const std::vector<double>& sorted, double q);
+
+/// p50/p95/p99/max of a latency window, all in one pass family.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the summary via three std::nth_element partitions plus a
+/// max scan — O(n) per snapshot instead of the O(n log n) full sort the
+/// old Snapshot() path paid on every call. Nearest-rank semantics,
+/// identical to Percentile() (pinned by unit tests down to the
+/// 1-element and even/odd-length edge cases). Takes the window by value:
+/// nth_element permutes its scratch.
+LatencySummary SummarizeLatencies(std::vector<double> window);
+
+/// Lock-striped accumulator behind RecommendationService::Snapshot().
+/// RecordBatch picks a stripe round-robin and touches only that stripe's
+/// mutex; Snapshot() locks each stripe once and merges. The latency
+/// window budget is split evenly across stripes (each stripe keeps its
+/// own bounded ring), so memory stays bounded for long-lived services.
+class ServeRecorder {
+ public:
+  explicit ServeRecorder(size_t window_capacity = 1 << 16,
+                         int stripes = kDefaultStripes);
+
+  /// Folds one finished batch into a stripe: its request count, its
+  /// wall time, and the per-request latencies.
+  void RecordBatch(long requests, double batch_seconds,
+                   const double* latencies_ms, size_t count);
+
+  /// Zeroes every stripe and reopens the wall-clock window.
+  void Reset();
+
+  /// Merges every stripe into `out` (requests, batches, occupancy,
+  /// latency percentiles, wall/busy seconds, throughput). Cache counters
+  /// are the caller's to fill.
+  void Snapshot(ServeStats* out) const;
+
+  static constexpr int kDefaultStripes = 16;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    long requests = 0;
+    long batches = 0;
+    double busy_seconds = 0.0;
+    std::vector<double> window;  // Bounded ring of latencies (ms).
+    size_t cursor = 0;
+    size_t capacity = 0;
+  };
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<unsigned> next_stripe_{0};
+
+  mutable std::mutex start_mu_;
+  std::chrono::steady_clock::time_point window_start_;
+};
 
 }  // namespace lkpdpp
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <memory>
 #include <set>
 #include <thread>
@@ -693,6 +695,405 @@ TEST(ServeTest, ParallelEvaluatorMatchesSerialExactly) {
     }
     EXPECT_EQ(parallel.ValidationNdcg(w->model.get(), 10), expected_val);
   }
+}
+
+// ---------------------------------------------------------------------
+// Sharded cache + in-flight build guard
+
+TEST(KernelCacheTest, ShardCountClampsToCapacity) {
+  // Big caches spread across the requested stripes; small ones collapse
+  // so the exact-LRU tests above stay meaningful.
+  EXPECT_EQ(KernelCache(256, 16).num_shards(), 16);
+  EXPECT_EQ(KernelCache(64, 16).num_shards(), 8);
+  EXPECT_EQ(KernelCache(2).num_shards(), 1);
+  EXPECT_EQ(KernelCache(0).num_shards(), 1);
+  EXPECT_EQ(KernelCache(1024, 1).num_shards(), 1);
+}
+
+TEST(KernelCacheTest, ShardedCacheServesEveryKeyAndHonorsBudget) {
+  KernelCache cache(128, 16);
+  ASSERT_EQ(cache.num_shards(), 16);
+  // Eviction is per shard (8 entries each here), so a skewed key->shard
+  // draw may evict below the global budget; what must always hold is
+  // that every inserted key is either retained (and correct) or counted
+  // as an eviction.
+  for (int k = 0; k < 100; ++k) {
+    cache.Put(k, static_cast<uint64_t>(k) * 31 + 7, DummyEntry(k));
+  }
+  EXPECT_EQ(cache.size() + cache.evictions(), 100);
+  EXPECT_GT(cache.size(), 128 / 2);  // Shards share the load.
+  long present = 0;
+  for (int k = 0; k < 100; ++k) {
+    auto e = cache.Get(k, static_cast<uint64_t>(k) * 31 + 7);
+    if (e != nullptr) {
+      EXPECT_EQ(e->kernel(0, 0), static_cast<double>(k));
+      ++present;
+    }
+  }
+  EXPECT_EQ(present, cache.size());
+  // Overfill: total size never exceeds the budget, whatever the shards
+  // the evictions land in.
+  for (int k = 100; k < 400; ++k) {
+    cache.Put(k, static_cast<uint64_t>(k) * 31 + 7, DummyEntry(k));
+  }
+  EXPECT_LE(cache.size(), 128);
+  EXPECT_GT(cache.evictions(), 0);
+}
+
+// Regression test for the duplicate-user cold-batch race: concurrent
+// misses on ONE key must run the builder once — the first caller owns
+// the build, the rest block on the in-flight guard and share.
+TEST(KernelCacheTest, GetOrBuildBuildsOnceUnderConcurrentMisses) {
+  KernelCache cache(64);
+  const std::vector<int> items{3, 1, 4, 1, 5};
+  const uint64_t hash = HashGroundSet(items);
+  std::atomic<int> builder_runs{0};
+  std::atomic<int> hit_count{0};
+  constexpr int kCallers = 8;
+  std::vector<std::thread> callers;
+  std::vector<std::shared_ptr<const ServedKernel>> got(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      bool was_hit = false;
+      auto r = cache.GetOrBuild(7, hash, items, [&] {
+        builder_runs.fetch_add(1);
+        // Widen the race window so every caller lands mid-build.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        auto e = std::make_shared<ServedKernel>();
+        e->items = items;
+        e->kernel = Matrix(2, 2, 9.0);
+        return Result<std::shared_ptr<const ServedKernel>>(std::move(e));
+      }, &was_hit);
+      ASSERT_TRUE(r.ok());
+      got[static_cast<size_t>(c)] = *r;
+      if (was_hit) hit_count.fetch_add(1);
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(builder_runs.load(), 1);
+  EXPECT_EQ(cache.builds(), 1);
+  // Piggybacking on an in-flight build is not a cache hit: the entry
+  // was absent when every one of these calls arrived.
+  EXPECT_EQ(hit_count.load(), 0);
+  for (int c = 1; c < kCallers; ++c) {
+    EXPECT_EQ(got[static_cast<size_t>(c)], got[0]);  // Shared pointer.
+  }
+  // The winner's entry was cached: the next call is a plain hit.
+  bool was_hit = false;
+  auto again = cache.GetOrBuild(7, hash, items, [&] {
+    builder_runs.fetch_add(1);
+    return Result<std::shared_ptr<const ServedKernel>>(
+        Status::Internal("must not rebuild"));
+  }, &was_hit);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(was_hit);
+  EXPECT_EQ(builder_runs.load(), 1);
+}
+
+TEST(KernelCacheTest, GetOrBuildPropagatesErrorsAndCachesNothing) {
+  KernelCache cache(16);
+  const std::vector<int> items{1, 2};
+  const uint64_t hash = HashGroundSet(items);
+  auto fail = cache.GetOrBuild(1, hash, items, [] {
+    return Result<std::shared_ptr<const ServedKernel>>(
+        Status::Internal("boom"));
+  });
+  EXPECT_FALSE(fail.ok());
+  EXPECT_EQ(cache.size(), 0);
+  // A failed build leaves no poisoned guard behind: the next call
+  // builds fresh and succeeds.
+  auto ok = cache.GetOrBuild(1, hash, items, [&] {
+    auto e = std::make_shared<ServedKernel>();
+    e->items = items;
+    return Result<std::shared_ptr<const ServedKernel>>(std::move(e));
+  });
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(cache.builds(), 2);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(KernelCacheTest, GetOrBuildDetectsHashCollisionByItems) {
+  KernelCache cache(16);
+  const std::vector<int> items{1, 2, 3};
+  const std::vector<int> other{9, 8, 7};
+  const uint64_t hash = 42;  // Deliberately shared: a forced collision.
+  auto build_for = [](const std::vector<int>& which) {
+    return [&which] {
+      auto e = std::make_shared<ServedKernel>();
+      e->items = which;
+      return Result<std::shared_ptr<const ServedKernel>>(std::move(e));
+    };
+  };
+  ASSERT_TRUE(cache.GetOrBuild(1, hash, items, build_for(items)).ok());
+  bool was_hit = true;
+  auto r = cache.GetOrBuild(1, hash, other, build_for(other), &was_hit);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(was_hit);  // Stale entry must not be served.
+  EXPECT_EQ((*r)->items, other);
+}
+
+// ---------------------------------------------------------------------
+// Latency summaries and the lock-striped recorder
+
+TEST(ServeStatsTest, SummarizeLatenciesPinnedWindows) {
+  // 1-element window: every quantile is that element.
+  LatencySummary one = SummarizeLatencies({7.5});
+  EXPECT_DOUBLE_EQ(one.p50, 7.5);
+  EXPECT_DOUBLE_EQ(one.p95, 7.5);
+  EXPECT_DOUBLE_EQ(one.p99, 7.5);
+  EXPECT_DOUBLE_EQ(one.max, 7.5);
+
+  // Even length, shuffled: nearest-rank p50 of {1,2,3,4} is 2 (rank
+  // ceil(0.5 * 4) = 2), not the 2.5 a midpoint interpolation would give.
+  LatencySummary even = SummarizeLatencies({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(even.p50, 2.0);
+  EXPECT_DOUBLE_EQ(even.p95, 4.0);
+  EXPECT_DOUBLE_EQ(even.p99, 4.0);
+  EXPECT_DOUBLE_EQ(even.max, 4.0);
+
+  // Odd length: p50 is the true median.
+  LatencySummary odd = SummarizeLatencies({5.0, 1.0, 4.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(odd.p50, 3.0);
+  EXPECT_DOUBLE_EQ(odd.p95, 5.0);
+
+  LatencySummary empty = SummarizeLatencies({});
+  EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+}
+
+TEST(ServeStatsTest, SummarizeLatenciesMatchesPercentileOnLargeWindows) {
+  // The O(n) nth_element path must agree with the sort-based
+  // Percentile() on every quantile it reports.
+  Rng rng(123);
+  std::vector<double> window(1000);
+  for (double& x : window) x = rng.Uniform() * 50.0;
+  const LatencySummary s = SummarizeLatencies(window);
+  EXPECT_DOUBLE_EQ(s.p50, Percentile(window, 0.50));
+  EXPECT_DOUBLE_EQ(s.p95, Percentile(window, 0.95));
+  EXPECT_DOUBLE_EQ(s.p99, Percentile(window, 0.99));
+  EXPECT_DOUBLE_EQ(s.max, Percentile(window, 1.0));
+}
+
+TEST(ServeStatsTest, RecorderMergesStripesAndSeparatesBusyFromWall) {
+  ServeRecorder recorder(/*window_capacity=*/1024, /*stripes=*/4);
+  const double batch1[] = {1.0, 2.0, 3.0};
+  const double batch2[] = {4.0};
+  recorder.RecordBatch(3, 0.5, batch1, 3);
+  recorder.RecordBatch(1, 0.25, batch2, 1);
+  ServeStats stats;
+  recorder.Snapshot(&stats);
+  EXPECT_EQ(stats.requests, 4);
+  EXPECT_EQ(stats.batches, 2);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_occupancy, 2.0);
+  // busy = summed batch walls; wall = monotonic window elapsed. The
+  // batches above took ~0s of real time, so wall stays far below the
+  // 0.75s of claimed busy time — the overlap bug this fixes reported
+  // those 0.75s AS the wall.
+  EXPECT_DOUBLE_EQ(stats.busy_seconds, 0.75);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_LT(stats.wall_seconds, 0.5);
+  EXPECT_GT(stats.throughput_rps, 4 / 0.5);
+  // Percentiles span stripes: the window is {1,2,3,4} after merging.
+  EXPECT_DOUBLE_EQ(stats.latency_p50_ms, 2.0);
+  EXPECT_DOUBLE_EQ(stats.latency_max_ms, 4.0);
+
+  recorder.Reset();
+  ServeStats cleared;
+  recorder.Snapshot(&cleared);
+  EXPECT_EQ(cleared.requests, 0);
+  EXPECT_DOUBLE_EQ(cleared.busy_seconds, 0.0);
+}
+
+TEST(ServeStatsTest, RecorderConcurrentRecordsAllCounted) {
+  ServeRecorder recorder(1024, 8);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder] {
+      const double lat[] = {1.0, 2.0};
+      for (int i = 0; i < 250; ++i) {
+        recorder.RecordBatch(2, 0.001, lat, 2);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  ServeStats stats;
+  recorder.Snapshot(&stats);
+  EXPECT_EQ(stats.requests, 2000);
+  EXPECT_EQ(stats.batches, 1000);
+  EXPECT_NEAR(stats.busy_seconds, 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Async admission
+
+// The core admission contract: a SubmitAsync stream resolves to the
+// bit-identical responses a synchronous caller gets for the same
+// arrival order, regardless of how the batcher slices it.
+TEST(ServeTest, AsyncAdmissionMatchesSyncBitExactly) {
+  ServeWorld* w = World();
+  for (const ServeMode mode : {ServeMode::kMapRerank, ServeMode::kSample}) {
+    // A shuffled arrival order (not the round-robin the batches were
+    // built in): what must match is this order, fork by fork.
+    std::vector<RecRequest> trace = RoundRobinBatch(40, 5);
+    Rng shuffle_rng(77);
+    shuffle_rng.Shuffle(&trace);
+
+    ServeConfig sync_config = BaseConfig(mode);
+    auto sync_service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr, sync_config);
+    ASSERT_TRUE(sync_service.ok());
+    auto sync_responses = (*sync_service)->HandleBatch(trace);
+    ASSERT_TRUE(sync_responses.ok());
+
+    // Tiny batches + zero deadline force many different slicings of the
+    // same arrival sequence.
+    ServeConfig async_config = BaseConfig(mode);
+    async_config.max_batch_size = 7;
+    async_config.batch_deadline_ms = 0.0;
+    auto async_service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr, async_config);
+    ASSERT_TRUE(async_service.ok());
+    std::vector<std::future<Result<RecResponse>>> futures;
+    for (const RecRequest& r : trace) {
+      futures.push_back((*async_service)->SubmitAsync(r));
+    }
+    (*async_service)->Flush();
+    for (size_t i = 0; i < futures.size(); ++i) {
+      Result<RecResponse> resp = futures[i].get();
+      ASSERT_TRUE(resp.ok());
+      EXPECT_EQ(resp->items, (*sync_responses)[i].items)
+          << ServeModeName(mode) << " request " << i;
+      EXPECT_EQ(resp->user, trace[i].user);
+    }
+    const ServeStats stats = (*async_service)->Snapshot();
+    EXPECT_EQ(stats.requests, 40);
+    EXPECT_GE(stats.batches, 40 / 7);  // Occupancy-bounded slicing.
+  }
+}
+
+TEST(ServeTest, AsyncAdmissionSlicingInvariance) {
+  // Two async services with very different flush policies (deadline
+  // flusher vs occupancy flusher) must produce identical streams.
+  ServeWorld* w = World();
+  const std::vector<RecRequest> trace = RoundRobinBatch(30, 11);
+  std::vector<std::vector<int>> reference;
+  for (const int max_batch : {3, 64}) {
+    ServeConfig config = BaseConfig(ServeMode::kSample);
+    config.max_batch_size = max_batch;
+    config.batch_deadline_ms = max_batch == 64 ? 0.2 : 50.0;
+    auto service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr, config);
+    ASSERT_TRUE(service.ok());
+    std::vector<std::future<Result<RecResponse>>> futures;
+    for (const RecRequest& r : trace) {
+      futures.push_back((*service)->SubmitAsync(r));
+    }
+    (*service)->Flush();
+    std::vector<std::vector<int>> got;
+    for (auto& f : futures) {
+      Result<RecResponse> resp = f.get();
+      ASSERT_TRUE(resp.ok());
+      got.push_back(resp->items);
+    }
+    if (reference.empty()) {
+      reference = std::move(got);
+    } else {
+      EXPECT_EQ(got, reference);
+    }
+  }
+}
+
+TEST(ServeTest, DestructorResolvesQueuedRequests) {
+  ServeWorld* w = World();
+  ServeConfig config = BaseConfig(ServeMode::kMapRerank);
+  config.batch_deadline_ms = 1000.0;  // Nothing flushes on its own.
+  config.max_batch_size = 1024;
+  std::vector<std::future<Result<RecResponse>>> futures;
+  {
+    auto service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr, config);
+    ASSERT_TRUE(service.ok());
+    for (int i = 0; i < 5; ++i) {
+      futures.push_back((*service)->SubmitAsync(RecRequest{i}));
+    }
+    // Destroyed with the deadline far in the future: the destructor
+    // must drain, not abandon, the queue.
+  }
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
+}
+
+// TSan-focused stress: async admission + sharded cache + eviction churn
+// + the dual/primal mix, all at once. Runs under the dedicated TSan CI
+// job via the `thread` label on this suite.
+TEST(ServeTest, AsyncAdmissionConcurrentSubmittersStress) {
+  ServeWorld* w = World();
+  ThreadPool pool(4);
+  ServeConfig config = BaseConfig(ServeMode::kSample);
+  config.kernel_blend_alpha = 1.0;  // Dual path active (rank 8 < pool 20).
+  config.cache_capacity = 16;       // Constant eviction churn.
+  config.max_batch_size = 8;
+  config.batch_deadline_ms = 0.1;
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, &pool, config);
+  ASSERT_TRUE(service.ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;
+  for (int c = 0; c < 4; ++c) {
+    submitters.emplace_back([&, c] {
+      std::vector<std::future<Result<RecResponse>>> futures;
+      for (int i = 0; i < 60; ++i) {
+        futures.push_back((*service)->SubmitAsync(
+            RecRequest{(c * 17 + i) % w->dataset.num_users()}));
+      }
+      for (auto& f : futures) {
+        Result<RecResponse> resp = f.get();
+        if (!resp.ok() ||
+            static_cast<int>(resp->items.size()) != config.top_k) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // One synchronous caller interleaves with the async stream.
+  std::thread sync_caller([&] {
+    for (int b = 0; b < 10; ++b) {
+      if (!(*service)->HandleBatch(RoundRobinBatch(6, b * 7)).ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  for (auto& t : submitters) t.join();
+  sync_caller.join();
+  EXPECT_EQ(failures.load(), 0);
+  const ServeStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.requests, 4 * 60 + 10 * 6);
+  EXPECT_GT((*service)->cache().evictions(), 0);
+}
+
+// Duplicate users racing across concurrent cold batches: the in-flight
+// guard (not just per-batch dedup) must collapse the kernel builds.
+TEST(ServeTest, ConcurrentColdBatchesForOneUserBuildOnce) {
+  ServeWorld* w = World();
+  ThreadPool pool(4);
+  ServeConfig config = BaseConfig(ServeMode::kSample);
+  config.cache_capacity = 64;
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, &pool, config);
+  ASSERT_TRUE(service.ok());
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      // Every batch names only user 3: all four callers race on one key.
+      const std::vector<RecRequest> batch(8, RecRequest{3});
+      if (!(*service)->HandleBatch(batch).ok()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ((*service)->cache().builds(), 1);
 }
 
 }  // namespace

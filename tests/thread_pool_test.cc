@@ -158,6 +158,86 @@ TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
   EXPECT_EQ(count.load(), 64);
 }
 
+TEST(ThreadPoolTest, ChunkedParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  // Grains below, at, and above n, plus degenerate sizes.
+  for (int n : {0, 1, 7, 64, 1000}) {
+    for (int grain : {1, 3, 7, 64, 5000}) {
+      std::vector<std::atomic<int>> counts(static_cast<size_t>(n));
+      for (auto& c : counts) c.store(0);
+      pool.ParallelFor(n, grain, [&](int i) {
+        counts[static_cast<size_t>(i)].fetch_add(1);
+      });
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(counts[static_cast<size_t>(i)].load(), 1)
+            << "n=" << n << " grain=" << grain << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForMatchesGrainOne) {
+  // Index-addressed outputs are identical whatever the chunking,
+  // i.e. coarsening changes scheduling, never results.
+  ThreadPool pool(4);
+  const int n = 512;
+  std::vector<double> fine(static_cast<size_t>(n), 0.0);
+  std::vector<double> coarse(static_cast<size_t>(n), 0.0);
+  auto fill = [](std::vector<double>* out) {
+    return [out](int i) {
+      Rng rng(static_cast<uint64_t>(i) + 17);
+      (*out)[static_cast<size_t>(i)] = rng.Uniform() + i;
+    };
+  };
+  pool.ParallelFor(n, 1, fill(&fine));
+  pool.ParallelFor(n, 37, fill(&coarse));
+  EXPECT_EQ(fine, coarse);
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForKeepsChunksOnOneThread) {
+  // The whole point of the grain: one claim, one thread, `grain`
+  // consecutive indices — so every index of a chunk must report the
+  // same executing thread.
+  ThreadPool pool(4);
+  const int n = 96;
+  const int grain = 8;
+  std::vector<std::thread::id> owner(static_cast<size_t>(n));
+  pool.ParallelFor(n, grain, [&](int i) {
+    owner[static_cast<size_t>(i)] = std::this_thread::get_id();
+  });
+  for (int c = 0; c < n / grain; ++c) {
+    for (int i = c * grain + 1; i < (c + 1) * grain; ++i) {
+      EXPECT_EQ(owner[static_cast<size_t>(i)],
+                owner[static_cast<size_t>(c * grain)]);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, GrainForScalesWithSizeAndFloors) {
+  ThreadPool pool(4);
+  // Tiny loops floor at min_grain; big loops target ~4 chunks per lane.
+  EXPECT_EQ(pool.GrainFor(1), 1);
+  EXPECT_EQ(pool.GrainFor(10), 1);
+  EXPECT_EQ(pool.GrainFor(10, 5), 5);
+  const int lanes = pool.num_threads() + 1;
+  EXPECT_EQ(pool.GrainFor(4000), 4000 / (lanes * 4));
+  EXPECT_GE(pool.GrainFor(1000000), pool.GrainFor(1000));
+}
+
+TEST(ThreadPoolTest, ParallelForOrSerialGrainOverloadMatchesSerial) {
+  ThreadPool pool(3);
+  const int n = 200;
+  std::vector<int> with_pool(static_cast<size_t>(n), 0);
+  std::vector<int> serial(static_cast<size_t>(n), 0);
+  ParallelForOrSerial(&pool, n, /*min_grain=*/4, [&](int i) {
+    with_pool[static_cast<size_t>(i)] = 3 * i + 1;
+  });
+  ParallelForOrSerial(nullptr, n, /*min_grain=*/4, [&](int i) {
+    serial[static_cast<size_t>(i)] = 3 * i + 1;
+  });
+  EXPECT_EQ(with_pool, serial);
+}
+
 TEST(ThreadPoolTest, DefaultThreadCountRespectsEnvOverride) {
   // Save/restore so this test does not leak into others.
   const char* old = std::getenv("LKP_THREADS");
