@@ -46,7 +46,8 @@ SERVE_OUT=$(mktemp)
 TRAIN_OUT=$(mktemp)
 EIGEN_OUT=$(mktemp)
 DUAL_OUT=$(mktemp)
-trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" "$DUAL_OUT"' EXIT
+METRICS_OUT=$(mktemp)
+trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" "$DUAL_OUT" "$METRICS_OUT"' EXIT
 
 echo "running fig2_k_sweep (LKP_SCALE=$LKP_SCALE LKP_EPOCHS=$LKP_EPOCHS)..."
 "$BUILD_DIR/bench/fig2_k_sweep" > "$FIG2_OUT"
@@ -64,8 +65,10 @@ echo "running serve_throughput (LKP_SERVE_USERS=$LKP_SERVE_USERS" \
      "LKP_SERVE_REQUESTS=$LKP_SERVE_REQUESTS)..."
 # serve_throughput exits non-zero on a determinism violation (and, with
 # LKP_SCALING_GATE=1, on a scaling shortfall); keep going so the parser
-# records the red verdict instead of aborting the baseline.
-"$BUILD_DIR/bench/serve_throughput" > "$SERVE_OUT" || true
+# records the red verdict instead of aborting the baseline. The obs
+# metrics dump of the same run rides along into the baseline.
+LKP_METRICS_OUT="$METRICS_OUT" \
+  "$BUILD_DIR/bench/serve_throughput" > "$SERVE_OUT" || true
 
 echo "running train_throughput (LKP_TRAIN_EPOCHS=$LKP_TRAIN_EPOCHS)..."
 # train_throughput exits non-zero on a determinism violation; keep going
@@ -83,11 +86,11 @@ echo "running dual_bench (n=4096 primal eigendecompositions: minutes)..."
 "$BUILD_DIR/bench/dual_bench" > "$DUAL_OUT" || true
 
 python3 - "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" \
-  "$DUAL_OUT" <<'EOF'
+  "$DUAL_OUT" "$METRICS_OUT" <<'EOF'
 import json, os, re, sys
 
 (fig2_path, micro_path, serve_path, train_path, eigen_path,
- dual_path) = sys.argv[1:7]
+ dual_path, metrics_path) = sys.argv[1:8]
 
 # --- fig2_k_sweep: parse the per-k metric rows under each mode header.
 fig2 = {}
@@ -236,6 +239,15 @@ if not dual["shapes"]:
     # A verdict backed by zero measurements is not a green verdict.
     dual["dual_agrees"] = False
 
+# --- obs metrics: the serve_throughput run's MetricsRegistry dump
+# (LKP_METRICS_OUT). Counter totals are workload-shape references;
+# absence of an expected family is the regression this catches.
+obs_metrics = {}
+try:
+    obs_metrics = json.load(open(metrics_path))
+except (OSError, json.JSONDecodeError):
+    pass
+
 baseline = {
     "comment": (
         "Golden bench baselines. fig2 metrics are bit-deterministic for "
@@ -258,6 +270,7 @@ baseline = {
     "train_throughput": train,
     "eigen": eigen,
     "dual": dual,
+    "obs_metrics": obs_metrics,
 }
 with open("BENCH_baseline.json", "w") as f:
     json.dump(baseline, f, indent=2)

@@ -31,6 +31,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <thread>
@@ -40,6 +41,7 @@
 #include "common/thread_pool.h"
 #include "data/synthetic.h"
 #include "models/mf.h"
+#include "obs/metrics.h"
 #include "serve/service.h"
 
 namespace lkpdpp {
@@ -326,6 +328,18 @@ int main() {
   const double sample_speedup =
       Sweep(dataset, &model, diversity, ServeMode::kSample, batches);
   AsyncSection(dataset, &model, diversity, trace, batches);
+
+  // LKP_METRICS_OUT=<path>: dump the accumulated process metrics as
+  // JSON (record_baseline.sh folds this into BENCH_baseline.json).
+  if (const char* metrics_out = std::getenv("LKP_METRICS_OUT")) {
+    std::ofstream f(metrics_out, std::ios::out | std::ios::trunc);
+    if (f.is_open()) {
+      f << obs::MetricsRegistry::Global().DumpJson();
+      std::printf("\nwrote metrics dump to %s\n", metrics_out);
+    } else {
+      std::printf("\nFAILED to open LKP_METRICS_OUT=%s\n", metrics_out);
+    }
+  }
 
   std::printf("\nnote: speedups are bounded by physical cores; the "
               "determinism checks are machine-independent.\n");

@@ -4,23 +4,31 @@
 // Trains a small MF backbone with LkP, wraps it in a
 // RecommendationService via the experiment runner (which shares its
 // pre-learned diversity kernel), then serves batched top-k requests in
-// both modes — greedy MAP rerank and exact k-DPP sampling — and prints
-// the serving stats: latency percentiles, cache hit rate, and batch
-// occupancy.
+// both modes — greedy MAP rerank and exact k-DPP sampling — with
+// tracing on, and prints the serving stats plus the process-wide
+// Prometheus metrics dump. The accumulated per-stage trace is written
+// as Chrome trace-event JSON, loadable in Perfetto (ui.perfetto.dev)
+// or chrome://tracing.
 //
 //   ./build/examples/serving_demo
+//   # then open serving_demo_trace.json in Perfetto
 
 #include <cstdio>
 
 #include "common/thread_pool.h"
 #include "data/synthetic.h"
 #include "exp/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 
 int main() {
   using namespace lkpdpp;
   auto dataset = GenerateSyntheticDataset(BeautyLikeConfig(0.6));
   dataset.status().CheckOK();
+
+  // Record per-stage spans for everything below (training included).
+  obs::SetTraceEnabled(true);
 
   // One work-stealing pool serves both offline evaluation and online
   // requests.
@@ -67,6 +75,19 @@ int main() {
     const ServeStats stats = (*service)->Snapshot();
     std::printf("[%s] %s\n", ServeModeName(mode),
                 stats.ToString().c_str());
+  }
+
+  // Everything the run just did, as Prometheus text exposition: serve
+  // counters and latency histograms, cache hits/misses/builds, pool
+  // queue depth, training batches — one registry, one dump.
+  std::printf("\n--- metrics (Prometheus text exposition) ---\n%s",
+              obs::MetricsRegistry::Global().DumpPrometheusText().c_str());
+
+  const char* trace_path = "serving_demo_trace.json";
+  if (obs::DumpChromeTrace(trace_path)) {
+    std::printf("\nwrote %ld trace events to %s — open it in Perfetto "
+                "(ui.perfetto.dev) or chrome://tracing.\n",
+                obs::TotalRecordedEvents(), trace_path);
   }
 
   std::printf("\nsame pool, same kernels: the serving path is the "

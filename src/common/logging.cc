@@ -1,6 +1,11 @@
 #include "common/logging.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
+
+#include "obs/metrics.h"
 
 namespace lkpdpp {
 
@@ -27,6 +32,30 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+const char* Basename(const char* file) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+// "HH:MM:SS.mmm" wall-clock UTC timestamp into `buf`.
+void FormatTimestamp(char* buf, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  std::snprintf(buf, size, "%02d:%02d:%02d.%03d", tm_utc.tm_hour,
+                tm_utc.tm_min, tm_utc.tm_sec, millis);
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return g_level; }
@@ -35,17 +64,22 @@ void SetLogLevel(LogLevel level) { g_level = level; }
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  const char* base = file;
-  for (const char* p = file; *p != '\0'; ++p) {
-    if (*p == '/') base = p + 1;
-  }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
-}
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
-  (level_ >= LogLevel::kWarning ? std::cerr : std::cout)
-      << stream_.str() << std::endl;
+  // The whole line — prefix, message, newline — is assembled first and
+  // emitted with a single write, so lines from concurrent threads come
+  // out whole instead of interleaved piecewise.
+  char stamp[32];
+  FormatTimestamp(stamp, sizeof(stamp));
+  std::ostringstream line;
+  line << "[" << LevelName(level_) << " " << stamp << " T"
+       << obs::CurrentThreadId() << " " << Basename(file_) << ":" << line_
+       << "] " << stream_.str() << "\n";
+  const std::string text = line.str();
+  std::ostream& os = level_ >= LogLevel::kWarning ? std::cerr : std::cout;
+  os.write(text.data(), static_cast<std::streamsize>(text.size()));
+  os.flush();
 }
 
 FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
@@ -54,7 +88,9 @@ FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
 }
 
 FatalMessage::~FatalMessage() {
-  std::cerr << stream_.str() << std::endl;
+  const std::string text = stream_.str() + "\n";
+  std::cerr.write(text.data(), static_cast<std::streamsize>(text.size()));
+  std::cerr.flush();
   std::abort();
 }
 

@@ -22,6 +22,10 @@ void SetLogLevel(LogLevel level);
 
 namespace internal {
 
+/// Buffers one log statement and emits it as a single pre-assembled
+/// line — "[LEVEL <utc-time> T<tid> file:line] message\n" — with one
+/// write() call in the destructor, so concurrent threads never
+/// interleave fragments of each other's lines.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -30,6 +34,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -3,8 +3,33 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace lkpdpp {
+
+namespace {
+
+// Process-wide pool metrics (all pools aggregate): how much work flows
+// through, how often idle workers have to steal, and how deep the
+// queues currently run. Handles are cached once; increments are
+// lock-free sharded atomics (see obs/metrics.h).
+obs::Counter* PoolTasksTotal() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("lkp_pool_tasks_total");
+  return counter;
+}
+obs::Counter* PoolStealsTotal() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("lkp_pool_steals_total");
+  return counter;
+}
+obs::Gauge* PoolQueueDepth() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("lkp_pool_queue_depth");
+  return gauge;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -30,6 +55,8 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   LKP_CHECK(task != nullptr);
+  PoolTasksTotal()->Inc();
+  PoolQueueDepth()->Add(1.0);
   {
     std::lock_guard<std::mutex> lk(pending_mu_);
     ++pending_;
@@ -62,10 +89,13 @@ void ThreadPool::RunTask(std::function<void()>* task) {
 
 bool ThreadPool::PopOwn(int self, std::function<void()>* task) {
   Worker& w = *workers_[static_cast<size_t>(self)];
-  std::lock_guard<std::mutex> lk(w.mu);
-  if (w.queue.empty()) return false;
-  *task = std::move(w.queue.back());
-  w.queue.pop_back();
+  {
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (w.queue.empty()) return false;
+    *task = std::move(w.queue.back());
+    w.queue.pop_back();
+  }
+  PoolQueueDepth()->Add(-1.0);
   return true;
 }
 
@@ -74,10 +104,14 @@ bool ThreadPool::Steal(int self, std::function<void()>* task) {
   // Scan victims starting just past ourselves so thieves spread out.
   for (int off = 1; off < n; ++off) {
     Worker& w = *workers_[static_cast<size_t>((self + off) % n)];
-    std::lock_guard<std::mutex> lk(w.mu);
-    if (w.queue.empty()) continue;
-    *task = std::move(w.queue.front());
-    w.queue.pop_front();
+    {
+      std::lock_guard<std::mutex> lk(w.mu);
+      if (w.queue.empty()) continue;
+      *task = std::move(w.queue.front());
+      w.queue.pop_front();
+    }
+    PoolStealsTotal()->Inc();
+    PoolQueueDepth()->Add(-1.0);
     return true;
   }
   return false;

@@ -11,12 +11,20 @@
 #include "models/gcn.h"
 #include "models/mf.h"
 #include "models/neumf.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/optimizer.h"
 #include "opt/parallel_batch.h"
 
 namespace lkpdpp {
 
 namespace {
+
+obs::Counter* TrainEpochsTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_train_epochs_total");
+  return counter;
+}
 
 // Snapshot / restore of parameter values around the best epoch.
 std::vector<Matrix> SnapshotParams(const std::vector<ad::Param*>& params) {
@@ -186,6 +194,8 @@ Result<ExperimentResult> ExperimentRunner::RunAndKeepModel(
   int rounds_since_best = 0;
 
   for (int epoch = 1; epoch <= spec.epochs; ++epoch) {
+    LKP_TRACE_SPAN("train.epoch");
+    TrainEpochsTotal()->Inc();
     Stopwatch train_timer;
     LKP_ASSIGN_OR_RETURN(std::vector<TrainingInstance> instances,
                          builder.BuildEpoch(&rng));

@@ -1,0 +1,183 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket
+// histograms behind a MetricsRegistry, with Prometheus text exposition
+// and a JSON dump for bench baselines.
+//
+// Design constraints, in order:
+//   1. Hot-path increments must never contend. Counter spreads its
+//      value across cacheline-padded atomic cells indexed by a dense
+//      per-thread id, so concurrent Inc() calls from different threads
+//      touch different cachelines; Value() sums the cells.
+//   2. Handles are stable. GetCounter/GetGauge/GetHistogram return
+//      pointers that live as long as the process — call sites cache
+//      them in function-local statics and pay one mutex acquisition
+//      ever, not one per increment.
+//   3. No dependencies above the standard library. obs sits BELOW
+//      lkp_common in the link order so logging, the thread pool, and
+//      everything else can publish metrics without a cycle.
+//
+// Naming convention: lkp_<subsystem>_<what>_<unit-or-total>, e.g.
+// lkp_serve_requests_total, lkp_pool_queue_depth,
+// lkp_serve_request_latency_ms. A name may carry a Prometheus label
+// suffix (lkp_numerical_errors_total{site="serve"}); the exporter
+// groups such series under one # TYPE family line.
+
+#ifndef LKPDPP_OBS_METRICS_H_
+#define LKPDPP_OBS_METRICS_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lkpdpp {
+namespace obs {
+
+/// Dense small id for the calling thread: 0, 1, 2, ... in first-use
+/// order, stable for the thread's lifetime. Used to pick counter cells
+/// and to stamp log lines / trace events.
+int CurrentThreadId();
+
+/// Monotonically increasing counter. Inc is lock-free and (across
+/// threads) contention-free: each thread lands in one of kCells
+/// cacheline-padded atomics. Usable standalone or via the registry.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(long n = 1) {
+    cells_[static_cast<unsigned>(CurrentThreadId()) % kCells].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  long Value() const {
+    long total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes the cells (stats windows / tests). Not atomic with respect
+  /// to concurrent Inc — reset quiescent counters only.
+  void Reset() {
+    for (Cell& cell : cells_) cell.v.store(0, std::memory_order_relaxed);
+  }
+
+  static constexpr unsigned kCells = 16;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<long> v{0};
+  };
+  Cell cells_[kCells];
+};
+
+/// Last-writer-wins instantaneous value with atomic Add (CAS loop).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` semantics: an
+/// observation v lands in the first bucket whose upper bound satisfies
+/// v <= bound, or in the implicit +Inf overflow bucket. Bounds are
+/// fixed at construction; Observe is lock-free.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly ascending (checked); the +Inf
+  /// bucket is implicit and always present.
+  explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v);
+
+  long Count() const { return count_.Value(); }
+  double Sum() const { return sum_.Value(); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Per-bucket (non-cumulative) counts; the last entry is the +Inf
+  /// overflow bucket, so the vector has bounds().size() + 1 entries.
+  std::vector<long> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<long>[]> buckets_;  // bounds_.size() + 1
+  Counter count_;
+  Gauge sum_;
+};
+
+/// Named metric table. `Global()` is the process-wide instance every
+/// production call site uses; separate instances exist so exporter
+/// tests can run against a registry nothing else writes into.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// Finds or creates the named metric. Pointers remain valid for the
+  /// registry's lifetime; repeated calls with one name return the same
+  /// pointer. A histogram's bounds are fixed by its first Get; later
+  /// calls ignore the argument.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& upper_bounds);
+
+  /// Prometheus text exposition (one # TYPE line per family, series in
+  /// lexicographic name order, histograms with cumulative _bucket /
+  /// _sum / _count series).
+  std::string DumpPrometheusText() const;
+
+  /// Machine-readable dump for bench baselines:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string DumpJson() const;
+
+  /// Zeroes every value, keeping registrations and pointers valid.
+  void ResetAll();
+
+  int NumMetrics() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Ordered maps so export order is deterministic (golden tests).
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Default latency bucket ladder (milliseconds): 0.05..5000 in
+/// roughly-2.5x steps. Shared by the serve/train histograms so the
+/// exposition stays comparable across subsystems.
+const std::vector<double>& LatencyBucketsMs();
+
+}  // namespace obs
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_OBS_METRICS_H_

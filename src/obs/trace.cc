@@ -1,0 +1,209 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lkpdpp {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  double ts_us;
+  double dur_us;
+};
+
+// One ring per thread, owned by the global list so dumps after thread
+// exit still see the events. The ring mutex is uncontended in steady
+// state (owner-only); dump/clear are the only cross-thread touches.
+struct Ring {
+  std::mutex mu;
+  int tid = 0;
+  std::vector<TraceEvent> events;  // Bounded: capacity fixed at creation.
+  size_t cursor = 0;               // Next overwrite slot once full.
+  size_t capacity = 0;
+  long dropped = 0;
+};
+
+struct TraceState {
+  std::mutex mu;  // Guards the ring list, not the rings.
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::atomic<size_t> ring_capacity{1u << 15};
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::string exit_dump_path;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // Never dies.
+  return *state;
+}
+
+Ring* ThisThreadRing() {
+  thread_local Ring* ring = [] {
+    TraceState& state = State();
+    auto owned = std::make_unique<Ring>();
+    owned->tid = CurrentThreadId();
+    owned->capacity = state.ring_capacity.load(std::memory_order_relaxed);
+    Ring* raw = owned.get();
+    std::lock_guard<std::mutex> lk(state.mu);
+    state.rings.push_back(std::move(owned));
+    return raw;
+  }();
+  return ring;
+}
+
+void DumpAtExit() {
+  const std::string& path = State().exit_dump_path;
+  if (path.empty()) return;
+  if (DumpChromeTrace(path)) {
+    std::fprintf(stderr, "[obs] wrote Chrome trace to %s (%ld events)\n",
+                 path.c_str(), TotalRecordedEvents());
+  } else {
+    std::fprintf(stderr, "[obs] FAILED to write Chrome trace to %s\n",
+                 path.c_str());
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+bool InitTraceFromEnv() {
+  const char* buffer = std::getenv("LKP_TRACE_BUFFER");
+  if (buffer != nullptr) {
+    const long capacity = std::atol(buffer);
+    if (capacity > 0) {
+      State().ring_capacity.store(static_cast<size_t>(capacity),
+                                  std::memory_order_relaxed);
+    }
+  }
+  const char* path = std::getenv("LKP_TRACE");
+  if (path != nullptr && path[0] != '\0') {
+    State().exit_dump_path = path;
+    std::atexit(DumpAtExit);
+    g_trace_enabled.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void SetRingCapacityForTest(size_t capacity) {
+  State().ring_capacity.store(capacity, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+void SetTraceEnabled(bool on) {
+  (void)TraceEnabled();  // Ensure env init ran first so it never wins later.
+  internal::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+double NowMicros() {
+  return ToTraceMicros(std::chrono::steady_clock::now());
+}
+
+double ToTraceMicros(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration<double, std::micro>(tp - State().epoch)
+      .count();
+}
+
+void RecordSpan(const char* name, double ts_us, double dur_us) {
+  Ring* ring = ThisThreadRing();
+  std::lock_guard<std::mutex> lk(ring->mu);
+  if (ring->events.size() < ring->capacity) {
+    ring->events.push_back(TraceEvent{name, ts_us, dur_us});
+    return;
+  }
+  if (ring->capacity == 0) {
+    ++ring->dropped;
+    return;
+  }
+  ring->events[ring->cursor] = TraceEvent{name, ts_us, dur_us};
+  ring->cursor = (ring->cursor + 1) % ring->capacity;
+  ++ring->dropped;
+}
+
+long TotalRecordedEvents() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lk(state.mu);
+  long total = 0;
+  for (const auto& ring : state.rings) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    total += static_cast<long>(ring->events.size());
+  }
+  return total;
+}
+
+long DroppedEvents() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lk(state.mu);
+  long total = 0;
+  for (const auto& ring : state.rings) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+void ClearTrace() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lk(state.mu);
+  for (const auto& ring : state.rings) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    ring->events.clear();
+    ring->cursor = 0;
+    ring->dropped = 0;
+  }
+}
+
+std::string DumpChromeTraceJson() {
+  TraceState& state = State();
+  std::string out =
+      "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  char buf[256];
+  std::lock_guard<std::mutex> lk(state.mu);
+  for (const auto& ring : state.rings) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    // Oldest-first: the slice [cursor, end) precedes [0, cursor) once
+    // the ring has wrapped (cursor is the next overwrite target).
+    const size_t n = ring->events.size();
+    const size_t start = n == ring->capacity ? ring->cursor : 0;
+    for (size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = ring->events[(start + i) % n];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n{\"name\": \"%s\", \"cat\": \"lkp\", "
+                    "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                    "\"pid\": 1, \"tid\": %d}",
+                    first ? "" : ",", e.name, e.ts_us, e.dur_us,
+                    ring->tid);
+      first = false;
+      out += buf;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool DumpChromeTrace(const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) return false;
+  const std::string json = DumpChromeTraceJson();
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return file.good();
+}
+
+}  // namespace obs
+}  // namespace lkpdpp

@@ -1,0 +1,121 @@
+// Per-stage trace spans: scoped timers writing into per-thread bounded
+// ring buffers, exported as Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing).
+//
+//   {
+//     LKP_TRACE_SPAN("serve.cache_build");
+//     ... expensive work ...
+//   }   // span closes here
+//
+// When tracing is disabled (the default), LKP_TRACE_SPAN compiles down
+// to one relaxed atomic load and a null-pointer branch — no clock
+// reads, no ring writes, no allocation — so the deterministic hot
+// paths are unperturbed. Spans never touch RNG state in either mode:
+// enabling tracing changes timing only, and responses stay
+// bit-identical (asserted by tests/obs_test.cc and bench/obs_overhead).
+//
+// Enabling: SetTraceEnabled(true) programmatically, or set the
+// LKP_TRACE=<path> environment variable — tracing then starts enabled
+// and the accumulated trace is written to <path> at process exit.
+// LKP_TRACE_BUFFER overrides the per-thread ring capacity (events).
+//
+// Span naming convention: <subsystem>.<stage>, e.g. serve.batch,
+// serve.cache_build, train.backward, all lowercase, stages nested by
+// scope. Names must be string literals (the ring stores the pointer).
+//
+// Concurrency: each thread owns its ring; a ring's mutex is touched
+// only by its owner (uncontended) and by a dumping/clearing thread.
+// Rings outlive their threads, so a dump after worker shutdown still
+// sees their spans.
+
+#ifndef LKPDPP_OBS_TRACE_H_
+#define LKPDPP_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+namespace lkpdpp {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+/// One-time init from the environment (LKP_TRACE / LKP_TRACE_BUFFER);
+/// returns whether tracing starts enabled.
+bool InitTraceFromEnv();
+/// Overrides the capacity used for rings created AFTER the call
+/// (existing rings keep theirs). Tests only.
+void SetRingCapacityForTest(size_t capacity);
+}  // namespace internal
+
+/// True when spans are being recorded. The inline fast path is one
+/// relaxed load; the first call (re)plays the env-var initialization.
+inline bool TraceEnabled() {
+  static const bool init = internal::InitTraceFromEnv();
+  (void)init;
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTraceEnabled(bool on);
+
+/// Microseconds on the trace clock (monotonic, zero at process start).
+double NowMicros();
+
+/// Converts a steady_clock time point onto the trace clock — for spans
+/// whose start was captured on another thread (admission wait).
+double ToTraceMicros(std::chrono::steady_clock::time_point tp);
+
+/// Appends a completed span to the calling thread's ring. `name` must
+/// be a string literal. When the ring is full the oldest event is
+/// overwritten and the dropped counter increments.
+void RecordSpan(const char* name, double ts_us, double dur_us);
+
+/// Events currently held across all rings / overwritten so far.
+long TotalRecordedEvents();
+long DroppedEvents();
+
+/// Empties every ring and zeroes the dropped counter (tests, and
+/// windowed dumps). Safe while other threads record — their next span
+/// lands in the emptied ring.
+void ClearTrace();
+
+/// The accumulated trace as Chrome trace-event JSON ("X" complete
+/// events; ts/dur in microseconds; tid = CurrentThreadId()).
+std::string DumpChromeTraceJson();
+
+/// Writes DumpChromeTraceJson() to `path`. Returns false on I/O error.
+bool DumpChromeTrace(const std::string& path);
+
+/// RAII span. Inactive (and branch-only) when constructed with null —
+/// which is what LKP_TRACE_SPAN does whenever tracing is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), start_us_(name != nullptr ? NowMicros() : 0.0) {}
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      RecordSpan(name_, start_us_, NowMicros() - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_;
+};
+
+}  // namespace obs
+}  // namespace lkpdpp
+
+#define LKP_OBS_CONCAT_INNER(a, b) a##b
+#define LKP_OBS_CONCAT(a, b) LKP_OBS_CONCAT_INNER(a, b)
+
+/// Scoped trace span; `name` must be a string literal. Disabled
+/// tracing costs one relaxed load + branch.
+#define LKP_TRACE_SPAN(name)                                       \
+  ::lkpdpp::obs::TraceSpan LKP_OBS_CONCAT(lkp_trace_span_,         \
+                                          __LINE__)(               \
+      ::lkpdpp::obs::TraceEnabled() ? (name) : nullptr)
+
+#endif  // LKPDPP_OBS_TRACE_H_

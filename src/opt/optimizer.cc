@@ -4,8 +4,22 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lkpdpp {
+
+namespace {
+
+// Non-finite gradients caught by ClipGlobalNorm before any parameter
+// was touched, attributed to the optimizer site.
+obs::Counter* OptNumericalErrors() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_numerical_errors_total{site=\"optimizer\"}");
+  return counter;
+}
+
+}  // namespace
 
 void Optimizer::ForEachParam(int n,
                              const std::function<void(int)>& fn) const {
@@ -27,6 +41,7 @@ Result<double> Optimizer::ClipGlobalNorm(
   for (int i = 0; i < n; ++i) total += sq[static_cast<size_t>(i)];
   total = std::sqrt(total);
   if (!std::isfinite(total)) {
+    OptNumericalErrors()->Inc();
     // Name a culprit to make the error actionable.
     for (int i = 0; i < n; ++i) {
       if (!params[static_cast<size_t>(i)]->grad.AllFinite()) {
@@ -47,6 +62,7 @@ Result<double> Optimizer::ClipGlobalNorm(
 }
 
 Status SgdOptimizer::Step(const std::vector<ad::Param*>& params) {
+  LKP_TRACE_SPAN("train.step");
   LKP_RETURN_IF_ERROR(
       ClipGlobalNorm(params, options_.clip_norm, thread_pool()).status());
   ForEachParam(static_cast<int>(params.size()), [&](int i) {
@@ -74,6 +90,7 @@ AdamOptimizer::State& AdamOptimizer::StateFor(ad::Param* p) {
 }
 
 Status AdamOptimizer::Step(const std::vector<ad::Param*>& params) {
+  LKP_TRACE_SPAN("train.step");
   LKP_RETURN_IF_ERROR(
       ClipGlobalNorm(params, options_.clip_norm, thread_pool()).status());
   // Materialize moment states serially: StateFor mutates the registry

@@ -1,8 +1,40 @@
 #include "opt/parallel_batch.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lkpdpp {
 
 namespace {
+
+// Process-wide training metrics: how many instances flow through the
+// minibatch path, how many are skipped, and how often a batch aborts on
+// numerical breakdown before touching the parameters.
+obs::Counter* TrainInstancesTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_train_instances_total");
+  return counter;
+}
+obs::Counter* TrainSkippedTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_train_skipped_total");
+  return counter;
+}
+obs::Counter* TrainBatchesTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_train_batches_total");
+  return counter;
+}
+obs::Counter* TrainNonFiniteAborts() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_train_nonfinite_aborts_total");
+  return counter;
+}
+obs::Counter* TrainNumericalErrors() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_numerical_errors_total{site=\"train\"}");
+  return counter;
+}
 
 struct InstanceOutcome {
   Status status;  // OK even when skipped; the workspace is just empty.
@@ -27,7 +59,10 @@ Result<BatchGradSummary> AccumulateBatchGradients(
   auto run_one = [&](int i) {
     InstanceOutcome& out = outcomes[static_cast<size_t>(i)];
     ad::Graph graph(&out.workspace);
-    Result<InstanceGrad> built = build(i, &graph);
+    Result<InstanceGrad> built = [&]() -> Result<InstanceGrad> {
+      LKP_TRACE_SPAN("train.forward");
+      return build(i, &graph);
+    }();
     if (!built.ok()) {
       out.status = built.status();
       out.workspace.Clear();
@@ -37,7 +72,11 @@ Result<BatchGradSummary> AccumulateBatchGradients(
       out.skip_reason = built->skip_reason;
       return;
     }
-    const Status backward = graph.Backward(built->seeds);
+    Status backward;
+    {
+      LKP_TRACE_SPAN("train.backward");
+      backward = graph.Backward(built->seeds);
+    }
     if (!backward.ok()) {
       out.status = backward;
       out.workspace.Clear();
@@ -47,19 +86,31 @@ Result<BatchGradSummary> AccumulateBatchGradients(
     out.contributed = true;
   };
 
-  if (pool != nullptr) {
-    if (grain <= 0) grain = pool->GrainFor(num_instances);
-    pool->ParallelFor(num_instances, grain, run_one);
-  } else {
-    for (int i = 0; i < num_instances; ++i) run_one(i);
+  {
+    LKP_TRACE_SPAN("train.batch");
+    if (pool != nullptr) {
+      if (grain <= 0) grain = pool->GrainFor(num_instances);
+      pool->ParallelFor(num_instances, grain, run_one);
+    } else {
+      for (int i = 0; i < num_instances; ++i) run_one(i);
+    }
   }
+  TrainBatchesTotal()->Inc();
+  TrainInstancesTotal()->Inc(num_instances);
 
   // First failure in instance order wins (deterministic across thread
   // counts); nothing has touched the params yet at this point.
   for (const InstanceOutcome& out : outcomes) {
-    if (!out.status.ok()) return out.status;
+    if (!out.status.ok()) {
+      if (out.status.code() == StatusCode::kNumericalError) {
+        TrainNonFiniteAborts()->Inc();
+        TrainNumericalErrors()->Inc();
+      }
+      return out.status;
+    }
   }
 
+  LKP_TRACE_SPAN("train.reduce");
   BatchGradSummary summary;
   for (int i = 0; i < num_instances; ++i) {
     const InstanceOutcome& out = outcomes[static_cast<size_t>(i)];
@@ -70,6 +121,9 @@ Result<BatchGradSummary> AccumulateBatchGradients(
     out.workspace.FlushIntoParams();
     ++summary.contributed;
     summary.loss_sum += out.loss;
+  }
+  if (!summary.skipped.empty()) {
+    TrainSkippedTotal()->Inc(static_cast<long>(summary.skipped.size()));
   }
   return summary;
 }

@@ -1,11 +1,48 @@
 #include "serve/kernel_cache.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace lkpdpp {
+
+namespace {
+
+// Process-wide cache metrics, aggregated across every KernelCache in
+// the process; the per-instance counters behind hits()/misses() are
+// bumped at the same sites.
+obs::Counter* CacheHitsTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_cache_hits_total");
+  return counter;
+}
+obs::Counter* CacheMissesTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_cache_misses_total");
+  return counter;
+}
+obs::Counter* CacheBuildsTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_cache_builds_total");
+  return counter;
+}
+obs::Histogram* CacheBuildMs() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("lkp_serve_cache_build_ms",
+                                                  obs::LatencyBucketsMs());
+  return histogram;
+}
+obs::Counter* ShardEvictionsTotal(int shard_index) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_cache_evictions_total{shard=\"" +
+      std::to_string(shard_index) + "\"}");
+}
+
+}  // namespace
 
 uint64_t HashGroundSet(const std::vector<int>& items) {
   uint64_t state = 0x243F6A8885A308D3ULL ^ (items.size() * 0x100000001B3ULL);
@@ -33,6 +70,7 @@ KernelCache::KernelCache(int capacity, int shards) : capacity_(capacity) {
     // Distribute the budget so shard capacities sum exactly to capacity_.
     shards_.back()->capacity =
         capacity / effective + (s < capacity % effective ? 1 : 0);
+    shards_.back()->evictions_metric = ShardEvictionsTotal(s);
   }
 }
 
@@ -43,10 +81,12 @@ std::shared_ptr<const ServedKernel> KernelCache::Get(int user,
   std::lock_guard<std::mutex> lk(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    ++shard.misses;
+    misses_.Inc();
+    CacheMissesTotal()->Inc();
     return nullptr;
   }
-  ++shard.hits;
+  hits_.Inc();
+  CacheHitsTotal()->Inc();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->second;
 }
@@ -65,7 +105,8 @@ void KernelCache::PutLocked(Shard& shard, const Key& key,
   while (static_cast<int>(shard.lru.size()) > shard.capacity) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
-    ++shard.evictions;
+    evictions_.Inc();
+    shard.evictions_metric->Inc();
   }
 }
 
@@ -88,18 +129,21 @@ Result<std::shared_ptr<const ServedKernel>> KernelCache::GetOrBuild(
   std::shared_ptr<InFlight> flight;
   bool owner = false;
   {
+    LKP_TRACE_SPAN("serve.cache_lookup");
     std::lock_guard<std::mutex> lk(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end() && it->second->second != nullptr &&
         it->second->second->items == items) {
-      ++shard.hits;
+      hits_.Inc();
+      CacheHitsTotal()->Inc();
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       if (was_hit != nullptr) *was_hit = true;
       return it->second->second;
     }
     // Miss (or a 64-bit hash collision whose entry was conditioned on a
     // different ground set — rebuilt rather than served wrong).
-    ++shard.misses;
+    misses_.Inc();
+    CacheMissesTotal()->Inc();
     auto [fit, inserted] = shard.inflight.try_emplace(key, nullptr);
     if (inserted) {
       fit->second = std::make_shared<InFlight>();
@@ -111,28 +155,33 @@ Result<std::shared_ptr<const ServedKernel>> KernelCache::GetOrBuild(
   if (!owner) {
     // Someone else is already computing this key: wait for their result
     // instead of duplicating the O(n^3) work.
-    std::unique_lock<std::mutex> lk(flight->mu);
-    flight->cv.wait(lk, [&flight] { return flight->done; });
-    Result<std::shared_ptr<const ServedKernel>> shared = flight->result;
-    lk.unlock();
+    Result<std::shared_ptr<const ServedKernel>> shared =
+        Status::Internal("in-flight wait not resolved");
+    {
+      LKP_TRACE_SPAN("serve.cache_inflight_wait");
+      std::unique_lock<std::mutex> lk(flight->mu);
+      flight->cv.wait(lk, [&flight] { return flight->done; });
+      shared = flight->result;
+    }
     if (shared.ok() && (*shared)->items == items) return shared;
     if (!shared.ok()) return shared;
     // Astronomically rare: the in-flight build was for a colliding key
     // with different items. Fall back to a direct unguarded build.
-    {
-      std::lock_guard<std::mutex> slk(shard.mu);
-      ++shard.builds;
-    }
+    builds_.Inc();
+    CacheBuildsTotal()->Inc();
     return build();
   }
 
   // Owner path: compute with NO shard lock held, publish, then release
   // the waiters.
-  {
-    std::lock_guard<std::mutex> lk(shard.mu);
-    ++shard.builds;
-  }
-  Result<std::shared_ptr<const ServedKernel>> built = build();
+  builds_.Inc();
+  CacheBuildsTotal()->Inc();
+  Stopwatch build_timer;
+  Result<std::shared_ptr<const ServedKernel>> built = [&] {
+    LKP_TRACE_SPAN("serve.cache_build");
+    return build();
+  }();
+  CacheBuildMs()->Observe(build_timer.ElapsedMillis());
   if (built.ok() && *built == nullptr) {
     built = Status::Internal("kernel builder returned null");
   }
@@ -159,13 +208,12 @@ void KernelCache::Clear() {
 }
 
 void KernelCache::ResetCounters() {
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard->mu);
-    shard->hits = 0;
-    shard->misses = 0;
-    shard->evictions = 0;
-    shard->builds = 0;
-  }
+  // Instance counters only: the registry's lkp_serve_cache_* mirrors
+  // accumulate monotonically (Prometheus counter semantics).
+  hits_.Reset();
+  misses_.Reset();
+  evictions_.Reset();
+  builds_.Reset();
 }
 
 int KernelCache::size() const {
@@ -177,40 +225,12 @@ int KernelCache::size() const {
   return total;
 }
 
-long KernelCache::hits() const {
-  long total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard->mu);
-    total += shard->hits;
-  }
-  return total;
-}
+long KernelCache::hits() const { return hits_.Value(); }
 
-long KernelCache::misses() const {
-  long total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard->mu);
-    total += shard->misses;
-  }
-  return total;
-}
+long KernelCache::misses() const { return misses_.Value(); }
 
-long KernelCache::evictions() const {
-  long total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard->mu);
-    total += shard->evictions;
-  }
-  return total;
-}
+long KernelCache::evictions() const { return evictions_.Value(); }
 
-long KernelCache::builds() const {
-  long total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard->mu);
-    total += shard->builds;
-  }
-  return total;
-}
+long KernelCache::builds() const { return builds_.Value(); }
 
 }  // namespace lkpdpp

@@ -40,6 +40,7 @@
 #include "common/result.h"
 #include "core/kdpp.h"
 #include "linalg/matrix.h"
+#include "obs/metrics.h"
 
 namespace lkpdpp {
 
@@ -161,10 +162,10 @@ class KernelCache {
     std::list<Entry> lru;  // Front = most recently used.
     std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index;
     std::unordered_map<Key, std::shared_ptr<InFlight>, KeyHasher> inflight;
-    long hits = 0;
-    long misses = 0;
-    long evictions = 0;
-    long builds = 0;
+    // Registry counter lkp_serve_cache_evictions_total{shard="<i>"},
+    // shared by every cache with a shard at this index (process-wide
+    // per-shard eviction attribution).
+    obs::Counter* evictions_metric = nullptr;
   };
 
   Shard& ShardFor(const Key& key) {
@@ -180,6 +181,15 @@ class KernelCache {
 
   const int capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Cache-instance counters behind hits()/misses()/evictions()/builds()
+  // and ServeStats — obs primitives (lock-free sharded atomics), bumped
+  // at the same sites as their process-wide lkp_serve_cache_* mirrors
+  // in the MetricsRegistry.
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter builds_;
 };
 
 }  // namespace lkpdpp

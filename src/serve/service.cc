@@ -9,8 +9,50 @@
 #include "common/string_util.h"
 #include "core/map_inference.h"
 #include "linalg/low_rank.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lkpdpp {
+
+namespace {
+
+// Process-wide serving metrics. Handles are resolved once per site; the
+// hot-path cost is one sharded-atomic increment (see obs/metrics.h).
+obs::Counter* DualPathTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_dual_path_total");
+  return counter;
+}
+obs::Counter* PrimalPathTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_primal_path_total");
+  return counter;
+}
+obs::Gauge* AdmissionQueueDepth() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge(
+      "lkp_serve_admission_queue_depth");
+  return gauge;
+}
+obs::Histogram* AdmissionWaitMs() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "lkp_serve_admission_wait_ms", obs::LatencyBucketsMs());
+  return histogram;
+}
+obs::Counter* ServeNumericalErrors() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_numerical_errors_total{site=\"serve\"}");
+  return counter;
+}
+
+// Counts a stage failure into the by-site NumericalError counter when
+// that is what it is (other codes pass through untouched).
+const Status& CountIfNumerical(const Status& s) {
+  if (s.code() == StatusCode::kNumericalError) ServeNumericalErrors()->Inc();
+  return s;
+}
+
+}  // namespace
 
 const char* ServeModeName(ServeMode mode) {
   switch (mode) {
@@ -109,6 +151,7 @@ int RecommendationService::StageGrain(int n) const {
 
 Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
     int user, const Vector& scores) {
+  LKP_TRACE_SPAN("serve.prepare_user");
   Stopwatch timer;
   UserWork work;
   work.pool = GroundSetBuilder::BuildServingPool(*dataset_, user, scores,
@@ -137,6 +180,8 @@ Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
       // K_S = F_S F_S^T, so condition in factor space (ScaleRows) and
       // build the dual k-DPP — O(n d^2) instead of O(n^3), no n x n
       // materialization.
+      LKP_TRACE_SPAN("serve.dual_build");
+      DualPathTotal()->Inc();
       LKP_ASSIGN_OR_RETURN(
           LowRankFactor factor,
           LowRankFactor::Create(diversity_->FactorRows(work.pool)));
@@ -145,11 +190,17 @@ Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
           KDpp::CreateDual(factor.ScaleRows(quality), effective_k));
       built->kdpp = std::make_shared<const KDpp>(std::move(kdpp));
     } else {
-      Matrix k_sub = diversity_->Submatrix(work.pool);
-      k_sub *= config_.kernel_blend_alpha;
-      k_sub.AddDiagonal(1.0 - config_.kernel_blend_alpha);
-      Matrix conditioned = AssembleKernel(quality, k_sub);
+      Matrix conditioned;
+      {
+        LKP_TRACE_SPAN("serve.kernel_assemble");
+        Matrix k_sub = diversity_->Submatrix(work.pool);
+        k_sub *= config_.kernel_blend_alpha;
+        k_sub.AddDiagonal(1.0 - config_.kernel_blend_alpha);
+        conditioned = AssembleKernel(quality, k_sub);
+      }
       if (config_.mode == ServeMode::kSample) {
+        LKP_TRACE_SPAN("serve.eigendecomp");
+        PrimalPathTotal()->Inc();
         // KDpp keeps its own copy of the kernel, so hand ours over rather
         // than storing it twice per cache entry.
         LKP_ASSIGN_OR_RETURN(
@@ -196,6 +247,7 @@ Result<RecResponse> RecommendationService::SelectTopK(int user,
   std::vector<int> local;
   switch (config_.mode) {
     case ServeMode::kMapRerank: {
+      LKP_TRACE_SPAN("serve.map_rerank");
       GreedyMapOptions opts;
       opts.max_size = effective_k;
       LKP_ASSIGN_OR_RETURN(local,
@@ -215,6 +267,7 @@ Result<RecResponse> RecommendationService::SelectTopK(int user,
       break;
     }
     case ServeMode::kSample: {
+      LKP_TRACE_SPAN("serve.sample");
       // Ascending pool-local indices == descending score, since the pool
       // is built in descending-score order.
       LKP_ASSIGN_OR_RETURN(local, work.entry->kdpp->Sample(rng));
@@ -234,6 +287,7 @@ Result<RecResponse> RecommendationService::SelectTopK(int user,
 
 Result<std::vector<RecResponse>> RecommendationService::HandleBatch(
     const std::vector<RecRequest>& batch) {
+  LKP_TRACE_SPAN("serve.batch");
   Stopwatch batch_timer;
   if (batch.empty()) return std::vector<RecResponse>{};
   for (const RecRequest& req : batch) {
@@ -260,10 +314,13 @@ Result<std::vector<RecResponse>> RecommendationService::HandleBatch(
     scores[static_cast<size_t>(i)] =
         model_->ScoreAllItems(unique_users[static_cast<size_t>(i)]);
   };
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(num_unique, StageGrain(num_unique), score_user);
-  } else {
-    for (int i = 0; i < num_unique; ++i) score_user(i);
+  {
+    LKP_TRACE_SPAN("serve.score");
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(num_unique, StageGrain(num_unique), score_user);
+    } else {
+      for (int i = 0; i < num_unique; ++i) score_user(i);
+    }
   }
 
   // Stage 2: fork one Rng per request in request order. Fork order is
@@ -295,13 +352,16 @@ Result<std::vector<RecResponse>> RecommendationService::HandleBatch(
       user_statuses[idx] = w.status();
     }
   };
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(num_unique, prepare_user);
-  } else {
-    for (int i = 0; i < num_unique; ++i) prepare_user(i);
+  {
+    LKP_TRACE_SPAN("serve.prepare");
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(num_unique, prepare_user);
+    } else {
+      for (int i = 0; i < num_unique; ++i) prepare_user(i);
+    }
   }
   for (const Status& s : user_statuses) {
-    if (!s.ok()) return s;
+    if (!s.ok()) return CountIfNumerical(s);
   }
 
   // Stage 4: per-request selection, fanned out over the pool.
@@ -320,16 +380,20 @@ Result<std::vector<RecResponse>> RecommendationService::HandleBatch(
     }
   };
   const int num_requests = static_cast<int>(batch.size());
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(num_requests, StageGrain(num_requests),
-                       serve_request);
-  } else {
-    for (int i = 0; i < num_requests; ++i) serve_request(i);
+  {
+    LKP_TRACE_SPAN("serve.select");
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(num_requests, StageGrain(num_requests),
+                         serve_request);
+    } else {
+      for (int i = 0; i < num_requests; ++i) serve_request(i);
+    }
   }
   for (const Status& s : statuses) {
-    if (!s.ok()) return s;
+    if (!s.ok()) return CountIfNumerical(s);
   }
 
+  LKP_TRACE_SPAN("serve.respond");
   std::vector<double> latencies;
   latencies.reserve(responses.size());
   for (const RecResponse& r : responses) latencies.push_back(r.latency_ms);
@@ -354,12 +418,15 @@ std::future<Result<RecResponse>> RecommendationService::SubmitAsync(
       batcher_started_ = true;
       batcher_ = std::thread([this] { BatcherLoop(); });
     }
+    const auto now = std::chrono::steady_clock::now();
     if (adm_queue_.empty()) {
-      adm_oldest_ = std::chrono::steady_clock::now();
+      adm_oldest_ = now;
     }
     adm_queue_.emplace_back();
     adm_queue_.back().request = request;
+    adm_queue_.back().enqueue = now;
     future = adm_queue_.back().promise.get_future();
+    AdmissionQueueDepth()->Add(1.0);
   }
   adm_cv_.notify_one();
   return future;
@@ -400,6 +467,24 @@ void RecommendationService::BatcherLoop() {
       pending.push_back(std::move(adm_queue_.front()));
       adm_queue_.pop_front();
     }
+    AdmissionQueueDepth()->Add(-static_cast<double>(take));
+    // Each request's enqueue -> dequeue wait, as a histogram and (when
+    // tracing) one span per request anchored at its enqueue instant.
+    {
+      const auto dequeued = std::chrono::steady_clock::now();
+      obs::Histogram* wait_hist = AdmissionWaitMs();
+      const bool traced = obs::TraceEnabled();
+      for (const Pending& p : pending) {
+        const double wait_ms =
+            std::chrono::duration<double, std::milli>(dequeued - p.enqueue)
+                .count();
+        wait_hist->Observe(wait_ms);
+        if (traced) {
+          obs::RecordSpan("serve.admission_wait",
+                          obs::ToTraceMicros(p.enqueue), wait_ms * 1e3);
+        }
+      }
+    }
     if (!adm_queue_.empty()) {
       // The remainder became the oldest pending work just now as far as
       // the deadline is concerned (its true arrival is at most one
@@ -412,8 +497,11 @@ void RecommendationService::BatcherLoop() {
     lk.unlock();
 
     std::vector<RecRequest> batch;
-    batch.reserve(pending.size());
-    for (const Pending& p : pending) batch.push_back(p.request);
+    {
+      LKP_TRACE_SPAN("serve.batch_assembly");
+      batch.reserve(pending.size());
+      for (const Pending& p : pending) batch.push_back(p.request);
+    }
     Result<std::vector<RecResponse>> served = HandleBatch(batch);
     if (served.ok()) {
       for (size_t i = 0; i < pending.size(); ++i) {

@@ -192,11 +192,12 @@ class RecommendationService {
     double kernel_ms = 0.0;
   };
 
-  /// One queued async request: its payload plus the promise its future
-  /// hangs off.
+  /// One queued async request: its payload, the promise its future hangs
+  /// off, and the enqueue instant (admission-wait histogram + trace span).
   struct Pending {
     RecRequest request;
     std::promise<Result<RecResponse>> promise;
+    std::chrono::steady_clock::time_point enqueue;
   };
 
   RecommendationService(const Dataset* dataset, RecModel* model,

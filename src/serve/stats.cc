@@ -66,16 +66,43 @@ ServeRecorder::ServeRecorder(size_t window_capacity, int stripes) {
   window_start_ = std::chrono::steady_clock::now();
 }
 
+namespace {
+
+// Process-wide serve metrics the recorder publishes alongside its own
+// window-scoped counters — one increment site, two consumers.
+obs::Counter* ServeRequestsTotal() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("lkp_serve_requests_total");
+  return counter;
+}
+obs::Counter* ServeBatchesTotal() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("lkp_serve_batches_total");
+  return counter;
+}
+obs::Histogram* ServeLatencyMs() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "lkp_serve_request_latency_ms", obs::LatencyBucketsMs());
+  return histogram;
+}
+
+}  // namespace
+
 void ServeRecorder::RecordBatch(long requests, double batch_seconds,
                                 const double* latencies_ms, size_t count) {
+  requests_.Inc(requests);
+  batches_.Inc();
+  busy_seconds_.Add(batch_seconds);
+  ServeRequestsTotal()->Inc(requests);
+  ServeBatchesTotal()->Inc();
+  obs::Histogram* latency_hist = ServeLatencyMs();
   Stripe& stripe =
       *stripes_[next_stripe_.fetch_add(1, std::memory_order_relaxed) %
                 stripes_.size()];
   std::lock_guard<std::mutex> lk(stripe.mu);
-  stripe.requests += requests;
-  ++stripe.batches;
-  stripe.busy_seconds += batch_seconds;
   for (size_t i = 0; i < count; ++i) {
+    latency_hist->Observe(latencies_ms[i]);
     if (stripe.window.size() < stripe.capacity) {
       stripe.window.push_back(latencies_ms[i]);
     } else {
@@ -86,11 +113,11 @@ void ServeRecorder::RecordBatch(long requests, double batch_seconds,
 }
 
 void ServeRecorder::Reset() {
+  requests_.Reset();
+  batches_.Reset();
+  busy_seconds_.Reset();
   for (auto& stripe : stripes_) {
     std::lock_guard<std::mutex> lk(stripe->mu);
-    stripe->requests = 0;
-    stripe->batches = 0;
-    stripe->busy_seconds = 0.0;
     stripe->window.clear();
     stripe->cursor = 0;
   }
@@ -99,12 +126,12 @@ void ServeRecorder::Reset() {
 }
 
 void ServeRecorder::Snapshot(ServeStats* out) const {
+  out->requests += requests_.Value();
+  out->batches += batches_.Value();
+  out->busy_seconds += busy_seconds_.Value();
   std::vector<double> merged;
   for (const auto& stripe : stripes_) {
     std::lock_guard<std::mutex> lk(stripe->mu);
-    out->requests += stripe->requests;
-    out->batches += stripe->batches;
-    out->busy_seconds += stripe->busy_seconds;
     merged.insert(merged.end(), stripe->window.begin(),
                   stripe->window.end());
   }

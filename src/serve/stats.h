@@ -1,11 +1,16 @@
 // Serving-side observability: latency percentiles, cache hit rate, and
 // batch occupancy for RecommendationService.
 //
-// Accumulation is lock-striped (ServeRecorder): each recorded batch
-// lands in one of a fixed set of independently locked stripes, so
-// concurrent recorders — async admission flushes, multiple caller
-// threads — never serialize on a single stats mutex. Stripes are merged
-// only at Snapshot() time.
+// Scalar counters (requests, batches, busy time) live on obs::Counter/
+// obs::Gauge — the same lock-free sharded-atomic primitives behind the
+// process-wide MetricsRegistry, which RecordBatch also publishes into
+// (lkp_serve_requests_total etc.), so the per-service Snapshot() and
+// the Prometheus exposition share one source of truth. The latency
+// window remains lock-striped: each recorded batch lands its latencies
+// in one of a fixed set of independently locked stripes, so concurrent
+// recorders — async admission flushes, multiple caller threads — never
+// serialize on a single stats mutex. Stripes are merged only at
+// Snapshot() time.
 
 #ifndef LKPDPP_SERVE_STATS_H_
 #define LKPDPP_SERVE_STATS_H_
@@ -16,6 +21,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace lkpdpp {
 
@@ -107,13 +114,16 @@ class ServeRecorder {
  private:
   struct Stripe {
     mutable std::mutex mu;
-    long requests = 0;
-    long batches = 0;
-    double busy_seconds = 0.0;
     std::vector<double> window;  // Bounded ring of latencies (ms).
     size_t cursor = 0;
     size_t capacity = 0;
   };
+
+  // Window-scoped scalar counters (obs primitives, reset by Reset());
+  // the registry's lkp_serve_* counters accumulate across windows.
+  obs::Counter requests_;
+  obs::Counter batches_;
+  obs::Gauge busy_seconds_;
 
   std::vector<std::unique_ptr<Stripe>> stripes_;
   std::atomic<unsigned> next_stripe_{0};
