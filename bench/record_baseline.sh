@@ -18,6 +18,9 @@
 #     streams) plus indicative construction timings/speedups. Its
 #     n=4096 primal eigendecompositions take a few minutes; that cost
 #     is the measurement.
+#   * map_bench contributes the machine-independent factor-vs-primal
+#     greedy MAP agreement verdict (bit-identical selected lists on a
+#     blended alpha=0.5 kernel) plus indicative rerank timings/speedups.
 #
 # Usage: bench/record_baseline.sh [build-dir]   (default: build)
 # The build dir must already contain the Release bench binaries.
@@ -46,8 +49,9 @@ SERVE_OUT=$(mktemp)
 TRAIN_OUT=$(mktemp)
 EIGEN_OUT=$(mktemp)
 DUAL_OUT=$(mktemp)
+MAP_OUT=$(mktemp)
 METRICS_OUT=$(mktemp)
-trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" "$DUAL_OUT" "$METRICS_OUT"' EXIT
+trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" "$DUAL_OUT" "$MAP_OUT" "$METRICS_OUT"' EXIT
 
 echo "running fig2_k_sweep (LKP_SCALE=$LKP_SCALE LKP_EPOCHS=$LKP_EPOCHS)..."
 "$BUILD_DIR/bench/fig2_k_sweep" > "$FIG2_OUT"
@@ -85,12 +89,17 @@ echo "running dual_bench (n=4096 primal eigendecompositions: minutes)..."
 # parser records dual_agrees=false in the baseline.
 "$BUILD_DIR/bench/dual_bench" > "$DUAL_OUT" || true
 
+echo "running map_bench..."
+# map_bench exits non-zero on an agreement violation; keep going so the
+# parser records map_agrees=false in the baseline.
+"$BUILD_DIR/bench/map_bench" > "$MAP_OUT" || true
+
 python3 - "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" \
-  "$DUAL_OUT" "$METRICS_OUT" <<'EOF'
+  "$DUAL_OUT" "$MAP_OUT" "$METRICS_OUT" <<'EOF'
 import json, os, re, sys
 
 (fig2_path, micro_path, serve_path, train_path, eigen_path,
- dual_path, metrics_path) = sys.argv[1:8]
+ dual_path, map_path, metrics_path) = sys.argv[1:9]
 
 # --- fig2_k_sweep: parse the per-k metric rows under each mode header.
 fig2 = {}
@@ -239,6 +248,28 @@ if not dual["shapes"]:
     # A verdict backed by zero measurements is not a green verdict.
     dual["dual_agrees"] = False
 
+# --- map_bench: per-shape timing rows + the factor-vs-primal greedy MAP
+# agreement verdict (selected lists bit-identical, no tolerance).
+map_rerank = {"map_agrees": True, "shapes": []}
+for line in open(map_path):
+    if "AGREEMENT VIOLATION" in line or "AGREEMENT UNVERIFIED" in line:
+        map_rerank["map_agrees"] = False
+    m = re.match(
+        r"\s*(\d+)\s+(\d+)\s+(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)x"
+        r"\s+(identical|DIVERGED)\s*$",
+        line)
+    if m:
+        map_rerank["shapes"].append({
+            "n": int(m.group(1)),
+            "d": int(m.group(2)),
+            "primal_ms": float(m.group(4)),
+            "factor_ms": float(m.group(5)),
+            "speedup": float(m.group(6)),
+            "identical": m.group(7) == "identical",
+        })
+if not map_rerank["shapes"]:
+    map_rerank["map_agrees"] = False
+
 # --- obs metrics: the serve_throughput run's MetricsRegistry dump
 # (LKP_METRICS_OUT). Counter totals are workload-shape references;
 # absence of an expected family is the regression this catches.
@@ -270,6 +301,7 @@ baseline = {
     "train_throughput": train,
     "eigen": eigen,
     "dual": dual,
+    "map": map_rerank,
     "obs_metrics": obs_metrics,
 }
 with open("BENCH_baseline.json", "w") as f:

@@ -1,5 +1,6 @@
 #include "core/map_inference.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -8,32 +9,42 @@
 
 namespace lkpdpp {
 
-Result<std::vector<int>> GreedyMapInference(const Matrix& kernel,
+Result<std::vector<int>> GreedyMapInference(const KernelRep& kernel,
                                             const GreedyMapOptions& options) {
-  const int m = kernel.rows();
-  if (kernel.cols() != m) {
-    return Status::InvalidArgument(
-        StrFormat("MAP inference needs a square kernel, got %dx%d",
-                  kernel.rows(), kernel.cols()));
-  }
-  if (!kernel.IsSymmetric(1e-8 * std::max(1.0, kernel.MaxAbs()))) {
-    return Status::InvalidArgument("MAP inference needs a symmetric kernel");
+  const int m = kernel.size();
+  if (m < 1) {
+    return Status::InvalidArgument("MAP inference needs a non-empty kernel");
   }
   if (options.max_size < 1) {
     return Status::InvalidArgument("max_size must be positive");
   }
+  const int limit = std::min(options.max_size, m);
 
   // Incremental Cholesky (Chen et al. 2018): for each candidate i we
   // maintain c_i, the row of the Cholesky factor of L_{S u {i}}
   // restricted to the selected set, and d2_i = L_ii - ||c_i||^2, the
-  // squared pivot = marginal determinant gain of adding i.
+  // squared pivot = marginal determinant gain of adding i. The c_i live
+  // in one flat m x limit buffer (candidate i's row at c[i * limit]),
+  // sized once up front: no per-candidate reallocation inside the loop,
+  // and step t's column sits at a fixed stride for every candidate.
   std::vector<double> d2(static_cast<size_t>(m));
-  for (int i = 0; i < m; ++i) d2[static_cast<size_t>(i)] = kernel(i, i);
-  std::vector<std::vector<double>> c(static_cast<size_t>(m));
+  kernel.FillDiag(d2.data());
+
+  // Stopping threshold, relative to the kernel's diagonal scale (see
+  // header): a pivot below 1e-15 * max_diag is round-off, not signal,
+  // whatever the absolute magnitude of the kernel.
+  double max_diag = 0.0;
+  for (int i = 0; i < m; ++i) {
+    max_diag = std::max(max_diag, d2[static_cast<size_t>(i)]);
+  }
+  const double tol = 1e-15 * max_diag;
+
+  std::vector<double> c(static_cast<size_t>(m) * static_cast<size_t>(limit));
+  std::vector<double> row(static_cast<size_t>(m));
   std::vector<bool> selected(static_cast<size_t>(m), false);
   std::vector<int> out;
+  out.reserve(static_cast<size_t>(limit));
 
-  const int limit = std::min(options.max_size, m);
   while (static_cast<int>(out.size()) < limit) {
     int best = -1;
     double best_d2 = 0.0;
@@ -44,22 +55,25 @@ Result<std::vector<int>> GreedyMapInference(const Matrix& kernel,
         best = i;
       }
     }
-    // Vanishing gains: adding any remaining item zeroes the determinant.
-    if (best < 0 || best_d2 <= 1e-15 ||
+    // Vanishing gains: adding any remaining item zeroes the determinant
+    // to within round-off of the kernel's own scale.
+    if (best < 0 || best_d2 <= tol ||
         std::log(best_d2) < options.min_log_gain) {
       break;
     }
+    const int step = static_cast<int>(out.size());
     selected[static_cast<size_t>(best)] = true;
     out.push_back(best);
     const double dj = std::sqrt(best_d2);
-    const std::vector<double>& cj = c[static_cast<size_t>(best)];
+    kernel.FillRow(best, row.data());
+    const double* cj = c.data() + static_cast<size_t>(best) * limit;
     for (int i = 0; i < m; ++i) {
       if (selected[static_cast<size_t>(i)]) continue;
-      std::vector<double>& ci = c[static_cast<size_t>(i)];
+      double* ci = c.data() + static_cast<size_t>(i) * limit;
       double dot = 0.0;
-      for (size_t t = 0; t < cj.size(); ++t) dot += cj[t] * ci[t];
-      const double e = (kernel(best, i) - dot) / dj;
-      ci.push_back(e);
+      for (int t = 0; t < step; ++t) dot += cj[t] * ci[t];
+      const double e = (row[static_cast<size_t>(i)] - dot) / dj;
+      ci[step] = e;
       d2[static_cast<size_t>(i)] -= e * e;
     }
   }
@@ -68,6 +82,19 @@ Result<std::vector<int>> GreedyMapInference(const Matrix& kernel,
         "greedy MAP: no item has positive determinant gain");
   }
   return out;
+}
+
+Result<std::vector<int>> GreedyMapInference(const Matrix& kernel,
+                                            const GreedyMapOptions& options) {
+  if (kernel.cols() != kernel.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("MAP inference needs a square kernel, got %dx%d",
+                  kernel.rows(), kernel.cols()));
+  }
+  if (!kernel.IsSymmetric(1e-8 * std::max(1.0, kernel.MaxAbs()))) {
+    return Status::InvalidArgument("MAP inference needs a symmetric kernel");
+  }
+  return GreedyMapInference(PrimalKernelRep::View(kernel), options);
 }
 
 Result<std::vector<int>> DiversifiedRerank(const Vector& quality,

@@ -6,6 +6,22 @@
 // the whole selection costs O(M * size^2) instead of O(M * size^3).
 // Provided as a library extension — combine a trained model's scores
 // with the diversity kernel and re-rank a candidate pool.
+//
+// The greedy loop is representation-generic: it reads the kernel only
+// through KernelRep's FillDiag / FillRow primitives, so it runs
+// unchanged over a materialized Matrix (O(1) row reads) or a
+// FactorDiagKernelRep (rows synthesized at O(n d) — the whole selection
+// is O(k n d + k^2 n) without ever touching an n x n array). Because
+// FactorDiagKernelRep's entries are bit-identical to the materialized
+// pipeline's (see linalg/kernel_rep.h), both paths take identical
+// branches and select identical sets.
+//
+// Stopping rule: the loop stops when the best remaining squared pivot
+// d^2 falls to <= 1e-15 * max_i L(i, i). The threshold is RELATIVE to
+// the kernel's diagonal scale — an absolute cutoff misreads uniformly
+// tiny kernels (every gain "vanishes" at 1e-150 scale) and uniformly
+// huge ones (round-off residues at 1e150 scale look like genuine gains
+// past the numerical rank).
 
 #ifndef LKPDPP_CORE_MAP_INFERENCE_H_
 #define LKPDPP_CORE_MAP_INFERENCE_H_
@@ -13,6 +29,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "linalg/kernel_rep.h"
 #include "linalg/matrix.h"
 
 namespace lkpdpp {
@@ -25,11 +42,17 @@ struct GreedyMapOptions {
   double min_log_gain = -1e300;
 };
 
-/// Greedy argmax of det(L_S): returns selected indices in selection
-/// order. `kernel` must be square, symmetric, PSD with strictly positive
-/// diagonal mass to select from. Fails on invalid kernels; returns fewer
-/// than max_size items if gains vanish (numerically rank-deficient
-/// kernels).
+/// Greedy argmax of det(L_S) over any kernel representation: returns
+/// selected indices in selection order. The rep must describe a
+/// symmetric PSD kernel (Matrix callers are validated by the overload
+/// below; factor-built reps are PSD by construction). Fails if nothing
+/// has positive gain; returns fewer than max_size items once gains fall
+/// below 1e-15 * max diagonal (numerical rank exhausted).
+Result<std::vector<int>> GreedyMapInference(const KernelRep& kernel,
+                                            const GreedyMapOptions& options);
+
+/// Matrix entry point: validates shape/symmetry, then runs the generic
+/// loop over a non-owning primal view.
 Result<std::vector<int>> GreedyMapInference(const Matrix& kernel,
                                             const GreedyMapOptions& options);
 

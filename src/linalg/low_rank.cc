@@ -63,6 +63,40 @@ LowRankFactor LowRankFactor::ScaleRows(const Vector& scale) const {
   return LowRankFactor(std::move(out));
 }
 
+double LowRankFactor::RowDot(int i, int j) const {
+  const int d = v_.cols();
+  const double* ri = v_.RowPtr(i);
+  const double* rj = v_.RowPtr(j);
+  double s = 0.0;
+  for (int c = 0; c < d; ++c) s += ri[c] * rj[c];
+  return s;
+}
+
+void LowRankFactor::RowDots(int j, double* out) const {
+  const int n = v_.rows();
+  const int d = v_.cols();
+  LKP_CHECK(j >= 0 && j < n) << "row " << j << " outside factor of " << n
+                             << " rows";
+  const double* rj = v_.RowPtr(j);
+  for (int i = 0; i < n; ++i) {
+    const double* ri = v_.RowPtr(i);
+    double s = 0.0;
+    for (int c = 0; c < d; ++c) s += ri[c] * rj[c];
+    out[i] = s;
+  }
+}
+
+void LowRankFactor::SquaredRowNorms(double* out) const {
+  const int n = v_.rows();
+  const int d = v_.cols();
+  for (int i = 0; i < n; ++i) {
+    const double* ri = v_.RowPtr(i);
+    double s = 0.0;
+    for (int c = 0; c < d; ++c) s += ri[c] * ri[c];
+    out[i] = s;
+  }
+}
+
 Result<DualEigen> LowRankFactor::EigenDual() const {
   LKP_ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(Gram()));
   // The clamp threshold uses the PRIMAL ground size n, not d: the

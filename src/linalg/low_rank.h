@@ -17,6 +17,23 @@
 // Conditioning composes in the dual: extracting a candidate pool is a row
 // subset of V, and quality conditioning Diag(q) L Diag(q) is a row
 // scaling of V — both O(n d) updates instead of an n x n rebuild.
+//
+// Factor-plus-diagonal extension (V·Vᵀ + D). Blended serving kernels
+// add a diagonal the factor cannot absorb: L = α·V·Vᵀ + δ·I shifts the
+// whole spectrum, λ_i(L) = α·λ_i(V·Vᵀ) + δ, including the (n - d)
+// padded zeros — which become δ > 0, so the padding argument that made
+// the d-eigenvalue dual ESP tables exact (zero eigenvalues contribute
+// nothing) no longer applies, and after the outer Diag(q) scaling the
+// shift is not even spectral (Diag(q)(α·V·Vᵀ + δ·I)Diag(q) =
+// α·(Diag(q)V)(Diag(q)V)ᵀ + δ·Diag(q²), a NON-scalar diagonal). Exact
+// dual *eigendecomposition* of a blended kernel therefore stays out of
+// reach of the d x d Gram trick; what IS computable from the thin
+// factor alone is every kernel ENTRY —
+//   L(i,j) = q_i·(α·<v_i, v_j> + δ·1[i=j])·q_j
+// at O(d) each via RowDot/RowDots below. That is all greedy MAP
+// inference reads, which is why linalg/kernel_rep.h's
+// FactorDiagKernelRep makes blended kernels dual-eligible for the MAP
+// serving mode while sampling mode still requires α == 1.
 
 #ifndef LKPDPP_LINALG_LOW_RANK_H_
 #define LKPDPP_LINALG_LOW_RANK_H_
@@ -79,6 +96,21 @@ class LowRankFactor {
   /// Factor of Diag(s) L Diag(s): V with row i scaled by s[i]. This is
   /// how quality conditioning enters the dual path.
   LowRankFactor ScaleRows(const Vector& scale) const;
+
+  /// <v_i, v_j>, the kernel entry L(i, j), as the ascending-column dot
+  /// product — the same reduction order DiversityKernel::Entry and the
+  /// (naive-order) blocked GEMM use, so factor-computed entries are
+  /// bit-identical to materialized ones. O(d).
+  double RowDot(int i, int j) const;
+
+  /// Kernel row j without materializing L: out[i] = <v_i, v_j> for
+  /// every i, into out[0 .. ground_size()). O(n d) — the per-step
+  /// primitive of factor-path greedy MAP.
+  void RowDots(int j, double* out) const;
+
+  /// diag(L) without materializing: out[i] = <v_i, v_i> into
+  /// out[0 .. ground_size()). O(n d).
+  void SquaredRowNorms(double* out) const;
 
   /// Eigendecomposition of the dual kernel via SymmetricEigen, with the
   /// shared PSD clamp applied at primal ground size (see DualEigen).

@@ -7,6 +7,31 @@
 
 namespace lkpdpp {
 
+namespace matrix_probe {
+
+namespace {
+// Thread-local so probe runs in one test cannot see allocations from
+// concurrently running suites or pool workers.
+thread_local bool armed = false;
+thread_local long peak = 0;
+}  // namespace
+
+void Arm() {
+  armed = true;
+  peak = 0;
+}
+
+long Disarm() {
+  armed = false;
+  return peak;
+}
+
+void OnAlloc(long elements) {
+  if (armed && elements > peak) peak = elements;
+}
+
+}  // namespace matrix_probe
+
 Vector& Vector::operator+=(const Vector& other) {
   LKP_CHECK_EQ(size(), other.size());
   for (int i = 0; i < size(); ++i) data_[i] += other.data_[i];
@@ -88,6 +113,7 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
     LKP_CHECK_EQ(static_cast<int>(row.size()), cols_);
     data_.insert(data_.end(), row.begin(), row.end());
   }
+  matrix_probe::OnAlloc(static_cast<long>(rows_) * cols_);
 }
 
 Matrix Matrix::Identity(int n) {

@@ -21,6 +21,21 @@
 
 namespace lkpdpp {
 
+namespace matrix_probe {
+/// Test-only allocation probe: while armed on the current thread, every
+/// Matrix construction records its element count (rows * cols) and the
+/// largest single allocation is kept. Tests use it to assert a code
+/// path never materializes an n x n kernel (e.g. factor-path greedy
+/// MAP). Thread-local, so concurrent suites cannot interfere; costs one
+/// thread-local branch per Matrix construction when disarmed.
+void Arm();
+/// Disarms the probe on this thread and returns the peak single-Matrix
+/// element count observed since Arm() (0 if nothing was allocated).
+long Disarm();
+/// Internal hook called by Matrix constructors.
+void OnAlloc(long elements);
+}  // namespace matrix_probe
+
 /// Dense column vector of doubles.
 class Vector {
  public:
@@ -96,6 +111,7 @@ class Matrix {
         data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
     LKP_CHECK_GE(rows, 0);
     LKP_CHECK_GE(cols, 0);
+    matrix_probe::OnAlloc(static_cast<long>(rows) * cols);
   }
   /// Builds from nested initializer lists; all rows must be equal length.
   Matrix(std::initializer_list<std::initializer_list<double>> init);

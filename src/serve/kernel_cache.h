@@ -39,6 +39,7 @@
 
 #include "common/result.h"
 #include "core/kdpp.h"
+#include "linalg/kernel_rep.h"
 #include "linalg/matrix.h"
 #include "obs/metrics.h"
 
@@ -51,10 +52,13 @@ struct ServedKernel {
   /// costs one rebuild instead of silently serving the wrong kernel.
   std::vector<int> items;
   /// Conditioned kernel L = Diag(q) (alpha*K + (1-alpha)*I) Diag(q) over
-  /// the pool, in pool-local indices. MAP-rerank mode only: sampling-mode
-  /// entries keep the kernel inside `kdpp` (kdpp->kernel()) instead of
-  /// storing a second copy.
-  Matrix kernel;
+  /// the pool, in pool-local indices, behind whichever KernelRep the
+  /// service's cost model picked: a materialized PrimalKernelRep, or a
+  /// FactorDiagKernelRep holding just the pool's factor rows + blend
+  /// scalars (O(pool * rank) memory, rows synthesized on demand).
+  /// MAP-rerank mode only: sampling-mode entries keep the kernel inside
+  /// `kdpp` (kdpp->kernel()) instead of storing a second copy.
+  std::shared_ptr<const KernelRep> rep;
   /// Decomposed k-DPP over the conditioned kernel (sampling mode only;
   /// null for MAP rerank, which needs no eigendecomposition). May be a
   /// primal k-DPP (n x n kernel + eigendecomposition) or a low-rank dual

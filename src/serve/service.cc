@@ -28,6 +28,11 @@ obs::Counter* PrimalPathTotal() {
       "lkp_serve_primal_path_total");
   return counter;
 }
+obs::Counter* EigSkippedTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_kernel_cache_eig_skipped_total");
+  return counter;
+}
 obs::Gauge* AdmissionQueueDepth() {
   static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge(
       "lkp_serve_admission_queue_depth");
@@ -189,6 +194,22 @@ Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
           KDpp kdpp,
           KDpp::CreateDual(factor.ScaleRows(quality), effective_k));
       built->kdpp = std::make_shared<const KDpp>(std::move(kdpp));
+    } else if (config_.mode == ServeMode::kMapRerank &&
+               UseFactorRep(work.pool)) {
+      // Greedy MAP only reads entries, so the blended conditioned
+      // kernel rides as factor + diagonal — O(pool * rank) to build and
+      // store versus O(pool^2 * rank) to materialize, and no
+      // eigendecomposition either way (MAP entries never decompose).
+      LKP_TRACE_SPAN("serve.factor_rep_build");
+      EigSkippedTotal()->Inc();
+      DualPathTotal()->Inc();
+      LKP_ASSIGN_OR_RETURN(
+          FactorDiagKernelRep rep,
+          FactorDiagKernelRep::Create(diversity_->FactorRows(work.pool),
+                                      quality, config_.kernel_blend_alpha,
+                                      1.0 - config_.kernel_blend_alpha));
+      built->rep =
+          std::make_shared<const FactorDiagKernelRep>(std::move(rep));
     } else {
       Matrix conditioned;
       {
@@ -207,7 +228,10 @@ Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
             KDpp kdpp, KDpp::Create(std::move(conditioned), effective_k));
         built->kdpp = std::make_shared<const KDpp>(std::move(kdpp));
       } else {
-        built->kernel = std::move(conditioned);
+        EigSkippedTotal()->Inc();
+        PrimalPathTotal()->Inc();
+        built->rep = std::make_shared<const PrimalKernelRep>(
+            std::move(conditioned));
       }
     }
     return std::shared_ptr<const ServedKernel>(std::move(built));
@@ -228,6 +252,17 @@ bool RecommendationService::UseDualPath(const std::vector<int>& pool) const {
          diversity_->rank() < static_cast<int>(pool.size());
 }
 
+bool RecommendationService::UseFactorRep(const std::vector<int>& pool) const {
+  // MAP rerank reads kernel ENTRIES only, and every entry of the blended
+  // conditioned kernel is computable from the thin factor plus the blend
+  // scalars (FactorDiagKernelRep) — so unlike the sampling dual path,
+  // any alpha qualifies. The factor rep wins whenever it is thinner than
+  // the pool: greedy then costs O(k n d + k^2 n) instead of the
+  // O(n^2 d) materialization alone.
+  return !config_.force_primal &&
+         diversity_->rank() < static_cast<int>(pool.size());
+}
+
 Result<RecResponse> RecommendationService::SelectTopK(int user,
                                                       const UserWork& work,
                                                       Rng* rng) {
@@ -240,7 +275,9 @@ Result<RecResponse> RecommendationService::SelectTopK(int user,
     return response;
   }
   response.dual_path =
-      work.entry->kdpp != nullptr && work.entry->kdpp->is_dual();
+      (work.entry->kdpp != nullptr && work.entry->kdpp->is_dual()) ||
+      (work.entry->rep != nullptr &&
+       work.entry->rep->kind() == KernelRepKind::kFactorDiag);
   const int effective_k =
       std::min(config_.top_k, static_cast<int>(work.pool.size()));
 
@@ -251,7 +288,7 @@ Result<RecResponse> RecommendationService::SelectTopK(int user,
       GreedyMapOptions opts;
       opts.max_size = effective_k;
       LKP_ASSIGN_OR_RETURN(local,
-                           GreedyMapInference(work.entry->kernel, opts));
+                           GreedyMapInference(*work.entry->rep, opts));
       if (static_cast<int>(local.size()) < effective_k) {
         // Rank-deficient corner: backfill by score order so every
         // response still carries exactly effective_k items.

@@ -26,7 +26,15 @@
 //      factor rank below the pool size), sampling-mode entries are built
 //      through the dual path instead — O(pool * rank^2) conditioning in
 //      factor space, never materializing the pool kernel (set
-//      force_primal to disable for cross-checks).
+//      force_primal to disable for cross-checks). MAP-rerank entries
+//      never eigendecompose at all, and hold a KernelRep chosen by cost
+//      model: a FactorDiagKernelRep (pool factor rows + blend scalars,
+//      O(pool * rank) memory, greedy reads rows at O(pool * rank)) when
+//      the factor is thinner than the pool — for ANY blend alpha, since
+//      greedy MAP only reads entries and the identity blend rides as a
+//      diagonal beside the factor — or a materialized PrimalKernelRep
+//      otherwise. Both reps produce bit-identical entries, so the
+//      selected sets are bit-identical too (see linalg/kernel_rep.h).
 //   4. ThreadPool — per-request work fans out over the work-stealing
 //      pool with grain-size chunking so tiny per-request tasks do not
 //      pay one dispatch each; per-request Rng streams are forked in
@@ -105,11 +113,12 @@ struct ServeConfig {
   int parallel_grain = 0;
   /// Master seed for sampling-mode Rng streams.
   uint64_t seed = 0x5EEDF00DULL;
-  /// Disables the low-rank dual path: every sampling-mode kernel is
-  /// materialized and eigendecomposed primally even when it advertises a
-  /// factor. The dual path is exact (same distribution, same per-seed
-  /// sample streams), so this exists for cross-checking and debugging,
-  /// not correctness.
+  /// Disables every thin-representation path: sampling-mode kernels are
+  /// materialized and eigendecomposed primally even when they advertise
+  /// a factor, and MAP-rerank kernels are materialized instead of held
+  /// as FactorDiagKernelRep. Both thin paths are exact (same
+  /// distribution / bit-identical MAP selections), so this exists for
+  /// cross-checking and debugging, not correctness.
   bool force_primal = false;
 };
 
@@ -123,8 +132,10 @@ struct RecResponse {
   /// order; sampling mode: sampled set ordered by descending score.
   std::vector<int> items;
   bool cache_hit = false;
-  /// True when this request was served from a low-rank dual k-DPP
-  /// (sampling mode, kernel advertised a factor, dual was profitable).
+  /// True when this request was served from a thin factor-backed
+  /// representation instead of a materialized kernel: a low-rank dual
+  /// k-DPP in sampling mode, or a FactorDiagKernelRep greedy-MAP pass
+  /// in rerank mode.
   bool dual_path = false;
   double latency_ms = 0.0;
 };
@@ -210,8 +221,19 @@ class RecommendationService {
 
   /// True when this pool's sampling kernel should be built through the
   /// low-rank dual path (exact factor available and thinner than the
-  /// pool; see the KernelCache note above).
+  /// pool; see the KernelCache note above). Sampling only: requires
+  /// kernel_blend_alpha == 1, because eigendecomposing a blended kernel
+  /// from the d x d dual is impossible (the diagonal shift is non-scalar
+  /// after quality conditioning).
   bool UseDualPath(const std::vector<int>& pool) const;
+
+  /// True when this pool's MAP-rerank kernel should be held as a
+  /// FactorDiagKernelRep instead of materialized. Unlike UseDualPath,
+  /// ANY blend alpha qualifies — greedy MAP only reads kernel entries,
+  /// and every entry of Diag(q)(alpha*K + (1-alpha)*I)Diag(q) is
+  /// computable from the thin factor. Profitable when the factor is
+  /// thinner than the pool.
+  bool UseFactorRep(const std::vector<int>& pool) const;
 
   /// Distills one request's top-k list from its user's prepared kernel.
   Result<RecResponse> SelectTopK(int user, const UserWork& work, Rng* rng);

@@ -228,6 +228,28 @@ TEST(GreedyMapTest, StopsOnRankDeficiency) {
   EXPECT_EQ(s->size(), 2u);
 }
 
+TEST(GreedyMapTest, StoppingThresholdScalesWithTheKernel) {
+  // Regression for the absolute 1e-15 stop this replaced: a uniformly
+  // tiny full-rank kernel must still fill the request (the old cutoff
+  // reported NumericalError at 1e-150 scale), and a uniformly huge
+  // rank-2 kernel must still stop at its numerical rank (the old cutoff
+  // kept selecting round-off residues at 1e150 scale).
+  GreedyMapOptions options;
+  options.max_size = 3;
+  Matrix tiny = Matrix::Diagonal(Vector{1e-150, 2e-150, 3e-150});
+  auto s = GreedyMapInference(tiny, options);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(*s, (std::vector<int>{2, 1, 0}));
+
+  Matrix v{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {2.0, -1.0}};
+  v *= 1e75;  // Kernel entries at ~1e150 scale, still exactly rank 2.
+  Matrix huge = MatMulTransB(v, v);
+  options.max_size = 4;
+  auto h = GreedyMapInference(huge, options);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(h->size(), 2u);
+}
+
 TEST(GreedyMapTest, ValidationErrors) {
   GreedyMapOptions options;
   EXPECT_FALSE(GreedyMapInference(Matrix(2, 3), options).ok());

@@ -15,6 +15,7 @@
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "models/mf.h"
+#include "obs/metrics.h"
 #include "serve/kernel_cache.h"
 #include "serve/stats.h"
 
@@ -82,7 +83,7 @@ std::vector<RecRequest> RoundRobinBatch(int batch_size, int offset) {
 
 std::shared_ptr<const ServedKernel> DummyEntry(double fill) {
   auto e = std::make_shared<ServedKernel>();
-  e->kernel = Matrix(2, 2, fill);
+  e->rep = std::make_shared<const PrimalKernelRep>(Matrix(2, 2, fill));
   return e;
 }
 
@@ -93,7 +94,7 @@ TEST(KernelCacheTest, MissThenHit) {
   cache.Put(1, 42, DummyEntry(1.0));
   auto hit = cache.Get(1, 42);
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->kernel(0, 0), 1.0);
+  EXPECT_EQ(hit->rep->Entry(0, 0), 1.0);
   EXPECT_EQ(cache.hits(), 1);
   EXPECT_EQ(cache.size(), 1);
 }
@@ -134,7 +135,7 @@ TEST(KernelCacheTest, PutRefreshesExistingKey) {
   EXPECT_EQ(cache.size(), 1);
   auto e = cache.Get(1, 10);
   ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->kernel(0, 0), 7.0);
+  EXPECT_EQ(e->rep->Entry(0, 0), 7.0);
 }
 
 TEST(KernelCacheTest, ClearEmptiesEverything) {
@@ -350,6 +351,145 @@ TEST(ServeTest, MapModeMatchesDirectGreedyRerank) {
   std::vector<int> expected;
   for (int idx : *local) expected.push_back(pool[static_cast<size_t>(idx)]);
   EXPECT_EQ(response->items, expected);
+}
+
+// MAP-mode kernels ride the FactorDiagKernelRep whenever the diversity
+// factor (rank 8) is thinner than the pool (20) — for ANY blend alpha,
+// unlike the sampling dual path. The selections must be bit-identical
+// to the forced-primal oracle: the rep synthesizes entries with the
+// exact primal arithmetic (linalg/kernel_rep.h).
+TEST(ServeTest, MapFactorRepMatchesForcedPrimalExactly) {
+  ServeWorld* w = World();
+  for (double alpha : {0.5, 1.0}) {
+    ServeConfig factor_cfg = BaseConfig(ServeMode::kMapRerank);
+    factor_cfg.kernel_blend_alpha = alpha;
+    ServeConfig primal_cfg = factor_cfg;
+    primal_cfg.force_primal = true;
+    auto factor_service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr, factor_cfg);
+    auto primal_service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr, primal_cfg);
+    ASSERT_TRUE(factor_service.ok());
+    ASSERT_TRUE(primal_service.ok());
+    int factor_responses = 0;
+    for (int b = 0; b < 3; ++b) {
+      auto rf = (*factor_service)->HandleBatch(RoundRobinBatch(24, b * 5));
+      auto rp = (*primal_service)->HandleBatch(RoundRobinBatch(24, b * 5));
+      ASSERT_TRUE(rf.ok()) << rf.status().ToString();
+      ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+      ASSERT_EQ(rf->size(), rp->size());
+      for (size_t i = 0; i < rf->size(); ++i) {
+        EXPECT_EQ((*rf)[i].items, (*rp)[i].items)
+            << "alpha " << alpha << " batch " << b << " request " << i
+            << ": factor and primal MAP selections diverged";
+        EXPECT_FALSE((*rp)[i].dual_path);
+        if ((*rf)[i].dual_path) ++factor_responses;
+      }
+    }
+    // The factor rep actually engaged (rank 8 < pool 20 everywhere).
+    EXPECT_GT(factor_responses, 0) << "alpha " << alpha;
+  }
+}
+
+TEST(ServeTest, MapFactorRepBitIdenticalAcrossThreadCounts) {
+  ServeWorld* w = World();
+  auto serve_many = [&](int threads) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+    auto service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, pool.get(),
+        BaseConfig(ServeMode::kMapRerank));
+    service.status().CheckOK();
+    std::vector<std::vector<int>> all_items;
+    bool saw_factor = false;
+    for (int b = 0; b < 4; ++b) {
+      auto responses = (*service)->HandleBatch(RoundRobinBatch(25, b * 7));
+      responses.status().CheckOK();
+      for (const RecResponse& r : *responses) {
+        all_items.push_back(r.items);
+        saw_factor = saw_factor || r.dual_path;
+      }
+    }
+    EXPECT_TRUE(saw_factor);
+    return all_items;
+  };
+  const auto serial = serve_many(/*threads=*/0);
+  for (int threads : {1, 2, 4}) {
+    const auto parallel = serve_many(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i])
+          << "MAP factor-rep response " << i << " diverged at " << threads
+          << " threads";
+    }
+  }
+}
+
+// Degenerate pools: a rank-1 diversity kernel makes every pool item a
+// scalar multiple of every other (maximal duplication/ties). Greedy
+// selects one item and score-order backfill tops the list up; the
+// result must agree bit for bit between representations and across
+// thread counts.
+TEST(ServeTest, RankOneDiversityPoolsAgreeAcrossRepsAndThreads) {
+  ServeWorld* w = World();
+  DiversityKernel rank1 =
+      DiversityKernel::Random(w->dataset.num_items(), 1, /*seed=*/17);
+  ServeConfig factor_cfg = BaseConfig(ServeMode::kMapRerank);
+  factor_cfg.kernel_blend_alpha = 1.0;  // No identity blend: true rank 1.
+  ServeConfig primal_cfg = factor_cfg;
+  primal_cfg.force_primal = true;
+  auto serve_all = [&](const ServeConfig& cfg, int threads) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+    auto service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &rank1, pool.get(), cfg);
+    service.status().CheckOK();
+    auto responses = (*service)->HandleBatch(RoundRobinBatch(30, 0));
+    responses.status().CheckOK();
+    std::vector<std::vector<int>> items;
+    for (const RecResponse& r : *responses) {
+      EXPECT_EQ(static_cast<int>(r.items.size()), cfg.top_k)
+          << "backfill must keep rank-deficient responses full";
+      items.push_back(r.items);
+    }
+    return items;
+  };
+  const auto oracle = serve_all(primal_cfg, 0);
+  for (int threads : {0, 2, 4}) {
+    EXPECT_EQ(serve_all(factor_cfg, threads), oracle)
+        << "rank-1 pools diverged at " << threads << " threads";
+  }
+}
+
+// Satellite: MAP-mode cache entries never eigendecompose — every build
+// bumps lkp_kernel_cache_eig_skipped_total instead, factor and primal
+// alike.
+TEST(ServeTest, MapModeBuildsSkipEigendecomposition) {
+  ServeWorld* w = World();
+  obs::Counter* skipped = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_kernel_cache_eig_skipped_total");
+  for (bool force_primal : {false, true}) {
+    ServeConfig cfg = BaseConfig(ServeMode::kMapRerank);
+    cfg.force_primal = force_primal;
+    auto service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr, cfg);
+    ASSERT_TRUE(service.ok());
+    const long before = skipped->Value();
+    ASSERT_TRUE((*service)->HandleBatch(RoundRobinBatch(16, 0)).ok());
+    const long skipped_delta = skipped->Value() - before;
+    EXPECT_EQ(skipped_delta, (*service)->cache().builds())
+        << "force_primal=" << force_primal
+        << ": every MAP build must skip the eigendecomposition";
+    EXPECT_GT(skipped_delta, 0);
+  }
+  // Sampling-mode builds DO decompose and must not touch the counter.
+  auto sampling = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr,
+      BaseConfig(ServeMode::kSample));
+  ASSERT_TRUE(sampling.ok());
+  const long before = skipped->Value();
+  ASSERT_TRUE((*sampling)->HandleBatch(RoundRobinBatch(8, 0)).ok());
+  EXPECT_EQ(skipped->Value(), before);
 }
 
 TEST(ServeTest, ServingPoolIsScoreSortedAndUnobserved) {
@@ -726,7 +866,7 @@ TEST(KernelCacheTest, ShardedCacheServesEveryKeyAndHonorsBudget) {
   for (int k = 0; k < 100; ++k) {
     auto e = cache.Get(k, static_cast<uint64_t>(k) * 31 + 7);
     if (e != nullptr) {
-      EXPECT_EQ(e->kernel(0, 0), static_cast<double>(k));
+      EXPECT_EQ(e->rep->Entry(0, 0), static_cast<double>(k));
       ++present;
     }
   }
@@ -761,7 +901,7 @@ TEST(KernelCacheTest, GetOrBuildBuildsOnceUnderConcurrentMisses) {
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
         auto e = std::make_shared<ServedKernel>();
         e->items = items;
-        e->kernel = Matrix(2, 2, 9.0);
+        e->rep = std::make_shared<const PrimalKernelRep>(Matrix(2, 2, 9.0));
         return Result<std::shared_ptr<const ServedKernel>>(std::move(e));
       }, &was_hit);
       ASSERT_TRUE(r.ok());
