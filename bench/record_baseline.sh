@@ -21,6 +21,10 @@
 #   * map_bench contributes the machine-independent factor-vs-primal
 #     greedy MAP agreement verdict (bit-identical selected lists on a
 #     blended alpha=0.5 kernel) plus indicative rerank timings/speedups.
+#   * stream_bench contributes the machine-independent replay-determinism
+#     verdict for serving under live model updates (fixed interleave,
+#     bit-identical responses at every thread count) plus indicative
+#     staleness-vs-throughput rows per update rate.
 #
 # Usage: bench/record_baseline.sh [build-dir]   (default: build)
 # The build dir must already contain the Release bench binaries.
@@ -37,6 +41,8 @@ export LKP_SCALE=1.0
 export LKP_EPOCHS=36
 export LKP_SERVE_USERS=100000
 export LKP_SERVE_REQUESTS=2000
+export LKP_STREAM_USERS=20000
+export LKP_STREAM_REQUESTS=1024
 export LKP_THREADS=2
 # 6 epochs keeps the 1-thread lkp_train row around 100ms: comfortably
 # above timer noise, so recorded speedup ratios are meaningful shapes
@@ -50,8 +56,9 @@ TRAIN_OUT=$(mktemp)
 EIGEN_OUT=$(mktemp)
 DUAL_OUT=$(mktemp)
 MAP_OUT=$(mktemp)
+STREAM_OUT=$(mktemp)
 METRICS_OUT=$(mktemp)
-trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" "$DUAL_OUT" "$MAP_OUT" "$METRICS_OUT"' EXIT
+trap 'rm -f "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" "$DUAL_OUT" "$MAP_OUT" "$STREAM_OUT" "$METRICS_OUT"' EXIT
 
 echo "running fig2_k_sweep (LKP_SCALE=$LKP_SCALE LKP_EPOCHS=$LKP_EPOCHS)..."
 "$BUILD_DIR/bench/fig2_k_sweep" > "$FIG2_OUT"
@@ -94,12 +101,19 @@ echo "running map_bench..."
 # parser records map_agrees=false in the baseline.
 "$BUILD_DIR/bench/map_bench" > "$MAP_OUT" || true
 
+echo "running stream_bench (LKP_STREAM_USERS=$LKP_STREAM_USERS" \
+     "LKP_STREAM_REQUESTS=$LKP_STREAM_REQUESTS)..."
+# stream_bench exits non-zero on a replay-determinism violation (and,
+# with LKP_STREAM_GATE=1, on an invalidation/staleness assertion); keep
+# going so the parser records the red verdict instead of aborting.
+"$BUILD_DIR/bench/stream_bench" > "$STREAM_OUT" || true
+
 python3 - "$FIG2_OUT" "$MICRO_OUT" "$SERVE_OUT" "$TRAIN_OUT" "$EIGEN_OUT" \
-  "$DUAL_OUT" "$MAP_OUT" "$METRICS_OUT" <<'EOF'
+  "$DUAL_OUT" "$MAP_OUT" "$STREAM_OUT" "$METRICS_OUT" <<'EOF'
 import json, os, re, sys
 
 (fig2_path, micro_path, serve_path, train_path, eigen_path,
- dual_path, map_path, metrics_path) = sys.argv[1:9]
+ dual_path, map_path, stream_path, metrics_path) = sys.argv[1:10]
 
 # --- fig2_k_sweep: parse the per-k metric rows under each mode header.
 fig2 = {}
@@ -270,6 +284,42 @@ for line in open(map_path):
 if not map_rerank["shapes"]:
     map_rerank["map_agrees"] = False
 
+# --- stream_bench: staleness-vs-throughput rows per update rate + the
+# replay-determinism verdict (fixed serve/update interleave must be
+# bit-identical at every thread count).
+stream = {"replay_deterministic": True, "users": None, "cores": None,
+          "rates": []}
+rate = None
+for line in open(stream_path):
+    m = re.search(r"users=(\d+).*cores=(\d+)", line)
+    if m:
+        stream["users"] = int(m.group(1))
+        stream["cores"] = int(m.group(2))
+        continue
+    m = re.match(r"--- update_rate=(\d+) events/batch", line)
+    if m:
+        rate = int(m.group(1))
+        continue
+    if "REPLAY DETERMINISM VIOLATION" in line:
+        stream["replay_deterministic"] = False
+    m = re.match(
+        r"\s*(\d+)\s+([\d.]+)\s+([\d.]+)\s+(\d+)\s+(\d+)\s+([\d.]+)"
+        r"\s+([\d.]+)", line)
+    if m and rate is not None:
+        stream["rates"].append({
+            "update_rate": rate,
+            "threads": int(m.group(1)),
+            "rps": float(m.group(2)),
+            "hit_rate": float(m.group(3)),
+            "updates": int(m.group(4)),
+            "events_applied": int(m.group(5)),
+            "invalidations_per_update": float(m.group(6)),
+            "stale_max_ms": float(m.group(7)),
+        })
+if not stream["rates"]:
+    # A verdict backed by zero measurements is not a green verdict.
+    stream["replay_deterministic"] = False
+
 # --- obs metrics: the serve_throughput run's MetricsRegistry dump
 # (LKP_METRICS_OUT). Counter totals are workload-shape references;
 # absence of an expected family is the regression this catches.
@@ -290,6 +340,8 @@ baseline = {
         "LKP_EPOCHS": os.environ["LKP_EPOCHS"],
         "LKP_SERVE_USERS": os.environ["LKP_SERVE_USERS"],
         "LKP_SERVE_REQUESTS": os.environ["LKP_SERVE_REQUESTS"],
+        "LKP_STREAM_USERS": os.environ["LKP_STREAM_USERS"],
+        "LKP_STREAM_REQUESTS": os.environ["LKP_STREAM_REQUESTS"],
         "LKP_THREADS": os.environ["LKP_THREADS"],
         "LKP_TRAIN_EPOCHS": os.environ["LKP_TRAIN_EPOCHS"],
         "recorder_cores": os.cpu_count(),
@@ -302,6 +354,7 @@ baseline = {
     "eigen": eigen,
     "dual": dual,
     "map": map_rerank,
+    "stream": stream,
     "obs_metrics": obs_metrics,
 }
 with open("BENCH_baseline.json", "w") as f:

@@ -72,6 +72,92 @@ PairGrad ComputePairGrad(const Matrix& factors, const DiverseSetPair& pair,
   return out;
 }
 
+// One minibatch ascent step over pairs[start, end): pair gradients
+// against the CURRENT factor snapshot (parallel, any order), fixed
+// pair-order reduction into the row-sparse `grad` accumulator, then one
+// step + unit-sphere projection per touched row in first-touch order.
+// Shared by Train and FoldInPairs so the streaming path applies
+// bit-identical arithmetic to the offline one. `grad` must be all-zero
+// on entry (it is re-zeroed on the touched rows before returning);
+// `is_touched` all-false, sized to the catalog. `touched` is overwritten
+// with the rows this batch stepped. `pair_grads` is caller-owned scratch.
+Status ApplyPairBatchStep(Matrix* factors,
+                          const std::vector<DiverseSetPair>& pairs,
+                          size_t start, size_t end, double learning_rate,
+                          double jitter, ThreadPool* pool, Matrix* grad,
+                          std::vector<char>* is_touched,
+                          std::vector<int>* touched,
+                          std::vector<PairGrad>* pair_grads) {
+  const int batch = static_cast<int>(end - start);
+
+  // Every pair in the batch differentiates the SAME factor snapshot, so
+  // the pair gradients are independent and can be computed in any order
+  // / on any thread.
+  pair_grads->assign(static_cast<size_t>(batch), PairGrad{});
+  // Grain-coarsened: per-pair gradients are microsecond-scale, so
+  // chunked claiming keeps dispatch from dominating the shard.
+  ParallelForOrSerial(pool, batch, /*min_grain=*/1, [&](int j) {
+    (*pair_grads)[static_cast<size_t>(j)] = ComputePairGrad(
+        *factors, pairs[start + static_cast<size_t>(j)], jitter);
+  });
+
+  // The first failing pair in pair order aborts the step — checked
+  // after the barrier so the verdict is thread-count independent, and
+  // before any update so no partial step is applied.
+  for (int j = 0; j < batch; ++j) {
+    const PairGrad& pg = (*pair_grads)[static_cast<size_t>(j)];
+    if (!pg.status.ok()) return pg.status;
+  }
+
+  // Fixed pair-order reduction: ascend J with +T+ and -T- blocks.
+  touched->clear();
+  for (int j = 0; j < batch; ++j) {
+    const DiverseSetPair& pair = pairs[start + static_cast<size_t>(j)];
+    const PairGrad& pg = (*pair_grads)[static_cast<size_t>(j)];
+    for (size_t i = 0; i < pair.positive.size(); ++i) {
+      const int item = pair.positive[i];
+      if (!(*is_touched)[static_cast<size_t>(item)]) {
+        (*is_touched)[static_cast<size_t>(item)] = 1;
+        touched->push_back(item);
+      }
+      for (int c = 0; c < factors->cols(); ++c) {
+        (*grad)(item, c) += pg.pos(static_cast<int>(i), c);
+      }
+    }
+    for (size_t i = 0; i < pair.negative.size(); ++i) {
+      const int item = pair.negative[i];
+      if (!(*is_touched)[static_cast<size_t>(item)]) {
+        (*is_touched)[static_cast<size_t>(item)] = 1;
+        touched->push_back(item);
+      }
+      for (int c = 0; c < factors->cols(); ++c) {
+        (*grad)(item, c) -= pg.neg(static_cast<int>(i), c);
+      }
+    }
+  }
+
+  // One update + unit-sphere projection per touched row, in first-touch
+  // order; then reset the accumulator rows.
+  for (const int item : *touched) {
+    for (int c = 0; c < factors->cols(); ++c) {
+      (*factors)(item, c) += learning_rate * (*grad)(item, c);
+    }
+    double norm = 0.0;
+    for (int c = 0; c < factors->cols(); ++c) {
+      norm += (*factors)(item, c) * (*factors)(item, c);
+    }
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (int c = 0; c < factors->cols(); ++c) {
+        (*factors)(item, c) /= norm;
+      }
+    }
+    for (int c = 0; c < factors->cols(); ++c) (*grad)(item, c) = 0.0;
+    (*is_touched)[static_cast<size_t>(item)] = 0;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 DiversityKernel DiversityKernel::Random(int num_items, int rank,
@@ -121,76 +207,34 @@ Result<DiversityKernel> DiversityKernel::Train(const Dataset& dataset,
          start += static_cast<size_t>(config.batch_size)) {
       const size_t end = std::min(
           pairs.size(), start + static_cast<size_t>(config.batch_size));
-      const int batch = static_cast<int>(end - start);
-
-      // Every pair in the batch differentiates the SAME factor
-      // snapshot, so the pair gradients are independent and can be
-      // computed in any order / on any thread.
-      pair_grads.assign(static_cast<size_t>(batch), PairGrad{});
-      // Grain-coarsened: per-pair gradients are microsecond-scale, so
-      // chunked claiming keeps dispatch from dominating the shard.
-      ParallelForOrSerial(config.pool, batch, /*min_grain=*/1, [&](int j) {
-        pair_grads[static_cast<size_t>(j)] = ComputePairGrad(
-            factors, pairs[start + static_cast<size_t>(j)], config.jitter);
-      });
-
-      // The first failing pair in pair order aborts training — checked
-      // after the barrier so the verdict is thread-count independent,
-      // and before any update so no partial step is applied.
-      for (int j = 0; j < batch; ++j) {
-        const PairGrad& pg = pair_grads[static_cast<size_t>(j)];
-        if (!pg.status.ok()) return pg.status;
-      }
-
-      // Fixed pair-order reduction: ascend J with +T+ and -T- blocks.
-      touched.clear();
-      for (int j = 0; j < batch; ++j) {
-        const DiverseSetPair& pair = pairs[start + static_cast<size_t>(j)];
-        const PairGrad& pg = pair_grads[static_cast<size_t>(j)];
-        for (size_t i = 0; i < pair.positive.size(); ++i) {
-          const int item = pair.positive[i];
-          if (!is_touched[static_cast<size_t>(item)]) {
-            is_touched[static_cast<size_t>(item)] = 1;
-            touched.push_back(item);
-          }
-          for (int c = 0; c < factors.cols(); ++c) {
-            grad(item, c) += pg.pos(static_cast<int>(i), c);
-          }
-        }
-        for (size_t i = 0; i < pair.negative.size(); ++i) {
-          const int item = pair.negative[i];
-          if (!is_touched[static_cast<size_t>(item)]) {
-            is_touched[static_cast<size_t>(item)] = 1;
-            touched.push_back(item);
-          }
-          for (int c = 0; c < factors.cols(); ++c) {
-            grad(item, c) -= pg.neg(static_cast<int>(i), c);
-          }
-        }
-      }
-
-      // One update + unit-sphere projection per touched row, in
-      // first-touch order; then reset the accumulator rows.
-      for (const int item : touched) {
-        for (int c = 0; c < factors.cols(); ++c) {
-          factors(item, c) += config.learning_rate * grad(item, c);
-        }
-        double norm = 0.0;
-        for (int c = 0; c < factors.cols(); ++c) {
-          norm += factors(item, c) * factors(item, c);
-        }
-        norm = std::sqrt(norm);
-        if (norm > 1e-12) {
-          for (int c = 0; c < factors.cols(); ++c) {
-            factors(item, c) /= norm;
-          }
-        }
-        for (int c = 0; c < factors.cols(); ++c) grad(item, c) = 0.0;
-        is_touched[static_cast<size_t>(item)] = 0;
-      }
+      LKP_RETURN_IF_ERROR(ApplyPairBatchStep(
+          &factors, pairs, start, end, config.learning_rate, config.jitter,
+          config.pool, &grad, &is_touched, &touched, &pair_grads));
     }
   }
   return kernel;
+}
+
+Status DiversityKernel::FoldInPairs(const std::vector<DiverseSetPair>& pairs,
+                                    double learning_rate, double jitter,
+                                    ThreadPool* pool,
+                                    std::vector<int>* touched_items) {
+  if (pairs.empty()) return Status::OK();
+  // Fresh row-sparse scratch per call: fold-in batches are small and
+  // infrequent relative to training, so the O(catalog x rank) zeroed
+  // accumulator is paid once per applied update batch.
+  Matrix grad(factors_.rows(), factors_.cols());
+  std::vector<char> is_touched(static_cast<size_t>(factors_.rows()), 0);
+  std::vector<int> touched;
+  std::vector<PairGrad> pair_grads;
+  LKP_RETURN_IF_ERROR(ApplyPairBatchStep(&factors_, pairs, 0, pairs.size(),
+                                         learning_rate, jitter, pool, &grad,
+                                         &is_touched, &touched, &pair_grads));
+  if (touched_items != nullptr) {
+    touched_items->insert(touched_items->end(), touched.begin(),
+                          touched.end());
+  }
+  return Status::OK();
 }
 
 double DiversityKernel::Entry(int i, int j) const {

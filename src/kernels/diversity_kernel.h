@@ -19,6 +19,7 @@
 #include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "linalg/matrix.h"
+#include "sampling/diverse_pairs.h"
 
 namespace lkpdpp {
 
@@ -72,6 +73,18 @@ class DiversityKernel {
 
   /// Item factor rows (num_items x rank).
   const Matrix& factors() const { return factors_; }
+
+  /// Streaming fold-in (see serve/model_update.h): applies ONE minibatch
+  /// ascent step of the Eq. 3 objective to exactly the factor rows the
+  /// given pairs touch — the same arithmetic as one Train batch (pair
+  /// gradients against a fixed factor snapshot, fixed pair-order
+  /// reduction, per-row step + unit-sphere projection), so fold-in is
+  /// bit-identical at any thread count. Touched item ids are appended to
+  /// `touched_items` (first-touch order) when non-null; callers use them
+  /// for targeted cache invalidation. No-op on an empty pair list.
+  Status FoldInPairs(const std::vector<DiverseSetPair>& pairs,
+                     double learning_rate, double jitter, ThreadPool* pool,
+                     std::vector<int>* touched_items = nullptr);
 
   /// Eq. 3 objective on freshly sampled pairs — a training diagnostic.
   Result<double> Objective(const Dataset& dataset, int num_pairs,

@@ -65,6 +65,39 @@ Result<DiverseSetPair> DiversePairSampler::SamplePair(Rng* rng) const {
   return pair;
 }
 
+Result<DiverseSetPair> DiversePairSampler::SamplePairAnchored(
+    int user, int item, Rng* rng) const {
+  if (user < 0 || user >= dataset_->num_users()) {
+    return Status::OutOfRange(
+        StrFormat("user %d outside [0, %d)", user, dataset_->num_users()));
+  }
+  if (item < 0 || item >= dataset_->num_items()) {
+    return Status::OutOfRange(
+        StrFormat("item %d outside [0, %d)", item, dataset_->num_items()));
+  }
+  const std::vector<int>& positives = dataset_->TrainItems(user);
+  std::vector<int> pool;
+  pool.reserve(positives.size());
+  for (int p : positives) {
+    if (p != item) pool.push_back(p);
+  }
+  if (static_cast<int>(pool.size()) < set_size_ - 1) {
+    return Status::FailedPrecondition(
+        StrFormat("user %d has %zu usable positives < %d needed around the "
+                  "anchor",
+                  user, pool.size(), set_size_ - 1));
+  }
+  DiverseSetPair pair;
+  pair.positive.push_back(item);
+  const std::vector<int> rest =
+      GreedyDiverseSubset(*dataset_, pool, set_size_ - 1, rng);
+  pair.positive.insert(pair.positive.end(), rest.begin(), rest.end());
+  NegativeSampler negatives(dataset_);
+  LKP_ASSIGN_OR_RETURN(
+      pair.negative, negatives.Sample(user, set_size_, pair.positive, rng));
+  return pair;
+}
+
 Result<std::vector<DiverseSetPair>> DiversePairSampler::SamplePairs(
     int count, Rng* rng) const {
   std::vector<DiverseSetPair> out;

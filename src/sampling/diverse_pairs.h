@@ -34,6 +34,17 @@ class DiversePairSampler {
   /// which case callers should retry with another draw.
   Result<DiverseSetPair> SamplePair(Rng* rng) const;
 
+  /// Builds one pair anchored at an observed interaction (user, item) —
+  /// the streaming fold-in entry point (serve/model_update.h): T+ is
+  /// forced to contain `item` (first), completed to set_size with a
+  /// greedy category-diverse selection over the user's OTHER train
+  /// positives; T- samples unobserved items as in SamplePair. The anchor
+  /// itself need not be a recorded positive (it is typically the fresh
+  /// event being folded in). Fails when the user lacks set_size - 1
+  /// usable positives around the anchor; streaming callers soft-skip.
+  Result<DiverseSetPair> SamplePairAnchored(int user, int item,
+                                            Rng* rng) const;
+
   /// Draws `count` pairs, skipping infeasible users (retries bounded).
   Result<std::vector<DiverseSetPair>> SamplePairs(int count, Rng* rng) const;
 

@@ -41,6 +41,11 @@ obs::Counter* ShardEvictionsTotal(int shard_index) {
       "lkp_serve_cache_evictions_total{shard=\"" +
       std::to_string(shard_index) + "\"}");
 }
+obs::Counter* ShardInvalidationsTotal(int shard_index) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_cache_invalidations_total{shard=\"" +
+      std::to_string(shard_index) + "\"}");
+}
 
 }  // namespace
 
@@ -71,7 +76,36 @@ KernelCache::KernelCache(int capacity, int shards) : capacity_(capacity) {
     shards_.back()->capacity =
         capacity / effective + (s < capacity % effective ? 1 : 0);
     shards_.back()->evictions_metric = ShardEvictionsTotal(s);
+    shards_.back()->invalidations_metric = ShardInvalidationsTotal(s);
   }
+}
+
+void KernelCache::IndexEntryLocked(Shard& shard, const Key& key,
+                                   const ServedKernel& value) {
+  shard.user_keys[key.user].push_back(key);
+  for (int item : value.items) shard.item_keys[item].push_back(key);
+}
+
+void KernelCache::UnindexEntryLocked(Shard& shard, const Key& key,
+                                     const ServedKernel& value) {
+  auto remove_one = [&](std::unordered_map<int, std::vector<Key>>& buckets,
+                        int id) {
+    auto it = buckets.find(id);
+    if (it == buckets.end()) return;
+    std::vector<Key>& keys = it->second;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == key) {
+        keys[i] = keys.back();
+        keys.pop_back();
+        break;
+      }
+    }
+    if (keys.empty()) buckets.erase(it);
+  };
+  remove_one(shard.user_keys, key.user);
+  // A ground set never repeats an item, so one pass per item removes
+  // exactly this entry's contribution.
+  for (int item : value.items) remove_one(shard.item_keys, item);
 }
 
 std::shared_ptr<const ServedKernel> KernelCache::Get(int user,
@@ -96,18 +130,81 @@ void KernelCache::PutLocked(Shard& shard, const Key& key,
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Concurrent fill of the same key: keep the newer value, refresh.
+    // The ground sets may differ (64-bit hash collision), so re-derive
+    // the reverse-index rows from each value rather than assuming they
+    // match.
+    UnindexEntryLocked(shard, key, *it->second->second);
+    IndexEntryLocked(shard, key, *value);
     it->second->second = std::move(value);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
+  IndexEntryLocked(shard, key, *value);
   shard.lru.emplace_front(key, std::move(value));
   shard.index[key] = shard.lru.begin();
   while (static_cast<int>(shard.lru.size()) > shard.capacity) {
-    shard.index.erase(shard.lru.back().first);
+    const Entry& victim = shard.lru.back();
+    UnindexEntryLocked(shard, victim.first, *victim.second);
+    shard.index.erase(victim.first);
     shard.lru.pop_back();
     evictions_.Inc();
     shard.evictions_metric->Inc();
   }
+}
+
+void KernelCache::EraseLocked(Shard& shard, const Key& key) {
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return;
+  UnindexEntryLocked(shard, key, *it->second->second);
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+long KernelCache::InvalidateUsers(const std::vector<int>& users) {
+  long total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    for (int user : users) {
+      auto it = shard->user_keys.find(user);
+      if (it == shard->user_keys.end()) continue;
+      // EraseLocked mutates the bucket we're draining; move it out first.
+      std::vector<Key> keys = std::move(it->second);
+      shard->user_keys.erase(it);
+      for (const Key& key : keys) {
+        EraseLocked(*shard, key);
+        ++total;
+        shard->invalidated += 1;
+        invalidations_.Inc();
+        shard->invalidations_metric->Inc();
+      }
+    }
+  }
+  return total;
+}
+
+long KernelCache::InvalidateItems(const std::vector<int>& items) {
+  long total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    for (int item : items) {
+      auto it = shard->item_keys.find(item);
+      if (it == shard->item_keys.end()) continue;
+      std::vector<Key> keys = std::move(it->second);
+      shard->item_keys.erase(it);
+      for (const Key& key : keys) {
+        // A key can sit in several drained buckets (entry containing
+        // two touched items); EraseLocked no-ops on the second visit.
+        auto idx = shard->index.find(key);
+        if (idx == shard->index.end()) continue;
+        EraseLocked(*shard, key);
+        ++total;
+        shard->invalidated += 1;
+        invalidations_.Inc();
+        shard->invalidations_metric->Inc();
+      }
+    }
+  }
+  return total;
 }
 
 void KernelCache::Put(int user, uint64_t ground_hash,
@@ -204,6 +301,8 @@ void KernelCache::Clear() {
     std::lock_guard<std::mutex> lk(shard->mu);
     shard->lru.clear();
     shard->index.clear();
+    shard->user_keys.clear();
+    shard->item_keys.clear();
   }
 }
 
@@ -214,6 +313,11 @@ void KernelCache::ResetCounters() {
   misses_.Reset();
   evictions_.Reset();
   builds_.Reset();
+  invalidations_.Reset();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    shard->invalidated = 0;
+  }
 }
 
 int KernelCache::size() const {
@@ -232,5 +336,17 @@ long KernelCache::misses() const { return misses_.Value(); }
 long KernelCache::evictions() const { return evictions_.Value(); }
 
 long KernelCache::builds() const { return builds_.Value(); }
+
+long KernelCache::invalidations() const { return invalidations_.Value(); }
+
+std::vector<long> KernelCache::InvalidationsByShard() const {
+  std::vector<long> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    out.push_back(shard->invalidated);
+  }
+  return out;
+}
 
 }  // namespace lkpdpp

@@ -21,8 +21,20 @@
 // duplicating (or serializing under a held lock) the O(n^3) work.
 //
 // Invalidation: entries are valid only for the model snapshot they were
-// computed under. Retraining or swapping the model requires Clear() (the
-// service owns this; see RecommendationService).
+// computed under, and every ServedKernel carries the model_version epoch
+// it was built against. A streaming update (see serve/model_update.h)
+// that folds fresh interactions into a handful of user/item parameter
+// rows does NOT require nuking the cache: each shard keeps a reverse
+// index (user id -> its keys, item id -> keys whose ground set contains
+// the item), so InvalidateUsers/InvalidateItems evict exactly the
+// entries whose inputs changed — any entry owned by a touched user, or
+// whose pool contains a touched item — and leave everything else warm.
+// Pool-membership drift needs no invalidation at all: the key includes
+// the ground-set hash, so a pool recomputed from fresh scores that
+// admits or drops an item simply misses and rebuilds, while the stale
+// pool's entry ages out by LRU. Clear() remains the blunt fallback for
+// full retrains / model swaps (the service owns this; see
+// RecommendationService::InvalidateModel).
 
 #ifndef LKPDPP_SERVE_KERNEL_CACHE_H_
 #define LKPDPP_SERVE_KERNEL_CACHE_H_
@@ -66,6 +78,11 @@ struct ServedKernel {
   /// the cache is representation-agnostic, and one service's cache can
   /// hold a mix when pool sizes straddle the factor rank.
   std::shared_ptr<const KDpp> kdpp;
+  /// The model_version epoch the kernel was computed under (stamped by
+  /// the service's builder). Targeted invalidation keeps entries from
+  /// ever being SERVED stale, so a surviving entry's stamp only says how
+  /// old its (still valid) inputs are — observability, not correctness.
+  uint64_t model_version = 0;
 };
 
 /// Order-sensitive hash of a ground set (SplitMix64 chaining). Serving
@@ -109,10 +126,20 @@ class KernelCache {
       int user, uint64_t ground_hash, const std::vector<int>& items,
       const Builder& build, bool* was_hit = nullptr);
 
+  /// Targeted invalidation: evicts every entry keyed on one of `users`
+  /// (any ground set), via the per-shard user reverse index. Returns the
+  /// number of entries evicted. O(shards + evicted), not O(cache).
+  long InvalidateUsers(const std::vector<int>& users);
+
+  /// Targeted invalidation: evicts every entry whose ground set contains
+  /// one of `items`, via the per-shard item reverse index. Returns the
+  /// number of entries evicted.
+  long InvalidateItems(const std::vector<int>& items);
+
   void Clear();
 
-  /// Zeroes hit/miss/eviction/build counters without touching the
-  /// entries (used by ServeStats windows).
+  /// Zeroes hit/miss/eviction/build/invalidation counters without
+  /// touching the entries (used by ServeStats windows).
   void ResetCounters();
 
   int capacity() const { return capacity_; }
@@ -124,6 +151,10 @@ class KernelCache {
   /// Number of Builder invocations GetOrBuild actually ran. With the
   /// in-flight guard, concurrent misses on one key contribute one build.
   long builds() const;
+  /// Entries evicted by InvalidateUsers/InvalidateItems (NOT counted as
+  /// LRU evictions), total and per shard.
+  long invalidations() const;
+  std::vector<long> InvalidationsByShard() const;
 
   static constexpr int kDefaultShards = 16;
   /// Floor on per-shard capacity; below it the cache collapses to fewer
@@ -166,22 +197,59 @@ class KernelCache {
     std::list<Entry> lru;  // Front = most recently used.
     std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index;
     std::unordered_map<Key, std::shared_ptr<InFlight>, KeyHasher> inflight;
-    // Registry counter lkp_serve_cache_evictions_total{shard="<i>"},
-    // shared by every cache with a shard at this index (process-wide
-    // per-shard eviction attribution).
+    // Reverse indices for targeted invalidation: every resident key,
+    // bucketed by its user and by each item of its entry's ground set.
+    // Maintained by PutLocked/EraseLocked so they mirror `index`
+    // exactly; empty buckets are erased so the maps stay proportional
+    // to resident entries, not to ids ever seen.
+    std::unordered_map<int, std::vector<Key>> user_keys;
+    std::unordered_map<int, std::vector<Key>> item_keys;
+    // Entries evicted by targeted invalidation (shard.mu held).
+    long invalidated = 0;
+    // Registry counters lkp_serve_cache_evictions_total{shard="<i>"} /
+    // lkp_serve_cache_invalidations_total{shard="<i>"}, shared by every
+    // cache with a shard at this index (process-wide per-shard
+    // attribution).
     obs::Counter* evictions_metric = nullptr;
+    obs::Counter* invalidations_metric = nullptr;
   };
 
+  /// Shard selection re-mixes the key hash through SplitMix64 before
+  /// the modulus. Reusing KeyHasher's value verbatim would make the
+  /// shard index a pure function of the SAME bits the per-shard
+  /// unordered_map buckets on, so every key landing in shard i would
+  /// share `hash % num_shards == i` — correlated bucket structure
+  /// inside every shard. The finalizer decorrelates the two uses.
+  static size_t ShardIndexFor(size_t key_hash, size_t num_shards) {
+    uint64_t x = static_cast<uint64_t>(key_hash) + 0x9E3779B97F4A7C15ULL;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x) % num_shards;
+  }
+
   Shard& ShardFor(const Key& key) {
-    return *shards_[KeyHasher{}(key) % shards_.size()];
+    return *shards_[ShardIndexFor(KeyHasher{}(key), shards_.size())];
   }
   const Shard& ShardFor(const Key& key) const {
-    return *shards_[KeyHasher{}(key) % shards_.size()];
+    return *shards_[ShardIndexFor(KeyHasher{}(key), shards_.size())];
   }
 
   /// Inserts or refreshes `key` in `shard` (shard.mu must be held).
   void PutLocked(Shard& shard, const Key& key,
                  std::shared_ptr<const ServedKernel> value);
+
+  /// Removes `key`'s LRU node + index + reverse-index buckets
+  /// (shard.mu must be held). No-op if the key is not resident.
+  void EraseLocked(Shard& shard, const Key& key);
+
+  /// Reverse-index bookkeeping (shard.mu must be held).
+  static void IndexEntryLocked(Shard& shard, const Key& key,
+                               const ServedKernel& value);
+  static void UnindexEntryLocked(Shard& shard, const Key& key,
+                                 const ServedKernel& value);
 
   const int capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -194,6 +262,7 @@ class KernelCache {
   obs::Counter misses_;
   obs::Counter evictions_;
   obs::Counter builds_;
+  obs::Counter invalidations_;
 };
 
 }  // namespace lkpdpp

@@ -1,0 +1,357 @@
+#include "serve/model_update.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "opt/parallel_batch.h"
+#include "sampling/negative_sampler.h"
+
+namespace lkpdpp {
+
+namespace {
+
+obs::Counter* UpdateEventsTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_update_events_total");
+  return counter;
+}
+obs::Counter* UpdateEventsSkippedTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_update_events_skipped_total");
+  return counter;
+}
+obs::Counter* UpdateKernelPairsTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_update_kernel_pairs_total");
+  return counter;
+}
+obs::Histogram* UpdateStalenessMs() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "lkp_serve_update_staleness_ms", obs::LatencyBucketsMs());
+  return histogram;
+}
+
+// Numerically stable sigma(t) and softplus(t) = log(1 + e^t); the BPR
+// loss per (pos, neg) is softplus(-(s_pos - s_neg)) and its score
+// gradient is -sigma(-(s_pos - s_neg)).
+double StableSigmoid(double t) {
+  if (t >= 0.0) return 1.0 / (1.0 + std::exp(-t));
+  const double e = std::exp(t);
+  return e / (1.0 + e);
+}
+double StableSoftplus(double t) {
+  return std::max(t, 0.0) + std::log1p(std::exp(-std::abs(t)));
+}
+
+// theta -= lr * (grad + l2 * theta) on exactly `rows`, then re-zeroes
+// those grad rows so the shared accumulator keeps its all-zero
+// invariant for the next batch (the row-sparse analogue of
+// Optimizer::Step + ZeroGrad, without the O(table) sweep).
+void SgdStepRows(ad::Param* param, const std::vector<int>& rows, double lr,
+                 double l2) {
+  const int cols = param->value.cols();
+  for (const int r : rows) {
+    for (int c = 0; c < cols; ++c) {
+      const double g = param->grad(r, c) + l2 * param->value(r, c);
+      param->value(r, c) -= lr * g;
+      param->grad(r, c) = 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+ModelUpdater::ModelUpdater(const Dataset* dataset, RecModel* model,
+                           DiversityKernel* diversity,
+                           RecommendationService* service,
+                           UpdateConfig config)
+    : dataset_(dataset),
+      model_(model),
+      diversity_(diversity),
+      service_(service),
+      config_(config),
+      pair_sampler_(dataset, config.kernel_set_size),
+      rng_(config.seed) {}
+
+Result<std::unique_ptr<ModelUpdater>> ModelUpdater::Create(
+    const Dataset* dataset, RecModel* model, DiversityKernel* diversity,
+    RecommendationService* service, UpdateConfig config) {
+  if (dataset == nullptr || model == nullptr || diversity == nullptr ||
+      service == nullptr) {
+    return Status::InvalidArgument(
+        "streaming updates require dataset, model, diversity kernel, and "
+        "service");
+  }
+  if (!(config.mf_learning_rate >= 0.0) ||
+      !std::isfinite(config.mf_learning_rate) || !(config.mf_l2 >= 0.0) ||
+      !std::isfinite(config.mf_l2)) {
+    return Status::InvalidArgument(
+        "mf_learning_rate and mf_l2 must be finite and >= 0");
+  }
+  if (config.negatives_per_event < 1) {
+    return Status::InvalidArgument("negatives_per_event must be >= 1");
+  }
+  if (config.max_batch_events < 1) {
+    return Status::InvalidArgument("max_batch_events must be >= 1");
+  }
+  if (config.update_kernel) {
+    if (!(config.kernel_learning_rate >= 0.0) ||
+        !std::isfinite(config.kernel_learning_rate)) {
+      return Status::InvalidArgument(
+          "kernel_learning_rate must be finite and >= 0");
+    }
+    if (config.kernel_set_size < 1 ||
+        config.kernel_set_size > diversity->rank()) {
+      return Status::InvalidArgument(
+          StrFormat("kernel_set_size=%d outside [1, rank=%d] (determinants "
+                    "would vanish)",
+                    config.kernel_set_size, diversity->rank()));
+    }
+  }
+  if (diversity->num_items() != dataset->num_items()) {
+    return Status::InvalidArgument(
+        StrFormat("diversity kernel covers %d items but dataset has %d",
+                  diversity->num_items(), dataset->num_items()));
+  }
+  // Row-sparse fold-in needs direct row-indexed tables: Params() ==
+  // {user table, item table}. Models with a shared forward prefix (GCN)
+  // spread one event's gradient over the whole graph — reject them.
+  std::vector<ad::Param*> params = model->Params();
+  if (params.size() != 2 ||
+      params[0]->value.rows() != model->num_users() ||
+      params[1]->value.rows() != model->num_items()) {
+    return Status::InvalidArgument(
+        StrFormat("streaming fold-in supports row-sparse (MF-style) models "
+                  "only: expected Params() == {user table, item table}, got "
+                  "%zu params",
+                  params.size()));
+  }
+  return std::unique_ptr<ModelUpdater>(new ModelUpdater(
+      dataset, model, diversity, service, std::move(config)));
+}
+
+void ModelUpdater::Enqueue(const InteractionEvent& event) {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  queue_.push_back(Queued{event, std::chrono::steady_clock::now()});
+}
+
+int ModelUpdater::pending() const {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  return static_cast<int>(queue_.size());
+}
+
+Result<UpdateResult> ModelUpdater::ApplyPending() {
+  LKP_TRACE_SPAN("serve.update_pending");
+  UpdateResult result;
+  result.model_version = service_->model_version();
+
+  std::vector<Queued> events;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    const size_t take = std::min(
+        queue_.size(), static_cast<size_t>(config_.max_batch_events));
+    events.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      events.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  if (events.empty()) return result;
+  const int num_events = static_cast<int>(events.size());
+
+  for (const Queued& q : events) {
+    if (q.event.user < 0 || q.event.user >= dataset_->num_users() ||
+        q.event.item < 0 || q.event.item >= dataset_->num_items()) {
+      return Status::OutOfRange(
+          StrFormat("event (user=%d, item=%d) outside catalog", q.event.user,
+                    q.event.item));
+    }
+  }
+
+  // Serial pre-pass in event order: every random draw (negatives,
+  // anchored pairs) comes from the updater's private Rng HERE, before
+  // any parallel section, so the stream is a pure function of the event
+  // sequence — the root of the replay-determinism contract.
+  const bool mf_enabled = config_.mf_learning_rate > 0.0;
+  NegativeSampler negatives(dataset_);
+  std::vector<std::vector<int>> scored_items(events.size());
+  std::vector<Status> mf_skip(events.size(), Status::OK());
+  std::vector<DiverseSetPair> pairs;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const InteractionEvent& ev = events[i].event;
+    if (mf_enabled) {
+      // The anchor may be a brand-new interaction the dataset has not
+      // recorded, so exclude it from the negative pool explicitly.
+      Result<std::vector<int>> negs = negatives.Sample(
+          ev.user, config_.negatives_per_event, {ev.item}, &rng_);
+      if (negs.ok()) {
+        scored_items[i].reserve(1 + negs->size());
+        scored_items[i].push_back(ev.item);
+        scored_items[i].insert(scored_items[i].end(), negs->begin(),
+                               negs->end());
+      } else {
+        mf_skip[i] = negs.status();  // Soft skip: saturated user.
+      }
+    }
+    if (config_.update_kernel && config_.kernel_learning_rate > 0.0) {
+      Result<DiverseSetPair> pair =
+          pair_sampler_.SamplePairAnchored(ev.user, ev.item, &rng_);
+      if (pair.ok()) {
+        pairs.push_back(std::move(pair).ValueOrDie());
+      } else {
+        ++result.kernel_pairs_skipped;  // Soft skip: too few positives.
+      }
+    }
+  }
+
+  // Gradient phase — reads the parameter snapshot only, so it runs
+  // concurrently with serving (which holds the shared epoch side).
+  // Instance-order reduction keeps the summed gradient bit-identical at
+  // any thread count.
+  std::vector<ad::Param*> params = model_->Params();
+  if (mf_enabled) {
+    LKP_TRACE_SPAN("serve.update_gradients");
+    std::unique_ptr<RecModel::Batch> batch = model_->StartBatch();
+    auto build = [&](int i, ad::Graph* graph) -> Result<InstanceGrad> {
+      InstanceGrad out;
+      const size_t idx = static_cast<size_t>(i);
+      if (!mf_skip[idx].ok()) {
+        out.skip_reason = mf_skip[idx];
+        return out;
+      }
+      ad::Tensor s =
+          batch->ScoreItems(graph, events[idx].event.user, scored_items[idx]);
+      const Matrix& sv = s.value();  // (1 + negatives) x 1; row 0 = pos.
+      Matrix seed(sv.rows(), 1);
+      double loss = 0.0;
+      double dpos = 0.0;
+      for (int j = 1; j < sv.rows(); ++j) {
+        const double x = sv(0, 0) - sv(j, 0);
+        loss += StableSoftplus(-x);
+        const double dx = -StableSigmoid(-x);  // dLoss/dx.
+        dpos += dx;
+        seed(j, 0) = -dx;
+      }
+      seed(0, 0) = dpos;
+      out.seeds.emplace_back(s, std::move(seed));
+      out.loss = loss;
+      return out;
+    };
+    LKP_ASSIGN_OR_RETURN(
+        BatchGradSummary summary,
+        AccumulateBatchGradients(num_events, config_.pool, build));
+    LKP_RETURN_IF_ERROR(batch->Finish());
+    result.events_applied = static_cast<int>(summary.contributed);
+    result.events_skipped = static_cast<int>(summary.skipped.size());
+    result.loss_sum = summary.loss_sum;
+  }
+
+  // Touched rows in first-touch event order — the fixed application
+  // order that, with the instance-order reduction above, makes the
+  // whole fold-in replay bit-identically.
+  std::vector<int> touched_users;
+  std::vector<int> touched_mf_items;
+  if (mf_enabled) {
+    std::vector<char> seen_user(static_cast<size_t>(dataset_->num_users()),
+                                0);
+    std::vector<char> seen_item(static_cast<size_t>(dataset_->num_items()),
+                                0);
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (!mf_skip[i].ok()) continue;
+      const int user = events[i].event.user;
+      if (!seen_user[static_cast<size_t>(user)]) {
+        seen_user[static_cast<size_t>(user)] = 1;
+        touched_users.push_back(user);
+      }
+      for (const int item : scored_items[i]) {
+        if (!seen_item[static_cast<size_t>(item)]) {
+          seen_item[static_cast<size_t>(item)] = 1;
+          touched_mf_items.push_back(item);
+        }
+      }
+    }
+  }
+
+  // Mutation phase, under the service's exclusive epoch barrier: step
+  // the rows, fold the kernel pairs, hand the touched ids back for
+  // targeted invalidation. Serving is quiesced for exactly this scope.
+  Status fold_status = Status::OK();
+  std::vector<int> kernel_touched;
+  const long invalidated_before = service_->cache().invalidations();
+  result.model_version = service_->ApplyUpdate(
+      [&](std::vector<int>* users_out, std::vector<int>* items_out) {
+        if (mf_enabled) {
+          SgdStepRows(params[0], touched_users, config_.mf_learning_rate,
+                      config_.mf_l2);
+          SgdStepRows(params[1], touched_mf_items, config_.mf_learning_rate,
+                      config_.mf_l2);
+        }
+        if (!pairs.empty()) {
+          fold_status = diversity_->FoldInPairs(
+              pairs, config_.kernel_learning_rate, config_.kernel_jitter,
+              config_.pool, &kernel_touched);
+        }
+        model_->PrepareForEval();
+        *users_out = touched_users;
+        *items_out = touched_mf_items;
+        // Kernel factor rows feed every cached entry containing them;
+        // union them in (dedup against the MF rows).
+        std::vector<char> seen(static_cast<size_t>(dataset_->num_items()),
+                               0);
+        for (const int item : touched_mf_items) {
+          seen[static_cast<size_t>(item)] = 1;
+        }
+        for (const int item : kernel_touched) {
+          if (!seen[static_cast<size_t>(item)]) {
+            seen[static_cast<size_t>(item)] = 1;
+            items_out->push_back(item);
+          }
+        }
+      });
+  // A failed fold-in applied nothing (pair gradients are validated
+  // before any row moves), so the published state is consistent: MF rows
+  // stepped + invalidated, kernel untouched. Surface the error.
+  LKP_RETURN_IF_ERROR(fold_status);
+  result.kernel_pairs = static_cast<int>(pairs.size());
+  result.invalidated_entries =
+      service_->cache().invalidations() - invalidated_before;
+  result.touched_users = std::move(touched_users);
+  result.touched_items = std::move(touched_mf_items);
+  {
+    std::vector<char> seen(static_cast<size_t>(dataset_->num_items()), 0);
+    for (const int item : result.touched_items) {
+      seen[static_cast<size_t>(item)] = 1;
+    }
+    for (const int item : kernel_touched) {
+      if (!seen[static_cast<size_t>(item)]) {
+        seen[static_cast<size_t>(item)] = 1;
+        result.touched_items.push_back(item);
+      }
+    }
+  }
+
+  // Observability: throughput counters + event staleness (enqueue ->
+  // applied). Wall-clock feeds histograms only, never the arithmetic.
+  const auto applied_at = std::chrono::steady_clock::now();
+  obs::Histogram* staleness = UpdateStalenessMs();
+  for (const Queued& q : events) {
+    const double wait_ms =
+        std::chrono::duration<double, std::milli>(applied_at - q.enqueue)
+            .count();
+    staleness->Observe(wait_ms);
+    result.max_staleness_ms = std::max(result.max_staleness_ms, wait_ms);
+  }
+  UpdateEventsTotal()->Inc(result.events_applied);
+  UpdateEventsSkippedTotal()->Inc(result.events_skipped);
+  UpdateKernelPairsTotal()->Inc(result.kernel_pairs);
+  return result;
+}
+
+}  // namespace lkpdpp

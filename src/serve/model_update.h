@@ -1,0 +1,176 @@
+// Streaming model updates while the service is live.
+//
+// The offline pipeline is train-once-serve-forever: fresh interactions
+// only reach serving through a full retrain + InvalidateModel (nuking
+// every cached kernel). ModelUpdater opens the incremental path: it
+// buffers interaction events (user u consumed item i) while
+// RecommendationService serves, and ApplyPending folds a bounded batch
+// of them into the live parameters —
+//   * MF rows: one BPR-style SGD step (Rendle et al.) per event — the
+//     positive item is scored against freshly drawn negatives, the
+//     pairwise logistic loss seeds dLoss/dScore, and the gradients flow
+//     through the existing autodiff/opt machinery (per-thread
+//     GradientWorkspaces, instance-order reduction). MF fold-in is
+//     row-sparse: only the event's user row and the scored item rows
+//     move.
+//   * Diversity-kernel rows: one Eq. 3 minibatch ascent step over pairs
+//     anchored at the events (DiversePairSampler::SamplePairAnchored ->
+//     DiversityKernel::FoldInPairs), touching only the pairs' factor
+//     rows.
+// Every applied batch publishes a new model_version epoch through
+// RecommendationService::ApplyUpdate, which quiesces in-flight request
+// batches (epoch barrier), applies the row updates, and evicts ONLY the
+// cache entries whose user or items were touched (targeted
+// invalidation) — everything else stays warm.
+//
+// Concurrency + determinism contract: Enqueue is thread-safe and can be
+// called from any thread at any time. ApplyPending must be called from
+// ONE driver thread at a time (it is the single writer of the model).
+// For a fixed event sequence and fixed request/update interleave, the
+// system replays bit-identically at any thread count: negatives and
+// anchored pairs are drawn serially in event order from the updater's
+// own Rng, gradients reduce in instance order (AccumulateBatchGradients)
+// and pair order (FoldInPairs), rows are stepped in first-touch order,
+// and the epoch barrier guarantees every response batch sees exactly one
+// version. Wall-clock enters only observability (staleness/latency
+// histograms), never the arithmetic.
+//
+// Scope: MF-style models only — Params() must be exactly {user table,
+// item table} row-indexed by user/item id, so the fold-in step is
+// row-sparse by construction. Models with a shared forward prefix (GCN
+// propagation) spread one interaction's gradient across the whole graph
+// and need the full retrain path; Create rejects them.
+
+#ifndef LKPDPP_SERVE_MODEL_UPDATE_H_
+#define LKPDPP_SERVE_MODEL_UPDATE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "kernels/diversity_kernel.h"
+#include "models/rec_model.h"
+#include "sampling/diverse_pairs.h"
+#include "serve/service.h"
+
+namespace lkpdpp {
+
+/// One observed interaction: `user` consumed `item`.
+struct InteractionEvent {
+  int user = 0;
+  int item = 0;
+};
+
+struct UpdateConfig {
+  /// BPR step size for the MF user/item rows. 0 disables the MF step
+  /// (kernel-only updates).
+  double mf_learning_rate = 0.05;
+  /// L2 weight decay applied to the touched MF rows inside the step
+  /// (theta -= lr * (grad + l2 * theta)). 0 = plain SGD.
+  double mf_l2 = 0.0;
+  /// Negative items drawn per event for the pairwise loss.
+  int negatives_per_event = 1;
+  /// Fold events into the diversity-kernel factor rows too (one
+  /// anchored Eq. 3 ascent step per applied batch).
+  bool update_kernel = true;
+  double kernel_learning_rate = 0.02;
+  /// Diagonal jitter for the fold-in log-det systems.
+  double kernel_jitter = 1e-4;
+  /// |T+| = |T-| of each anchored pair; must not exceed the kernel rank.
+  int kernel_set_size = 5;
+  /// Events applied per ApplyPending call — the bound on how long the
+  /// exclusive barrier (and therefore a serving stall) can last.
+  int max_batch_events = 256;
+  /// Seed of the updater's private Rng (negatives + anchored pairs).
+  uint64_t seed = 0x0BADF00DULL;
+  /// Fans out gradient computation; null = inline. Sharing the serving
+  /// pool is safe (ParallelFor is reentrant and the barrier is never
+  /// held while serving holds the pool).
+  ThreadPool* pool = nullptr;
+};
+
+/// What one ApplyPending call did.
+struct UpdateResult {
+  /// Events whose MF step contributed gradients.
+  int events_applied = 0;
+  /// Events soft-skipped by the MF side (e.g. no negatives available).
+  int events_skipped = 0;
+  /// Anchored kernel pairs folded in / skipped (infeasible users).
+  int kernel_pairs = 0;
+  int kernel_pairs_skipped = 0;
+  /// The epoch published by this batch (unchanged if nothing was
+  /// pending).
+  uint64_t model_version = 0;
+  /// Cache entries evicted by this batch's targeted invalidation.
+  long invalidated_entries = 0;
+  /// Distinct user / item rows stepped, in first-touch order (items:
+  /// MF rows then kernel factor rows) — exactly the ids handed to the
+  /// cache for targeted invalidation.
+  std::vector<int> touched_users;
+  std::vector<int> touched_items;
+  /// Summed BPR loss over contributing events (pre-step, diagnostics).
+  double loss_sum = 0.0;
+  /// Oldest applied event's enqueue -> apply wait.
+  double max_staleness_ms = 0.0;
+};
+
+/// Accepts interaction events and folds them into the live model. One
+/// instance per service; all referenced objects must outlive it, and
+/// `model` / `diversity` must be the same objects the service serves
+/// from (the whole point is mutating what serving reads, under the
+/// service's epoch barrier).
+class ModelUpdater {
+ public:
+  static Result<std::unique_ptr<ModelUpdater>> Create(
+      const Dataset* dataset, RecModel* model, DiversityKernel* diversity,
+      RecommendationService* service, UpdateConfig config);
+
+  /// Buffers one event. Thread-safe, never blocks on the barrier.
+  void Enqueue(const InteractionEvent& event);
+
+  /// Buffered events not yet applied.
+  int pending() const;
+
+  /// Applies up to max_batch_events buffered events (FIFO) as ONE
+  /// update epoch: gradients are computed against the current snapshot
+  /// concurrently with serving (reads only), then the parameter rows
+  /// are stepped and affected cache entries evicted under the service's
+  /// exclusive epoch barrier, publishing a new model_version. Returns
+  /// what was done; a no-op (nothing pending) returns the current
+  /// version with zero counts. Call from a single driver thread.
+  Result<UpdateResult> ApplyPending();
+
+  const UpdateConfig& config() const { return config_; }
+
+ private:
+  ModelUpdater(const Dataset* dataset, RecModel* model,
+               DiversityKernel* diversity, RecommendationService* service,
+               UpdateConfig config);
+
+  struct Queued {
+    InteractionEvent event;
+    std::chrono::steady_clock::time_point enqueue;
+  };
+
+  const Dataset* dataset_;
+  RecModel* model_;
+  DiversityKernel* diversity_;
+  RecommendationService* service_;
+  UpdateConfig config_;
+  DiversePairSampler pair_sampler_;
+  Rng rng_;  // Private stream: negatives + anchored pairs, event order.
+
+  mutable std::mutex queue_mu_;
+  std::deque<Queued> queue_;
+};
+
+}  // namespace lkpdpp
+
+#endif  // LKPDPP_SERVE_MODEL_UPDATE_H_

@@ -33,6 +33,22 @@ obs::Counter* EigSkippedTotal() {
       "lkp_kernel_cache_eig_skipped_total");
   return counter;
 }
+obs::Counter* DiagPathTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_diag_path_total");
+  return counter;
+}
+obs::Gauge* ModelVersionGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge(
+      "lkp_model_version");
+  return gauge;
+}
+obs::Histogram* UpdateApplyMs() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "lkp_serve_update_apply_ms", obs::LatencyBucketsMs());
+  return histogram;
+}
 obs::Gauge* AdmissionQueueDepth() {
   static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge(
       "lkp_serve_admission_queue_depth");
@@ -144,8 +160,27 @@ Result<std::unique_ptr<RecommendationService>> RecommendationService::Create(
 }
 
 void RecommendationService::InvalidateModel() {
+  // Full-invalidation fallback: quiesce in-flight batches the same way
+  // ApplyUpdate does, then nuke everything.
+  std::unique_lock<std::shared_mutex> epoch_lk(epoch_mu_);
   model_->PrepareForEval();
   cache_.Clear();
+}
+
+uint64_t RecommendationService::ApplyUpdate(const UpdateFn& mutate) {
+  LKP_TRACE_SPAN("serve.apply_update");
+  Stopwatch timer;
+  std::unique_lock<std::shared_mutex> epoch_lk(epoch_mu_);
+  std::vector<int> touched_users;
+  std::vector<int> touched_items;
+  mutate(&touched_users, &touched_items);
+  cache_.InvalidateUsers(touched_users);
+  cache_.InvalidateItems(touched_items);
+  const uint64_t version =
+      model_version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ModelVersionGauge()->Set(static_cast<double>(version));
+  UpdateApplyMs()->Observe(timer.ElapsedMillis());
+  return version;
 }
 
 int RecommendationService::StageGrain(int n) const {
@@ -180,7 +215,21 @@ Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
 
     auto built = std::make_shared<ServedKernel>();
     built->items = work.pool;
-    if (config_.mode == ServeMode::kSample && UseDualPath(work.pool)) {
+    built->model_version = model_version();
+    if (config_.mode == ServeMode::kMapRerank && !config_.force_primal &&
+        config_.kernel_blend_alpha == 0.0) {
+      // alpha == 0 degenerates the blend to Diag(q)·(delta·I)·Diag(q):
+      // pure diagonal, so neither the factor rows nor the materialized
+      // submatrix is worth building. O(pool) memory, bit-identical
+      // selections vs both (see DiagKernelRep).
+      LKP_TRACE_SPAN("serve.diag_rep_build");
+      EigSkippedTotal()->Inc();
+      DiagPathTotal()->Inc();
+      LKP_ASSIGN_OR_RETURN(
+          DiagKernelRep rep,
+          DiagKernelRep::Create(quality, 1.0 - config_.kernel_blend_alpha));
+      built->rep = std::make_shared<const DiagKernelRep>(std::move(rep));
+    } else if (config_.mode == ServeMode::kSample && UseDualPath(work.pool)) {
       // The conditioned kernel is exactly Diag(q) K_S Diag(q) with
       // K_S = F_S F_S^T, so condition in factor space (ScaleRows) and
       // build the dual k-DPP — O(n d^2) instead of O(n^3), no n x n
@@ -327,6 +376,11 @@ Result<std::vector<RecResponse>> RecommendationService::HandleBatch(
   LKP_TRACE_SPAN("serve.batch");
   Stopwatch batch_timer;
   if (batch.empty()) return std::vector<RecResponse>{};
+  // Epoch barrier (shared side): held for the whole batch so every
+  // response in it is computed against exactly one model version.
+  // Pool workers never acquire this lock — only the batch's entry
+  // thread — so fanning the stages out below cannot deadlock.
+  std::shared_lock<std::shared_mutex> epoch_lk(epoch_mu_);
   for (const RecRequest& req : batch) {
     if (req.user < 0 || req.user >= dataset_->num_users()) {
       return Status::OutOfRange(
@@ -533,6 +587,10 @@ void RecommendationService::BatcherLoop() {
     adm_busy_ = true;
     lk.unlock();
 
+    if (config_.on_batch_for_test) {
+      config_.on_batch_for_test(static_cast<int>(pending.size()));
+    }
+
     std::vector<RecRequest> batch;
     {
       LKP_TRACE_SPAN("serve.batch_assembly");
@@ -553,6 +611,12 @@ void RecommendationService::BatcherLoop() {
     lk.lock();
     adm_busy_ = false;
     if (adm_queue_.empty()) {
+      // Flush rendezvous complete: nothing queued, nothing in flight.
+      // Resetting the flag HERE (not only when a take drains the queue
+      // above) closes a leak — a Flush() issued while the batcher was
+      // busy with the queue already empty used to leave adm_flush_ set,
+      // and the NEXT batch skipped its occupancy/deadline window.
+      adm_flush_ = false;
       adm_idle_cv_.notify_all();
       if (adm_stop_) return;
     }

@@ -55,12 +55,16 @@
 #ifndef LKPDPP_SERVE_SERVICE_H_
 #define LKPDPP_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -120,6 +124,12 @@ struct ServeConfig {
   /// distribution / bit-identical MAP selections), so this exists for
   /// cross-checking and debugging, not correctness.
   bool force_primal = false;
+  /// Test-only hook: when set, the batcher thread calls it right after
+  /// taking a batch off the admission queue (admission lock released,
+  /// HandleBatch not yet started). Lets tests deterministically
+  /// interleave Flush()/SubmitAsync with a busy batcher. Never set in
+  /// production.
+  std::function<void(int batch_size)> on_batch_for_test;
 };
 
 struct RecRequest {
@@ -182,9 +192,37 @@ class RecommendationService {
   /// request enqueued before the call has resolved.
   void Flush();
 
-  /// Re-runs PrepareForEval and drops every cache entry. Required after
-  /// the underlying model's parameters change.
+  /// Re-runs PrepareForEval and drops every cache entry — the blunt
+  /// full-invalidation path for retrains / model swaps. Streaming
+  /// updates that touch a handful of rows should go through ApplyUpdate
+  /// instead, which invalidates only affected entries.
   void InvalidateModel();
+
+  /// Mutates the touched users' / items' parameter rows; fills the out
+  /// lists with every user/item id whose rows (MF embedding or kernel
+  /// factor) it changed.
+  using UpdateFn =
+      std::function<void(std::vector<int>* touched_users,
+                         std::vector<int>* touched_items)>;
+
+  /// Streaming-update barrier (the write side; see serve/model_update.h
+  /// for the driver). Runs `mutate` with the service quiesced: the
+  /// exclusive side of the epoch lock waits out every in-flight
+  /// HandleBatch and blocks new ones until `mutate` returns, so every
+  /// response is computed against exactly one model version — a batch
+  /// never straddles an update. After `mutate` returns, the touched
+  /// users' and items' cache entries are evicted (targeted invalidation;
+  /// everything else stays warm) and the model_version epoch advances.
+  /// Returns the new version. Writer-preference is implementation-
+  /// defined (std::shared_mutex); sustained batch pressure can delay an
+  /// update, which the staleness histogram makes visible.
+  uint64_t ApplyUpdate(const UpdateFn& mutate);
+
+  /// The current model epoch: 0 until the first ApplyUpdate, then the
+  /// count of applied updates. New cache entries are stamped with it.
+  uint64_t model_version() const {
+    return model_version_.load(std::memory_order_relaxed);
+  }
 
   /// Counters + latency percentiles since construction / ResetStats.
   ServeStats Snapshot() const;
@@ -251,6 +289,15 @@ class RecommendationService {
   ThreadPool* pool_;
   ServeConfig config_;
   KernelCache cache_;
+
+  // Epoch barrier: HandleBatch holds the shared side for its whole run,
+  // ApplyUpdate the exclusive side. Pool workers never touch this lock
+  // (only the batch's entry thread does), so there is no lock-order
+  // cycle with the ThreadPool. model_version_ is written only under the
+  // exclusive lock; the atomic makes unlocked reads (stamping, tests)
+  // well-defined.
+  std::shared_mutex epoch_mu_;
+  std::atomic<uint64_t> model_version_{0};
 
   std::mutex rng_mu_;
   Rng master_rng_;

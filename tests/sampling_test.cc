@@ -378,5 +378,68 @@ TEST(DiversePairsTest, GreedyHandlesSmallPool) {
   EXPECT_EQ(chosen.size(), 2u);  // Pool exhausted gracefully.
 }
 
+TEST(DiversePairsTest, AnchoredPairLeadsWithAnchorAndStaysDisjoint) {
+  Dataset ds = MakeDataset();
+  DiversePairSampler sampler(&ds, 5);
+  Rng rng(23);
+  int user = -1;
+  for (int u = 0; u < ds.num_users(); ++u) {
+    if (static_cast<int>(ds.TrainItems(u).size()) >= 6) {
+      user = u;
+      break;
+    }
+  }
+  ASSERT_GE(user, 0);
+  const int anchor = ds.TrainItems(user)[0];
+  auto pair = sampler.SamplePairAnchored(user, anchor, &rng);
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  ASSERT_EQ(pair->positive.size(), 5u);
+  EXPECT_EQ(pair->positive[0], anchor);
+  // The completion pool excluded the anchor, so it appears exactly once,
+  // and the negatives avoid the whole positive set.
+  EXPECT_EQ(CountDistinct(pair->positive), 5);
+  ASSERT_EQ(pair->negative.size(), 5u);
+  for (int n : pair->negative) {
+    EXPECT_EQ(std::count(pair->positive.begin(), pair->positive.end(), n),
+              0);
+  }
+}
+
+TEST(DiversePairsTest, AnchoredPairAcceptsUnrecordedAnchor) {
+  // The streaming anchor is typically a FRESH event the dataset has not
+  // recorded; the pair must still form around it.
+  Dataset ds = MakeDataset();
+  DiversePairSampler sampler(&ds, 4);
+  Rng rng(27);
+  const int user = 0;
+  const std::vector<int>& positives = ds.TrainItems(user);
+  ASSERT_GE(static_cast<int>(positives.size()), 4);
+  int fresh = -1;
+  for (int i = 0; i < ds.num_items(); ++i) {
+    if (std::count(positives.begin(), positives.end(), i) == 0) {
+      fresh = i;
+      break;
+    }
+  }
+  ASSERT_GE(fresh, 0);
+  auto pair = sampler.SamplePairAnchored(user, fresh, &rng);
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  EXPECT_EQ(pair->positive[0], fresh);
+  EXPECT_EQ(CountDistinct(pair->positive), 4);
+}
+
+TEST(DiversePairsTest, AnchoredPairValidatesRangesAndFeasibility) {
+  Dataset ds = MakeDataset();
+  Rng rng(29);
+  DiversePairSampler sampler(&ds, 5);
+  EXPECT_FALSE(sampler.SamplePairAnchored(-1, 0, &rng).ok());
+  EXPECT_FALSE(sampler.SamplePairAnchored(ds.num_users(), 0, &rng).ok());
+  EXPECT_FALSE(sampler.SamplePairAnchored(0, -1, &rng).ok());
+  EXPECT_FALSE(sampler.SamplePairAnchored(0, ds.num_items(), &rng).ok());
+  // Too few usable positives around the anchor: soft-skippable failure.
+  DiversePairSampler greedy_big(&ds, ds.num_items());
+  EXPECT_FALSE(greedy_big.SamplePairAnchored(0, 0, &rng).ok());
+}
+
 }  // namespace
 }  // namespace lkpdpp
