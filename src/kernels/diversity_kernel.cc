@@ -185,6 +185,15 @@ Result<DiversityKernel> DiversityKernel::Train(const Dataset& dataset,
   if (config.batch_size <= 0) {
     return Status::InvalidArgument("batch_size must be positive");
   }
+  // NaN-safe forms: `x < 0` would wave NaN through (NaN compares false
+  // with everything) and poison every factor row on the first step.
+  if (!(config.learning_rate >= 0.0) ||
+      !std::isfinite(config.learning_rate)) {
+    return Status::InvalidArgument("learning_rate must be finite and >= 0");
+  }
+  if (!(config.jitter >= 0.0) || !std::isfinite(config.jitter)) {
+    return Status::InvalidArgument("jitter must be finite and >= 0");
+  }
   DiversityKernel kernel =
       Random(dataset.num_items(), config.rank, config.seed);
   Matrix& factors = kernel.factors_;

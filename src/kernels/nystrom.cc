@@ -1,0 +1,150 @@
+#include "kernels/nystrom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace lkpdpp {
+
+Result<NystromApproximation> PivotedCholeskyApproximation(
+    int n, int max_rank, double tolerance,
+    const std::function<double(int, int)>& entry_fn) {
+  if (n <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("ground size must be positive, got %d", n));
+  }
+  if (max_rank <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("max_rank must be positive, got %d", max_rank));
+  }
+  if (!(tolerance >= 0.0)) {
+    return Status::InvalidArgument("tolerance must be finite and >= 0");
+  }
+  if (!entry_fn) {
+    return Status::InvalidArgument("entry_fn must not be empty");
+  }
+
+  // Residual diagonal of the Schur complement after the pivots taken so
+  // far; starts as diag(K).
+  Vector residual(n);
+  double scale = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = entry_fn(i, i);
+    if (!std::isfinite(d)) {
+      return Status::NumericalError(
+          StrFormat("kernel diagonal entry %d is not finite", i));
+    }
+    residual[i] = d;
+    scale = std::max(scale, std::abs(d));
+  }
+  // A PSD kernel's diagonal never goes meaningfully negative; allow
+  // round-off noise proportional to the diagonal scale.
+  const double neg_tol = std::max(scale, 1.0) * 1e-10;
+
+  const int r_cap = std::min(max_rank, n);
+  Matrix factor(n, r_cap);
+  std::vector<int> pivots;
+  pivots.reserve(static_cast<size_t>(r_cap));
+
+  int r = 0;
+  for (; r < r_cap; ++r) {
+    // Deterministic pivot: max residual diagonal, lowest index on ties.
+    int pivot = 0;
+    for (int i = 1; i < n; ++i) {
+      if (residual[i] > residual[pivot]) pivot = i;
+    }
+    if (residual[pivot] < -neg_tol) {
+      return Status::NumericalError(
+          StrFormat("residual diagonal %.3e at %d: kernel is not PSD",
+                    residual[pivot], pivot));
+    }
+    double trace_left = 0.0;
+    for (int i = 0; i < n; ++i) trace_left += std::max(residual[i], 0.0);
+    if (residual[pivot] <= 0.0 || trace_left <= tolerance) break;
+
+    const double piv_sqrt = std::sqrt(residual[pivot]);
+    // New factor column: (K e_pivot - F F^T e_pivot) / piv_sqrt, using
+    // only the pivot column of K.
+    for (int i = 0; i < n; ++i) {
+      double k_ip = entry_fn(i, pivot);
+      if (!std::isfinite(k_ip)) {
+        return Status::NumericalError(
+            StrFormat("kernel entry (%d, %d) is not finite", i, pivot));
+      }
+      double acc = k_ip;
+      const double* fi = factor.RowPtr(i);
+      const double* fp = factor.RowPtr(pivot);
+      for (int c = 0; c < r; ++c) acc -= fi[c] * fp[c];
+      factor(i, r) = acc / piv_sqrt;
+    }
+    factor(pivot, r) = piv_sqrt;  // Exact: the pivot row eliminates fully.
+    for (int i = 0; i < n; ++i) {
+      residual[i] -= factor(i, r) * factor(i, r);
+    }
+    residual[pivot] = 0.0;
+    pivots.push_back(pivot);
+  }
+
+  NystromApproximation out;
+  if (r == r_cap) {
+    out.factor = std::move(factor);
+  } else {
+    // Shrink to the columns actually produced.
+    Matrix shrunk(n, std::max(r, 1));
+    if (r == 0) {
+      for (int i = 0; i < n; ++i) shrunk(i, 0) = 0.0;
+    } else {
+      for (int i = 0; i < n; ++i) {
+        for (int c = 0; c < r; ++c) shrunk(i, c) = factor(i, c);
+      }
+    }
+    out.factor = std::move(shrunk);
+  }
+  double trace_err = 0.0, entry_err = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double ri = std::max(residual[i], 0.0);
+    trace_err += ri;
+    entry_err = std::max(entry_err, ri);
+  }
+  out.trace_error_bound = trace_err;
+  out.entry_error_bound = entry_err;
+  out.pivots = std::move(pivots);
+  return out;
+}
+
+Result<NystromApproximation> GaussianNystrom(const Matrix& embeddings,
+                                             const std::vector<int>& pool,
+                                             double sigma, int max_rank,
+                                             double tolerance) {
+  if (!(sigma > 0.0) || !std::isfinite(sigma)) {
+    return Status::InvalidArgument(
+        StrFormat("sigma must be finite and positive, got %g", sigma));
+  }
+  const int n = static_cast<int>(pool.size());
+  if (n == 0) return Status::InvalidArgument("pool must not be empty");
+  for (int a : pool) {
+    if (a < 0 || a >= embeddings.rows()) {
+      return Status::OutOfRange(
+          StrFormat("pool index %d outside embedding table of %d rows", a,
+                    embeddings.rows()));
+    }
+  }
+  const double inv_two_sigma2 = 1.0 / (2.0 * sigma * sigma);
+  const int d = embeddings.cols();
+  auto entry = [&](int a, int b) {
+    if (a == b) return 1.0;
+    const double* ea = embeddings.RowPtr(pool[static_cast<size_t>(a)]);
+    const double* eb = embeddings.RowPtr(pool[static_cast<size_t>(b)]);
+    double sq = 0.0;
+    for (int c = 0; c < d; ++c) {
+      const double diff = ea[c] - eb[c];
+      sq += diff * diff;
+    }
+    return std::exp(-sq * inv_two_sigma2);
+  };
+  return PivotedCholeskyApproximation(n, max_rank, tolerance, entry);
+}
+
+}  // namespace lkpdpp

@@ -1,0 +1,474 @@
+#include "linalg/factor_diag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/string_util.h"
+#include "linalg/eigen.h"
+
+namespace lkpdpp {
+
+namespace {
+
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+// Signs of the spectrum of a symmetric matrix, for the counting function.
+struct Inertia {
+  int neg = 0;
+  int zero = 0;
+};
+
+// Overall magnitude of the operator W·Wᵀ + Diag(diag): the larger of the
+// diagonal range and the total factor mass trace(WᵀW). Every tolerance
+// below is relative to this, so 1e±150-scaled kernels behave like
+// unit-scaled ones.
+double OperatorScale(const Matrix& w, const Vector& diag, double* trace_out) {
+  double trace = 0.0;
+  for (int i = 0; i < w.rows(); ++i) {
+    const double* wi = w.RowPtr(i);
+    for (int c = 0; c < w.cols(); ++c) trace += wi[c] * wi[c];
+  }
+  *trace_out = trace;
+  double scale = trace;
+  for (int i = 0; i < diag.size(); ++i) {
+    scale = std::max(scale, std::fabs(diag[i]));
+  }
+  return std::max(scale, std::numeric_limits<double>::min());
+}
+
+// H(t) = I_d + Wᵀ(D - t·I)⁻¹W into *h (d x d, fully symmetric fill).
+// Diagonal entries within `pole_floor` of t are pushed to a signed
+// `pole_floor` so the resolvent stays finite; the resulting count is the
+// exact count of a perturbation of t no larger than pole_floor, which
+// bisection absorbs.
+void AssembleCapacitance(const Matrix& w, const Vector& diag, double t,
+                         double pole_floor, Matrix* h) {
+  const int n = w.rows();
+  const int d = w.cols();
+  for (int a = 0; a < d; ++a) {
+    double* ha = h->RowPtr(a);
+    for (int b = 0; b < d; ++b) ha[b] = 0.0;
+  }
+  for (int i = 0; i < n; ++i) {
+    double s = diag[i] - t;
+    if (std::fabs(s) < pole_floor) {
+      s = std::copysign(pole_floor, s == 0.0 ? 1.0 : s);
+    }
+    const double inv = 1.0 / s;
+    const double* wi = w.RowPtr(i);
+    for (int a = 0; a < d; ++a) {
+      const double f = wi[a] * inv;
+      if (f == 0.0) continue;
+      double* ha = h->RowPtr(a);
+      for (int b = a; b < d; ++b) ha[b] += f * wi[b];
+    }
+  }
+  for (int a = 0; a < d; ++a) {
+    (*h)(a, a) += 1.0;
+    for (int b = a + 1; b < d; ++b) (*h)(b, a) = (*h)(a, b);
+  }
+}
+
+// Inertia of a symmetric d x d matrix. Fast path: unpivoted LDLᵀ, whose
+// pivot signs carry the inertia (Sylvester). A pivot too small to
+// classify — the factorization's breakdown case — falls back to a full
+// eigendecomposition, which also supplies the zero count.
+Result<Inertia> SymmetricInertia(const Matrix& h) {
+  const int d = h.rows();
+  const double max_abs = h.MaxAbs();
+  if (!std::isfinite(max_abs)) {
+    return Status::NumericalError(
+        "factor-diag inertia: capacitance matrix is non-finite");
+  }
+  const double breakdown = std::max(max_abs, 1.0) * 1e-11;
+  Matrix a = h;  // LDLᵀ works in place on the lower triangle.
+  Inertia out;
+  bool fell_back = false;
+  for (int j = 0; j < d; ++j) {
+    const double pivot = a(j, j);
+    if (!std::isfinite(pivot) || std::fabs(pivot) <= breakdown) {
+      fell_back = true;
+      break;
+    }
+    if (pivot < 0.0) ++out.neg;
+    const double inv = 1.0 / pivot;
+    for (int i = j + 1; i < d; ++i) {
+      const double lij = a(i, j) * inv;
+      if (lij == 0.0) continue;
+      for (int k = j + 1; k <= i; ++k) a(i, k) -= lij * a(k, j);
+    }
+  }
+  if (!fell_back) return out;
+
+  Result<EigenDecomposition> eig = SymmetricEigen(h);
+  if (!eig.ok()) eig = SymmetricEigenJacobi(h);
+  if (!eig.ok()) return eig.status();
+  const Vector& lam = eig->eigenvalues;
+  double lam_max = 0.0;
+  for (int i = 0; i < lam.size(); ++i) {
+    lam_max = std::max(lam_max, std::fabs(lam[i]));
+  }
+  const double ztol = static_cast<double>(d) * kEps * std::max(lam_max, 1.0);
+  out = Inertia{};
+  for (int i = 0; i < lam.size(); ++i) {
+    if (lam[i] < -ztol) {
+      ++out.neg;
+    } else if (lam[i] <= ztol) {
+      ++out.zero;
+    }
+  }
+  return out;
+}
+
+// N(t) = #{λ(W·Wᵀ + D) < t} via Haynsworth:
+//   N(t) = #{d_i < t} - n_neg(H(t)) - n_zero(H(t)).
+Result<int> CountBelow(const Matrix& w, const Vector& diag, double t,
+                       double pole_floor, Matrix* h_ws) {
+  AssembleCapacitance(w, diag, t, pole_floor, h_ws);
+  LKP_ASSIGN_OR_RETURN(Inertia inertia, SymmetricInertia(*h_ws));
+  int below = 0;
+  for (int i = 0; i < diag.size(); ++i) {
+    if (diag[i] < t) ++below;
+  }
+  return below - inertia.neg - inertia.zero;
+}
+
+Status ValidateFactorDiag(const Matrix& w, const Vector& diag) {
+  if (w.rows() < 1 || w.cols() < 1) {
+    return Status::InvalidArgument(
+        StrFormat("factor-diag spectrum requires a non-empty factor, got "
+                  "%dx%d",
+                  w.rows(), w.cols()));
+  }
+  if (diag.size() != w.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("factor-diag diagonal length %d != factor rows %d",
+                  diag.size(), w.rows()));
+  }
+  if (!w.AllFinite() || !diag.AllFinite()) {
+    return Status::NumericalError(
+        "factor-diag spectrum: non-finite factor or diagonal");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Vector> FactorDiagSpectrum(const Matrix& w, const Vector& diag) {
+  LKP_RETURN_IF_ERROR(ValidateFactorDiag(w, diag));
+  const int n = w.rows();
+  const int d = w.cols();
+
+  double trace = 0.0;
+  const double scale = OperatorScale(w, diag, &trace);
+  if (!std::isfinite(trace)) {
+    return Status::NumericalError(
+        "factor-diag spectrum: factor mass trace(WᵀW) overflowed double "
+        "range");
+  }
+
+  std::vector<double> dsort(diag.begin(), diag.end());
+  std::sort(dsort.begin(), dsort.end());
+  Vector out(n);
+  if (trace == 0.0) {
+    // W ≡ 0: the operator IS the diagonal.
+    for (int i = 0; i < n; ++i) out[i] = dsort[i];
+    return out;
+  }
+
+  const double d_max = dsort[static_cast<size_t>(n - 1)];
+  const double pole_floor = scale * kEps;
+  Matrix h_ws(d, d);
+
+  for (int i = 0; i < n; ++i) {
+    // Weyl interlacing brackets for a rank-<=d PSD update of a diagonal:
+    // d_(i) <= λ_i <= d_(i+d), with the top d brackets capped by the
+    // largest possible shift, d_max + trace(WᵀW) >= d_max + λ_max(WWᵀ).
+    double lo = dsort[static_cast<size_t>(i)];
+    double hi = (i + d < n) ? dsort[static_cast<size_t>(i + d)]
+                            : d_max + trace;
+    for (int iter = 0; iter < 200; ++iter) {
+      if (hi - lo <= 4.0 * kEps * std::max(std::fabs(lo), std::fabs(hi))) {
+        break;
+      }
+      // Geometric midpoints cross magnitude decades in O(log) steps when
+      // the bracket spans them; arithmetic bisection otherwise.
+      double mid;
+      if (lo > 0.0 && hi > 4.0 * lo) {
+        mid = std::sqrt(lo) * std::sqrt(hi);
+      } else {
+        mid = lo + 0.5 * (hi - lo);
+      }
+      if (!(mid > lo && mid < hi)) break;  // Bracket exhausted in doubles.
+      LKP_ASSIGN_OR_RETURN(int count,
+                           CountBelow(w, diag, mid, pole_floor, &h_ws));
+      if (count > i) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    out[i] = lo + 0.5 * (hi - lo);
+  }
+  // Independent bisections can land adjacent eigenvalues a final-bit out
+  // of order; the ascending contract is part of the API.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+// One degenerate cluster's worth of eigenvectors: the full,
+// request-independent basis for spectrum columns [g0, g1]. Pole null
+// vectors (supported on the rows whose diagonal entry equals the
+// eigenvalue) come first, capacitance null vectors fill the rest; the
+// whole set is jointly re-orthonormalized.
+Result<std::vector<Vector>> ClusterBasis(const Matrix& w, const Vector& diag,
+                                         double lam, int multiplicity,
+                                         double tol, double pole_floor) {
+  const int n = w.rows();
+  const int d = w.cols();
+  std::vector<Vector> basis;
+  basis.reserve(static_cast<size_t>(multiplicity));
+
+  // Pole group: rows whose diagonal entry coincides with the eigenvalue.
+  // Any vector supported on G with W_Gᵀ·u_G = 0 is an exact eigenvector
+  // (the factor contributes nothing along it and D acts as λ·I there);
+  // the null space of W_G comes out of its |G| x |G| row Gram.
+  std::vector<int> group;
+  for (int i = 0; i < n; ++i) {
+    if (std::fabs(diag[i] - lam) <= tol) group.push_back(i);
+  }
+  if (!group.empty()) {
+    const int g = static_cast<int>(group.size());
+    Matrix gram(g, g);
+    for (int a = 0; a < g; ++a) {
+      const double* wa = w.RowPtr(group[static_cast<size_t>(a)]);
+      for (int b = a; b < g; ++b) {
+        const double* wb = w.RowPtr(group[static_cast<size_t>(b)]);
+        double dot = 0.0;
+        for (int c = 0; c < d; ++c) dot += wa[c] * wb[c];
+        gram(a, b) = dot;
+        gram(b, a) = dot;
+      }
+    }
+    Result<EigenDecomposition> geig = SymmetricEigen(gram);
+    if (!geig.ok()) geig = SymmetricEigenJacobi(gram);
+    if (!geig.ok()) return geig.status();
+    double gmax = 0.0;
+    for (int j = 0; j < g; ++j) {
+      gmax = std::max(gmax, std::fabs(geig->eigenvalues[j]));
+    }
+    const double gtol = 64.0 * static_cast<double>(g) * kEps * gmax;
+    for (int j = 0;
+         j < g && geig->eigenvalues[j] <= gtol &&
+         static_cast<int>(basis.size()) < multiplicity;
+         ++j) {
+      Vector u(n, 0.0);
+      for (int a = 0; a < g; ++a) {
+        u[group[static_cast<size_t>(a)]] = geig->eigenvectors(a, j);
+      }
+      basis.push_back(std::move(u));
+    }
+  }
+
+  // Remaining multiplicity: null directions of the capacitance H(λ),
+  // mapped back through the resolvent — u_i = (w_iᵀ·y)/(d_i - λ).
+  const int remaining = multiplicity - static_cast<int>(basis.size());
+  if (remaining > 0) {
+    if (remaining > d) {
+      return Status::NumericalError(
+          StrFormat("factor-diag eigenvectors: eigenvalue multiplicity %d "
+                    "exceeds pole null space plus capacitance dimension %d",
+                    multiplicity, d));
+    }
+    Matrix h(d, d);
+    AssembleCapacitance(w, diag, lam, pole_floor, &h);
+    Result<EigenDecomposition> heig = SymmetricEigen(h);
+    if (!heig.ok()) heig = SymmetricEigenJacobi(h);
+    if (!heig.ok()) return heig.status();
+    // Take the `remaining` capacitance eigenvectors nearest the null
+    // space (smallest |μ|), in a deterministic order.
+    std::vector<int> order(static_cast<size_t>(d));
+    for (int j = 0; j < d; ++j) order[static_cast<size_t>(j)] = j;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const double ma = std::fabs(heig->eigenvalues[a]);
+      const double mb = std::fabs(heig->eigenvalues[b]);
+      if (ma != mb) return ma < mb;
+      return a < b;
+    });
+    for (int t = 0; t < remaining; ++t) {
+      const int j = order[static_cast<size_t>(t)];
+      Vector u(n, 0.0);
+      for (int i = 0; i < n; ++i) {
+        double s = diag[i] - lam;
+        if (std::fabs(s) < pole_floor) {
+          s = std::copysign(pole_floor, s == 0.0 ? 1.0 : s);
+        }
+        const double* wi = w.RowPtr(i);
+        double dot = 0.0;
+        for (int c = 0; c < d; ++c) dot += wi[c] * heig->eigenvectors(c, j);
+        u[i] = dot / s;
+      }
+      basis.push_back(std::move(u));
+    }
+  }
+
+  // Joint modified Gram-Schmidt: pole and capacitance vectors together.
+  for (size_t a = 0; a < basis.size(); ++a) {
+    double pre = basis[a].Norm();
+    if (!(pre > 0.0) || !std::isfinite(pre)) {
+      return Status::NumericalError(
+          "factor-diag eigenvectors: cluster basis vector vanished");
+    }
+    basis[a] *= 1.0 / pre;
+    for (size_t b = 0; b < a; ++b) {
+      const double r = basis[a].Dot(basis[b]);
+      for (int i = 0; i < n; ++i) basis[a][i] -= r * basis[b][i];
+    }
+    const double post = basis[a].Norm();
+    if (!(post > 1e-6) || !std::isfinite(post)) {
+      return Status::NumericalError(
+          "factor-diag eigenvectors: degenerate cluster basis collapsed "
+          "under re-orthonormalization");
+    }
+    basis[a] *= 1.0 / post;
+  }
+  return basis;
+}
+
+}  // namespace
+
+Result<Matrix> FactorDiagEigenvectors(const Matrix& w, const Vector& diag,
+                                      const Vector& eigenvalues,
+                                      const std::vector<int>& cols) {
+  LKP_RETURN_IF_ERROR(ValidateFactorDiag(w, diag));
+  const int n = w.rows();
+  if (eigenvalues.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("factor-diag eigenvectors: spectrum length %d != ground "
+                  "size %d",
+                  eigenvalues.size(), n));
+  }
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] < 0 || cols[i] >= n) {
+      return Status::OutOfRange(
+          StrFormat("spectrum column %d outside [0, %d)", cols[i], n));
+    }
+    if (i > 0 && cols[i] <= cols[i - 1]) {
+      return Status::InvalidArgument(
+          "factor-diag eigenvectors: cols must be strictly ascending");
+    }
+  }
+  Matrix out(n, static_cast<int>(cols.size()));
+  if (cols.empty()) return out;
+
+  double trace = 0.0;
+  const double scale = OperatorScale(w, diag, &trace);
+  const double tol = 64.0 * kEps * scale;
+  const double pole_floor = scale * kEps;
+
+  size_t p = 0;
+  while (p < cols.size()) {
+    // Extend the requested column to its full degenerate cluster in the
+    // spectrum, independent of which columns were requested — this is
+    // what makes separate partial requests hand out consistent vectors.
+    int g0 = cols[p];
+    while (g0 > 0 && eigenvalues[g0] - eigenvalues[g0 - 1] <= tol) --g0;
+    int g1 = cols[p];
+    while (g1 + 1 < n && eigenvalues[g1 + 1] - eigenvalues[g1] <= tol) ++g1;
+    size_t q = p;
+    while (q < cols.size() && cols[q] <= g1) ++q;
+
+    double lam = 0.0;
+    for (int j = g0; j <= g1; ++j) lam += eigenvalues[j];
+    lam /= static_cast<double>(g1 - g0 + 1);
+
+    LKP_ASSIGN_OR_RETURN(
+        std::vector<Vector> basis,
+        ClusterBasis(w, diag, lam, g1 - g0 + 1, tol, pole_floor));
+    for (size_t r = p; r < q; ++r) {
+      const Vector& u = basis[static_cast<size_t>(cols[r] - g0)];
+      for (int i = 0; i < n; ++i) out(i, static_cast<int>(r)) = u[i];
+    }
+    p = q;
+  }
+  CanonicalizeColumnSigns(&out);
+  return out;
+}
+
+Result<Vector> FactorDiagWeightedDiagonal(const Matrix& w, const Vector& diag,
+                                          const Vector& eigenvalues,
+                                          const Vector& weights) {
+  const int n = w.rows();
+  if (weights.size() != n || eigenvalues.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("factor-diag weighted diagonal: weights length %d / "
+                  "spectrum length %d != ground size %d",
+                  weights.size(), eigenvalues.size(), n));
+  }
+  Vector out(n, 0.0);
+  constexpr int kChunk = 64;
+  int c = 0;
+  while (c < n) {
+    const int e = std::min(c + kChunk, n);
+    std::vector<int> cols;
+    for (int j = c; j < e; ++j) {
+      if (weights[j] != 0.0) cols.push_back(j);
+    }
+    c = e;
+    if (cols.empty()) continue;
+    LKP_ASSIGN_OR_RETURN(Matrix u,
+                         FactorDiagEigenvectors(w, diag, eigenvalues, cols));
+    for (size_t t = 0; t < cols.size(); ++t) {
+      const double wt = weights[cols[t]];
+      for (int i = 0; i < n; ++i) {
+        const double v = u(i, static_cast<int>(t));
+        out[i] += wt * v * v;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Matrix> FactorDiagWeightedOuter(const Matrix& w, const Vector& diag,
+                                       const Vector& eigenvalues,
+                                       const Vector& weights) {
+  const int n = w.rows();
+  if (weights.size() != n || eigenvalues.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("factor-diag weighted outer: weights length %d / "
+                  "spectrum length %d != ground size %d",
+                  weights.size(), eigenvalues.size(), n));
+  }
+  Matrix out(n, n);
+  constexpr int kChunk = 64;
+  int c = 0;
+  while (c < n) {
+    const int e = std::min(c + kChunk, n);
+    std::vector<int> cols;
+    for (int j = c; j < e; ++j) {
+      if (weights[j] != 0.0) cols.push_back(j);
+    }
+    c = e;
+    if (cols.empty()) continue;
+    LKP_ASSIGN_OR_RETURN(Matrix u,
+                         FactorDiagEigenvectors(w, diag, eigenvalues, cols));
+    for (size_t t = 0; t < cols.size(); ++t) {
+      const double wt = weights[cols[t]];
+      for (int i = 0; i < n; ++i) {
+        const double ui = wt * u(i, static_cast<int>(t));
+        if (ui == 0.0) continue;
+        for (int j = 0; j < n; ++j) {
+          out(i, j) += ui * u(j, static_cast<int>(t));
+        }
+      }
+    }
+  }
+  out.Symmetrize();
+  return out;
+}
+
+}  // namespace lkpdpp

@@ -1,0 +1,77 @@
+#include "serve/kernel_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "kernels/nystrom.h"
+
+namespace lkpdpp {
+
+int DiversityKernelSource::ThinRank(int pool_size) const {
+  (void)pool_size;
+  return kernel_->rank();
+}
+
+Result<ServingKernelSource::ThinFactor> DiversityKernelSource::PoolFactor(
+    const std::vector<int>& pool) const {
+  ThinFactor out;
+  out.rows = kernel_->FactorRows(pool);
+  out.entry_error_bound = 0.0;
+  return out;
+}
+
+Matrix DiversityKernelSource::PoolSubmatrix(
+    const std::vector<int>& pool) const {
+  return kernel_->Submatrix(pool);
+}
+
+GaussianKernelSource::GaussianKernelSource(Matrix embeddings, double sigma,
+                                           int max_rank, double tolerance)
+    : embeddings_(std::move(embeddings)),
+      sigma_(sigma),
+      max_rank_(max_rank),
+      tolerance_(tolerance) {}
+
+int GaussianKernelSource::ThinRank(int pool_size) const {
+  if (max_rank_ <= 0) return 0;  // Approximation not opted into.
+  return std::min(max_rank_, pool_size);
+}
+
+Result<ServingKernelSource::ThinFactor> GaussianKernelSource::PoolFactor(
+    const std::vector<int>& pool) const {
+  LKP_ASSIGN_OR_RETURN(
+      NystromApproximation approx,
+      GaussianNystrom(embeddings_, pool, sigma_,
+                      ThinRank(static_cast<int>(pool.size())), tolerance_));
+  ThinFactor out;
+  out.rows = std::move(approx.factor);
+  out.entry_error_bound = approx.entry_error_bound;
+  return out;
+}
+
+Matrix GaussianKernelSource::PoolSubmatrix(
+    const std::vector<int>& pool) const {
+  const int n = static_cast<int>(pool.size());
+  const int d = embeddings_.cols();
+  const double inv_two_sigma2 = 1.0 / (2.0 * sigma_ * sigma_);
+  Matrix k(n, n);
+  for (int a = 0; a < n; ++a) {
+    k(a, a) = 1.0;
+    const double* ea = embeddings_.RowPtr(pool[static_cast<size_t>(a)]);
+    for (int b = a + 1; b < n; ++b) {
+      const double* eb = embeddings_.RowPtr(pool[static_cast<size_t>(b)]);
+      double sq = 0.0;
+      for (int c = 0; c < d; ++c) {
+        const double diff = ea[c] - eb[c];
+        sq += diff * diff;
+      }
+      const double v = std::exp(-sq * inv_two_sigma2);
+      k(a, b) = v;
+      k(b, a) = v;
+    }
+  }
+  return k;
+}
+
+}  // namespace lkpdpp

@@ -107,6 +107,11 @@ Result<std::unique_ptr<ModelUpdater>> ModelUpdater::Create(
       return Status::InvalidArgument(
           "kernel_learning_rate must be finite and >= 0");
     }
+    if (!(config.kernel_jitter >= 0.0) ||
+        !std::isfinite(config.kernel_jitter)) {
+      return Status::InvalidArgument(
+          "kernel_jitter must be finite and >= 0");
+    }
     if (config.kernel_set_size < 1 ||
         config.kernel_set_size > diversity->rank()) {
       return Status::InvalidArgument(

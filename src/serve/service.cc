@@ -1,6 +1,8 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
@@ -65,6 +67,43 @@ obs::Counter* ServeNumericalErrors() {
       "lkp_numerical_errors_total{site=\"serve\"}");
   return counter;
 }
+// Per-path build counters: exactly one of these increments per kernel
+// build, keyed by the representation that actually got built. The legacy
+// lkp_serve_{dual,primal,diag}_path_total counters stay for dashboard
+// continuity but attribute more coarsely.
+obs::Counter* PathTotal(ServePath path) {
+  static obs::Counter* primal = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_path_total{path=\"primal\"}");
+  static obs::Counter* dual_sample =
+      obs::MetricsRegistry::Global().GetCounter(
+          "lkp_serve_path_total{path=\"dual_sample\"}");
+  static obs::Counter* factor_diag_sample =
+      obs::MetricsRegistry::Global().GetCounter(
+          "lkp_serve_path_total{path=\"factor_diag_sample\"}");
+  static obs::Counter* factor_map =
+      obs::MetricsRegistry::Global().GetCounter(
+          "lkp_serve_path_total{path=\"factor_map\"}");
+  static obs::Counter* diag_map = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_path_total{path=\"diag_map\"}");
+  switch (path) {
+    case ServePath::kPrimal:
+      return primal;
+    case ServePath::kDualSample:
+      return dual_sample;
+    case ServePath::kFactorDiagSample:
+      return factor_diag_sample;
+    case ServePath::kFactorMap:
+      return factor_map;
+    case ServePath::kDiagMap:
+      return diag_map;
+  }
+  return primal;
+}
+obs::Counter* ApproxFallbackTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_approx_fallback_total");
+  return counter;
+}
 
 // Counts a stage failure into the by-site NumericalError counter when
 // that is what it is (other codes pass through untouched).
@@ -85,14 +124,29 @@ const char* ServeModeName(ServeMode mode) {
   return "?";
 }
 
-RecommendationService::RecommendationService(const Dataset* dataset,
-                                             RecModel* model,
-                                             const DiversityKernel* diversity,
-                                             ThreadPool* pool,
-                                             ServeConfig config)
+const char* ServePathName(ServePath path) {
+  switch (path) {
+    case ServePath::kPrimal:
+      return "primal";
+    case ServePath::kDualSample:
+      return "dual_sample";
+    case ServePath::kFactorDiagSample:
+      return "factor_diag_sample";
+    case ServePath::kFactorMap:
+      return "factor_map";
+    case ServePath::kDiagMap:
+      return "diag_map";
+  }
+  return "?";
+}
+
+RecommendationService::RecommendationService(
+    const Dataset* dataset, RecModel* model,
+    std::unique_ptr<const ServingKernelSource> source, ThreadPool* pool,
+    ServeConfig config)
     : dataset_(dataset),
       model_(model),
-      diversity_(diversity),
+      source_(std::move(source)),
       pool_(pool),
       config_(config),
       cache_(config.cache_capacity, config.cache_shards),
@@ -107,13 +161,14 @@ RecommendationService::~RecommendationService() {
   if (batcher_.joinable()) batcher_.join();
 }
 
-Result<std::unique_ptr<RecommendationService>> RecommendationService::Create(
-    const Dataset* dataset, RecModel* model, const DiversityKernel* diversity,
-    ThreadPool* pool, ServeConfig config) {
-  if (dataset == nullptr || model == nullptr || diversity == nullptr) {
-    return Status::InvalidArgument(
-        "serving requires dataset, model, and diversity kernel");
-  }
+namespace {
+
+// Shared shape/range validation for both Create overloads. Every real-
+// valued field uses the NaN-safe form !(x >= lo && x <= hi): a plain
+// `x < lo || x > hi` passes NaN straight through (all comparisons with
+// NaN are false) and the service then silently serves garbage blends —
+// the exact bug this check replaces.
+Status ValidateServeConfig(const ServeConfig& config) {
   if (config.top_k < 1) {
     return Status::InvalidArgument(
         StrFormat("top_k=%d must be >= 1", config.top_k));
@@ -123,7 +178,8 @@ Result<std::unique_ptr<RecommendationService>> RecommendationService::Create(
         StrFormat("pool_size=%d must be >= top_k=%d", config.pool_size,
                   config.top_k));
   }
-  if (config.kernel_blend_alpha < 0.0 || config.kernel_blend_alpha > 1.0) {
+  if (!(config.kernel_blend_alpha >= 0.0 &&
+        config.kernel_blend_alpha <= 1.0)) {
     return Status::InvalidArgument(
         StrFormat("kernel_blend_alpha=%.3f outside [0, 1]",
                   config.kernel_blend_alpha));
@@ -138,12 +194,35 @@ Result<std::unique_ptr<RecommendationService>> RecommendationService::Create(
     return Status::InvalidArgument(
         StrFormat("max_batch_size=%d must be >= 1", config.max_batch_size));
   }
-  if (config.batch_deadline_ms < 0.0) {
-    return Status::InvalidArgument("batch_deadline_ms must be >= 0");
+  if (!(config.batch_deadline_ms >= 0.0) ||
+      !std::isfinite(config.batch_deadline_ms)) {
+    return Status::InvalidArgument(
+        "batch_deadline_ms must be finite and >= 0");
   }
   if (config.parallel_grain < 0) {
     return Status::InvalidArgument("parallel_grain must be >= 0");
   }
+  if (config.approx_factor_rank < 0) {
+    return Status::InvalidArgument("approx_factor_rank must be >= 0");
+  }
+  if (!(config.approx_error_budget >= 0.0) ||
+      !std::isfinite(config.approx_error_budget)) {
+    return Status::InvalidArgument(
+        "approx_error_budget must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RecommendationService>> RecommendationService::Create(
+    const Dataset* dataset, RecModel* model, const DiversityKernel* diversity,
+    ThreadPool* pool, ServeConfig config) {
+  if (dataset == nullptr || model == nullptr || diversity == nullptr) {
+    return Status::InvalidArgument(
+        "serving requires dataset, model, and diversity kernel");
+  }
+  LKP_RETURN_IF_ERROR(ValidateServeConfig(config));
   if (model->num_items() != dataset->num_items()) {
     return Status::InvalidArgument(
         StrFormat("model covers %d items but dataset has %d",
@@ -156,7 +235,37 @@ Result<std::unique_ptr<RecommendationService>> RecommendationService::Create(
   }
   model->PrepareForEval();
   return std::unique_ptr<RecommendationService>(new RecommendationService(
-      dataset, model, diversity, pool, config));
+      dataset, model, std::make_unique<DiversityKernelSource>(diversity),
+      pool, config));
+}
+
+Result<std::unique_ptr<RecommendationService>>
+RecommendationService::CreateGaussian(const Dataset* dataset, RecModel* model,
+                                      Matrix item_embeddings, double sigma,
+                                      ThreadPool* pool, ServeConfig config) {
+  if (dataset == nullptr || model == nullptr) {
+    return Status::InvalidArgument("serving requires dataset and model");
+  }
+  LKP_RETURN_IF_ERROR(ValidateServeConfig(config));
+  if (!(sigma > 0.0) || !std::isfinite(sigma)) {
+    return Status::InvalidArgument(
+        StrFormat("sigma must be finite and positive, got %g", sigma));
+  }
+  if (model->num_items() != dataset->num_items()) {
+    return Status::InvalidArgument(
+        StrFormat("model covers %d items but dataset has %d",
+                  model->num_items(), dataset->num_items()));
+  }
+  if (item_embeddings.rows() != dataset->num_items()) {
+    return Status::InvalidArgument(
+        StrFormat("embeddings cover %d items but dataset has %d",
+                  item_embeddings.rows(), dataset->num_items()));
+  }
+  model->PrepareForEval();
+  auto source = std::make_unique<GaussianKernelSource>(
+      std::move(item_embeddings), sigma, config.approx_factor_rank);
+  return std::unique_ptr<RecommendationService>(new RecommendationService(
+      dataset, model, std::move(source), pool, config));
 }
 
 void RecommendationService::InvalidateModel() {
@@ -216,8 +325,9 @@ Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
     auto built = std::make_shared<ServedKernel>();
     built->items = work.pool;
     built->model_version = model_version();
+    const double alpha = config_.kernel_blend_alpha;
     if (config_.mode == ServeMode::kMapRerank && !config_.force_primal &&
-        config_.kernel_blend_alpha == 0.0) {
+        alpha == 0.0) {
       // alpha == 0 degenerates the blend to Diag(q)·(delta·I)·Diag(q):
       // pure diagonal, so neither the factor rows nor the materialized
       // submatrix is worth building. O(pool) memory, bit-identical
@@ -225,63 +335,102 @@ Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
       LKP_TRACE_SPAN("serve.diag_rep_build");
       EigSkippedTotal()->Inc();
       DiagPathTotal()->Inc();
-      LKP_ASSIGN_OR_RETURN(
-          DiagKernelRep rep,
-          DiagKernelRep::Create(quality, 1.0 - config_.kernel_blend_alpha));
+      PathTotal(ServePath::kDiagMap)->Inc();
+      LKP_ASSIGN_OR_RETURN(DiagKernelRep rep,
+                           DiagKernelRep::Create(quality, 1.0 - alpha));
       built->rep = std::make_shared<const DiagKernelRep>(std::move(rep));
-    } else if (config_.mode == ServeMode::kSample && UseDualPath(work.pool)) {
-      // The conditioned kernel is exactly Diag(q) K_S Diag(q) with
-      // K_S = F_S F_S^T, so condition in factor space (ScaleRows) and
-      // build the dual k-DPP — O(n d^2) instead of O(n^3), no n x n
-      // materialization.
-      LKP_TRACE_SPAN("serve.dual_build");
-      DualPathTotal()->Inc();
+      return std::shared_ptr<const ServedKernel>(std::move(built));
+    }
+    // Thin factor paths. Approximate sources pass a per-pool gate: use
+    // the factor only when its computed entry-error bound fits the
+    // opted-in budget, else fall through to the exact primal build.
+    const bool thin_wanted =
+        config_.mode == ServeMode::kSample
+            ? IsDualEligible(work.pool)
+            : UseFactorRep(work.pool);
+    if (thin_wanted) {
+      LKP_ASSIGN_OR_RETURN(ServingKernelSource::ThinFactor thin,
+                           source_->PoolFactor(work.pool));
+      if (source_->exact() ||
+          thin.entry_error_bound <= config_.approx_error_budget) {
+        if (config_.mode == ServeMode::kSample && alpha == 1.0) {
+          // The conditioned kernel is exactly Diag(q) K_S Diag(q) with
+          // K_S = F_S F_S^T, so condition in factor space (ScaleRows)
+          // and build the dual k-DPP — O(n d^2) instead of O(n^3), no
+          // n x n materialization.
+          LKP_TRACE_SPAN("serve.dual_build");
+          DualPathTotal()->Inc();
+          PathTotal(ServePath::kDualSample)->Inc();
+          LKP_ASSIGN_OR_RETURN(LowRankFactor factor,
+                               LowRankFactor::Create(std::move(thin.rows)));
+          LKP_ASSIGN_OR_RETURN(
+              KDpp kdpp,
+              KDpp::CreateDual(factor.ScaleRows(quality), effective_k));
+          built->kdpp = std::make_shared<const KDpp>(std::move(kdpp));
+        } else if (config_.mode == ServeMode::kSample) {
+          // 0 < alpha < 1: the conditioned kernel is
+          //   Diag(q)(alpha K_S + (1-alpha) I)Diag(q) = W W^T + D,
+          //   W = sqrt(alpha) Diag(q) F_S,  D = (1-alpha) Diag(q^2).
+          // The factor-diag k-DPP computes the exact full spectrum from
+          // that shape (linalg/factor_diag.h) — never pool x pool.
+          LKP_TRACE_SPAN("serve.factor_diag_build");
+          PathTotal(ServePath::kFactorDiagSample)->Inc();
+          const int n = static_cast<int>(work.pool.size());
+          const double sqrt_alpha = std::sqrt(alpha);
+          Vector w_scale(n);
+          Vector added(n);
+          for (int i = 0; i < n; ++i) {
+            w_scale[i] = sqrt_alpha * quality[i];
+            added[i] = (1.0 - alpha) * quality[i] * quality[i];
+          }
+          LKP_ASSIGN_OR_RETURN(LowRankFactor factor,
+                               LowRankFactor::Create(std::move(thin.rows)));
+          LKP_ASSIGN_OR_RETURN(
+              KDpp kdpp,
+              KDpp::CreateFactorDiag(factor.ScaleRows(w_scale),
+                                     std::move(added), effective_k));
+          built->kdpp = std::make_shared<const KDpp>(std::move(kdpp));
+        } else {
+          // Greedy MAP only reads entries, so the blended conditioned
+          // kernel rides as factor + diagonal — O(pool * rank) to build
+          // and store versus O(pool^2 * rank) to materialize, and no
+          // eigendecomposition either way (MAP entries never decompose).
+          LKP_TRACE_SPAN("serve.factor_rep_build");
+          EigSkippedTotal()->Inc();
+          PathTotal(ServePath::kFactorMap)->Inc();
+          LKP_ASSIGN_OR_RETURN(
+              FactorDiagKernelRep rep,
+              FactorDiagKernelRep::Create(std::move(thin.rows), quality,
+                                          alpha, 1.0 - alpha));
+          built->rep =
+              std::make_shared<const FactorDiagKernelRep>(std::move(rep));
+        }
+        return std::shared_ptr<const ServedKernel>(std::move(built));
+      }
+      ApproxFallbackTotal()->Inc();
+    }
+    Matrix conditioned;
+    {
+      LKP_TRACE_SPAN("serve.kernel_assemble");
+      Matrix k_sub = source_->PoolSubmatrix(work.pool);
+      k_sub *= alpha;
+      k_sub.AddDiagonal(1.0 - alpha);
+      conditioned = AssembleKernel(quality, k_sub);
+    }
+    PathTotal(ServePath::kPrimal)->Inc();
+    if (config_.mode == ServeMode::kSample) {
+      LKP_TRACE_SPAN("serve.eigendecomp");
+      PrimalPathTotal()->Inc();
+      // KDpp keeps its own copy of the kernel, so hand ours over rather
+      // than storing it twice per cache entry.
       LKP_ASSIGN_OR_RETURN(
-          LowRankFactor factor,
-          LowRankFactor::Create(diversity_->FactorRows(work.pool)));
-      LKP_ASSIGN_OR_RETURN(
-          KDpp kdpp,
-          KDpp::CreateDual(factor.ScaleRows(quality), effective_k));
+          KDpp kdpp, KDpp::Create(std::move(conditioned), effective_k));
       built->kdpp = std::make_shared<const KDpp>(std::move(kdpp));
-    } else if (config_.mode == ServeMode::kMapRerank &&
-               UseFactorRep(work.pool)) {
-      // Greedy MAP only reads entries, so the blended conditioned
-      // kernel rides as factor + diagonal — O(pool * rank) to build and
-      // store versus O(pool^2 * rank) to materialize, and no
-      // eigendecomposition either way (MAP entries never decompose).
-      LKP_TRACE_SPAN("serve.factor_rep_build");
-      EigSkippedTotal()->Inc();
-      DualPathTotal()->Inc();
-      LKP_ASSIGN_OR_RETURN(
-          FactorDiagKernelRep rep,
-          FactorDiagKernelRep::Create(diversity_->FactorRows(work.pool),
-                                      quality, config_.kernel_blend_alpha,
-                                      1.0 - config_.kernel_blend_alpha));
-      built->rep =
-          std::make_shared<const FactorDiagKernelRep>(std::move(rep));
     } else {
-      Matrix conditioned;
-      {
-        LKP_TRACE_SPAN("serve.kernel_assemble");
-        Matrix k_sub = diversity_->Submatrix(work.pool);
-        k_sub *= config_.kernel_blend_alpha;
-        k_sub.AddDiagonal(1.0 - config_.kernel_blend_alpha);
-        conditioned = AssembleKernel(quality, k_sub);
-      }
-      if (config_.mode == ServeMode::kSample) {
-        LKP_TRACE_SPAN("serve.eigendecomp");
-        PrimalPathTotal()->Inc();
-        // KDpp keeps its own copy of the kernel, so hand ours over rather
-        // than storing it twice per cache entry.
-        LKP_ASSIGN_OR_RETURN(
-            KDpp kdpp, KDpp::Create(std::move(conditioned), effective_k));
-        built->kdpp = std::make_shared<const KDpp>(std::move(kdpp));
-      } else {
-        EigSkippedTotal()->Inc();
-        PrimalPathTotal()->Inc();
-        built->rep = std::make_shared<const PrimalKernelRep>(
-            std::move(conditioned));
-      }
+      EigSkippedTotal()->Inc();
+      PrimalPathTotal()->Inc();
+      built->rep = std::make_shared<const PrimalKernelRep>(
+          std::move(conditioned));
     }
     return std::shared_ptr<const ServedKernel>(std::move(built));
   };
@@ -292,24 +441,29 @@ Result<RecommendationService::UserWork> RecommendationService::PrepareUser(
   return work;
 }
 
-bool RecommendationService::UseDualPath(const std::vector<int>& pool) const {
-  // The dual representation is exact only when the conditioned kernel
-  // is itself low-rank, i.e. the identity blend vanishes (alpha == 1);
-  // any alpha < 1 adds a full-rank diagonal the factor cannot carry.
-  // Profitable only when the factor is thinner than the pool.
-  return !config_.force_primal && config_.kernel_blend_alpha == 1.0 &&
-         diversity_->rank() < static_cast<int>(pool.size());
+bool RecommendationService::IsDualEligible(
+    const std::vector<int>& pool) const {
+  // Thin sampling needs a factor thinner than the pool and a nonzero
+  // diversity blend: alpha == 1 serves through the low-rank dual,
+  // 0 < alpha < 1 through the exact factor-plus-diagonal spectrum
+  // (linalg/factor_diag.h) — the full-rank diagonal the blend adds is no
+  // longer a blocker. alpha == 0 stays primal: the kernel degenerates to
+  // a diagonal and the primal build is already trivial there.
+  const int rank = source_->ThinRank(static_cast<int>(pool.size()));
+  return !config_.force_primal && config_.kernel_blend_alpha > 0.0 &&
+         rank > 0 && rank < static_cast<int>(pool.size());
 }
 
 bool RecommendationService::UseFactorRep(const std::vector<int>& pool) const {
   // MAP rerank reads kernel ENTRIES only, and every entry of the blended
   // conditioned kernel is computable from the thin factor plus the blend
-  // scalars (FactorDiagKernelRep) — so unlike the sampling dual path,
-  // any alpha qualifies. The factor rep wins whenever it is thinner than
+  // scalars (FactorDiagKernelRep) — so unlike the sampling paths, any
+  // alpha qualifies. The factor rep wins whenever it is thinner than
   // the pool: greedy then costs O(k n d + k^2 n) instead of the
   // O(n^2 d) materialization alone.
-  return !config_.force_primal &&
-         diversity_->rank() < static_cast<int>(pool.size());
+  const int rank = source_->ThinRank(static_cast<int>(pool.size()));
+  return !config_.force_primal && rank > 0 &&
+         rank < static_cast<int>(pool.size());
 }
 
 Result<RecResponse> RecommendationService::SelectTopK(int user,
@@ -323,10 +477,32 @@ Result<RecResponse> RecommendationService::SelectTopK(int user,
     response.latency_ms = work.kernel_ms;
     return response;
   }
-  response.dual_path =
-      (work.entry->kdpp != nullptr && work.entry->kdpp->is_dual()) ||
-      (work.entry->rep != nullptr &&
-       work.entry->rep->kind() == KernelRepKind::kFactorDiag);
+  // Attribute the request to the representation that actually served it.
+  // (The old derivation lumped factor-backed MAP in with dual sampling;
+  // the enum keeps every path distinct, and dual_path stays as the
+  // coarse thin-vs-materialized bool.)
+  if (work.entry->kdpp != nullptr) {
+    response.path = work.entry->kdpp->is_dual()
+                        ? ServePath::kDualSample
+                        : work.entry->kdpp->is_factor_diag()
+                              ? ServePath::kFactorDiagSample
+                              : ServePath::kPrimal;
+  } else if (work.entry->rep != nullptr) {
+    switch (work.entry->rep->kind()) {
+      case KernelRepKind::kFactorDiag:
+        response.path = ServePath::kFactorMap;
+        break;
+      case KernelRepKind::kDiag:
+        response.path = ServePath::kDiagMap;
+        break;
+      case KernelRepKind::kPrimal:
+        response.path = ServePath::kPrimal;
+        break;
+    }
+  }
+  response.dual_path = response.path == ServePath::kDualSample ||
+                       response.path == ServePath::kFactorDiagSample ||
+                       response.path == ServePath::kFactorMap;
   const int effective_k =
       std::min(config_.top_k, static_cast<int>(work.pool.size()));
 

@@ -21,12 +21,16 @@
 //      hash) in a lock-striped sharded LRU; the O(n^3) build runs with
 //      no cache lock held, and a per-key in-flight guard makes
 //      concurrent misses on one key compute once (the rest wait and
-//      share). When the conditioned kernel advertises an exact low-rank
-//      factor (pure diversity blend, kernel_blend_alpha == 1, with
-//      factor rank below the pool size), sampling-mode entries are built
-//      through the dual path instead — O(pool * rank^2) conditioning in
-//      factor space, never materializing the pool kernel (set
-//      force_primal to disable for cross-checks). MAP-rerank entries
+//      share). When the kernel source advertises a thin factor with rank
+//      below the pool size, sampling-mode entries skip the O(n^3)
+//      materialization: at kernel_blend_alpha == 1 through the low-rank
+//      dual path (O(pool * rank^2) conditioning in factor space), and at
+//      any 0 < alpha < 1 through the exact factor-plus-diagonal path —
+//      the blended conditioned kernel is W W^T + D with
+//      W = sqrt(alpha) Diag(q) V and D = (1-alpha) Diag(q^2), whose full
+//      spectrum comes from inertia bisection (linalg/factor_diag.h) at
+//      O(pool * rank) memory, never pool x pool (set force_primal to
+//      disable for cross-checks). MAP-rerank entries
 //      never eigendecompose at all, and hold a KernelRep chosen by cost
 //      model: a FactorDiagKernelRep (pool factor rows + blend scalars,
 //      O(pool * rank) memory, greedy reads rows at O(pool * rank)) when
@@ -74,6 +78,7 @@
 #include "data/dataset.h"
 #include "kernels/diversity_kernel.h"
 #include "kernels/quality_diversity.h"
+#include "serve/kernel_source.h"
 #include "models/rec_model.h"
 #include "sampling/ground_set_builder.h"
 #include "serve/kernel_cache.h"
@@ -88,6 +93,21 @@ enum class ServeMode {
 };
 
 const char* ServeModeName(ServeMode mode);
+
+/// Which kernel representation actually served a request. The thin
+/// representations (everything except kPrimal) never materialize the
+/// pool x pool kernel; all are exact except that approximate sources
+/// (GaussianKernelSource) may back the factor paths within the
+/// configured error budget.
+enum class ServePath {
+  kPrimal,            ///< Materialized conditioned kernel.
+  kDualSample,        ///< Low-rank dual k-DPP (sampling, alpha == 1).
+  kFactorDiagSample,  ///< Factor+diagonal k-DPP (sampling, 0 < alpha < 1).
+  kFactorMap,         ///< FactorDiagKernelRep greedy MAP.
+  kDiagMap,           ///< DiagKernelRep greedy MAP (alpha == 0).
+};
+
+const char* ServePathName(ServePath path);
 
 struct ServeConfig {
   ServeMode mode = ServeMode::kMapRerank;
@@ -117,6 +137,17 @@ struct ServeConfig {
   int parallel_grain = 0;
   /// Master seed for sampling-mode Rng streams.
   uint64_t seed = 0x5EEDF00DULL;
+  /// Approximate kernel sources only (e.g. GaussianKernelSource): cap on
+  /// the Nystrom factor rank the source may build per pool. 0 (default)
+  /// disables approximation entirely — approximate sources then always
+  /// serve through the exact primal build. Setting it > 0 is the
+  /// explicit opt-in to approximate factors. Exact sources ignore it.
+  int approx_factor_rank = 0;
+  /// Approximate kernel sources only: a pool's Nystrom factor is used
+  /// only when its computed entry-error bound is <= this budget;
+  /// otherwise the pool falls back to the exact primal build (counted in
+  /// lkp_serve_approx_fallback_total).
+  double approx_error_budget = 1e-6;
   /// Disables every thin-representation path: sampling-mode kernels are
   /// materialized and eigendecomposed primally even when they advertise
   /// a factor, and MAP-rerank kernels are materialized instead of held
@@ -142,10 +173,13 @@ struct RecResponse {
   /// order; sampling mode: sampled set ordered by descending score.
   std::vector<int> items;
   bool cache_hit = false;
+  /// Exactly which representation served this request.
+  ServePath path = ServePath::kPrimal;
   /// True when this request was served from a thin factor-backed
-  /// representation instead of a materialized kernel: a low-rank dual
-  /// k-DPP in sampling mode, or a FactorDiagKernelRep greedy-MAP pass
-  /// in rerank mode.
+  /// representation instead of a materialized kernel: kDualSample,
+  /// kFactorDiagSample, or kFactorMap. Derived from `path` — kept for
+  /// callers that only care thin-vs-materialized (kDiagMap is thin too
+  /// but carries no factor, and reports false as it always has).
   bool dual_path = false;
   double latency_ms = 0.0;
 };
@@ -162,6 +196,16 @@ class RecommendationService {
       const Dataset* dataset, RecModel* model,
       const DiversityKernel* diversity, ThreadPool* pool,
       ServeConfig config);
+
+  /// Serves a trainable Gaussian kernel (paper's PSE/NPSE "E" variants)
+  /// over the given item embeddings instead of a pre-learned diversity
+  /// kernel. The embeddings are snapshotted (copied). Thin serving paths
+  /// require the explicit approximation opt-in
+  /// (ServeConfig::approx_factor_rank > 0) and honor
+  /// approx_error_budget; otherwise every pool is served exactly.
+  static Result<std::unique_ptr<RecommendationService>> CreateGaussian(
+      const Dataset* dataset, RecModel* model, Matrix item_embeddings,
+      double sigma, ThreadPool* pool, ServeConfig config);
 
   /// Stops the admission batcher, resolving every still-queued request
   /// before returning.
@@ -250,20 +294,21 @@ class RecommendationService {
   };
 
   RecommendationService(const Dataset* dataset, RecModel* model,
-                        const DiversityKernel* diversity, ThreadPool* pool,
-                        ServeConfig config);
+                        std::unique_ptr<const ServingKernelSource> source,
+                        ThreadPool* pool, ServeConfig config);
 
   /// Builds the pool and fetches-or-builds the served kernel for a user
   /// through the cache's deduplicated build path.
   Result<UserWork> PrepareUser(int user, const Vector& scores);
 
-  /// True when this pool's sampling kernel should be built through the
-  /// low-rank dual path (exact factor available and thinner than the
-  /// pool; see the KernelCache note above). Sampling only: requires
-  /// kernel_blend_alpha == 1, because eigendecomposing a blended kernel
-  /// from the d x d dual is impossible (the diagonal shift is non-scalar
-  /// after quality conditioning).
-  bool UseDualPath(const std::vector<int>& pool) const;
+  /// True when this pool's sampling kernel should be built through a
+  /// thin factor path: the dual k-DPP at alpha == 1, the exact
+  /// factor-plus-diagonal k-DPP at 0 < alpha < 1 (see the KernelCache
+  /// note above). Requires a thin factor thinner than the pool and
+  /// alpha > 0 (at alpha == 0 the blend is pure diagonal and the primal
+  /// build is already trivial). Approximate sources additionally pass
+  /// through the per-pool error-budget gate at build time.
+  bool IsDualEligible(const std::vector<int>& pool) const;
 
   /// True when this pool's MAP-rerank kernel should be held as a
   /// FactorDiagKernelRep instead of materialized. Unlike UseDualPath,
@@ -285,7 +330,7 @@ class RecommendationService {
 
   const Dataset* dataset_;
   RecModel* model_;
-  const DiversityKernel* diversity_;
+  std::unique_ptr<const ServingKernelSource> source_;
   ThreadPool* pool_;
   ServeConfig config_;
   KernelCache cache_;

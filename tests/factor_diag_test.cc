@@ -1,0 +1,952 @@
+// Differential campaign for the factor-plus-diagonal representation:
+// FactorDiagSpectrum / FactorDiagEigenvectors against the dense
+// SymmetricEigen oracle, Dpp/KDpp::CreateFactorDiag against the primal
+// blend build, and the serving layer's factor-diag sampling path against
+// the forced-primal oracle — including the allocation probe proving the
+// pool x pool kernel is never materialized, per-path attribution, the
+// NaN-config validation regressions, and the Nystrom approximation's
+// computed error bounds.
+
+#include "linalg/factor_diag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/dpp.h"
+#include "core/kdpp.h"
+#include "data/synthetic.h"
+#include "linalg/eigen.h"
+#include "kernels/nystrom.h"
+#include "kernels/quality_diversity.h"
+#include "models/mf.h"
+#include "obs/metrics.h"
+#include "serve/kernel_source.h"
+#include "serve/model_update.h"
+#include "serve/service.h"
+#include "testing_util.h"
+
+namespace lkpdpp {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+// Random positive diagonal with entries in about [0.1, e^2].
+Vector RandomDiag(int n, Rng* rng) {
+  Vector d(n);
+  for (int i = 0; i < n; ++i) d[i] = std::exp(rng->Normal());
+  return d;
+}
+
+// Dense oracle for W W^T + Diag(diag).
+Matrix Materialize(const Matrix& w, const Vector& diag) {
+  Matrix l = MatMulTransB(w, w);
+  for (int i = 0; i < l.rows(); ++i) l(i, i) += diag[i];
+  return l;
+}
+
+// The serving blend: Diag(q) (alpha V V^T + (1 - alpha) I) Diag(q),
+// materialized primally.
+Matrix BlendKernel(const Matrix& v, const Vector& q, double alpha) {
+  Matrix k = MatMulTransB(v, v);
+  k *= alpha;
+  k.AddDiagonal(1.0 - alpha);
+  return AssembleKernel(q, k);
+}
+
+// The same blend as factor-diag pieces: W = sqrt(alpha) Diag(q) V and
+// D_i = (1 - alpha) q_i^2.
+struct BlendPieces {
+  Matrix w;
+  Vector diag;
+};
+
+BlendPieces BlendFactorDiag(const Matrix& v, const Vector& q, double alpha) {
+  BlendPieces out;
+  out.w = v;
+  const double sqrt_alpha = std::sqrt(alpha);
+  for (int r = 0; r < v.rows(); ++r) {
+    for (int c = 0; c < v.cols(); ++c) out.w(r, c) *= sqrt_alpha * q[r];
+  }
+  out.diag = Vector(v.rows());
+  for (int i = 0; i < v.rows(); ++i) {
+    out.diag[i] = (1.0 - alpha) * q[i] * q[i];
+  }
+  return out;
+}
+
+LowRankFactor MakeLowRank(Matrix m) {
+  auto f = LowRankFactor::Create(std::move(m));
+  f.status().CheckOK();
+  return std::move(f).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------
+// Spectrum vs the dense oracle
+
+struct SpectrumCase {
+  int n;
+  int d;
+  uint64_t seed;
+};
+
+class SpectrumSweep : public ::testing::TestWithParam<SpectrumCase> {};
+
+TEST_P(SpectrumSweep, MatchesSymmetricEigen) {
+  const auto [n, d, seed] = GetParam();
+  Rng rng(seed);
+  const Matrix w = testutil::RandomMatrix(n, d, &rng);
+  const Vector diag = RandomDiag(n, &rng);
+  auto spectrum = FactorDiagSpectrum(w, diag);
+  ASSERT_TRUE(spectrum.ok()) << spectrum.status().ToString();
+  ASSERT_EQ(spectrum->size(), n);
+  auto oracle = SymmetricEigen(Materialize(w, diag));
+  ASSERT_TRUE(oracle.ok());
+  const double scale = std::max(1.0, oracle->eigenvalues.Max());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR((*spectrum)[i], oracle->eigenvalues[i], 1e-9 * scale)
+        << "eigenvalue " << i;
+    if (i > 0) {
+      EXPECT_GE((*spectrum)[i], (*spectrum)[i - 1]);
+    }
+  }
+}
+
+TEST_P(SpectrumSweep, EigenvectorsDiagonalizeTheOperator) {
+  const auto [n, d, seed] = GetParam();
+  Rng rng(seed ^ 0xE16ULL);
+  const Matrix w = testutil::RandomMatrix(n, d, &rng);
+  const Vector diag = RandomDiag(n, &rng);
+  auto spectrum = FactorDiagSpectrum(w, diag);
+  ASSERT_TRUE(spectrum.ok());
+  std::vector<int> all(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+  auto vecs = FactorDiagEigenvectors(w, diag, *spectrum, all);
+  ASSERT_TRUE(vecs.ok()) << vecs.status().ToString();
+  const Matrix l = Materialize(w, diag);
+  const double scale = std::max(1.0, spectrum->Max());
+  for (int c = 0; c < n; ++c) {
+    Vector u(n);
+    for (int r = 0; r < n; ++r) u[r] = (*vecs)(r, c);
+    EXPECT_NEAR(u.Norm(), 1.0, 1e-9) << "column " << c;
+    const Vector lu = MatVec(l, u);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_NEAR(lu[r], (*spectrum)[c] * u[r], 1e-8 * scale)
+          << "residual at (" << r << ", " << c << ")";
+    }
+    for (int c2 = c + 1; c2 < n; ++c2) {
+      double dot = 0.0;
+      for (int r = 0; r < n; ++r) dot += (*vecs)(r, c) * (*vecs)(r, c2);
+      EXPECT_NEAR(dot, 0.0, 1e-8) << "columns " << c << ", " << c2;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranks, SpectrumSweep,
+    ::testing::Values(SpectrumCase{24, 1, 11}, SpectrumCase{24, 8, 22},
+                      SpectrumCase{24, 32, 33}, SpectrumCase{5, 9, 44}),
+    [](const ::testing::TestParamInfo<SpectrumCase>& info) {
+      return "n" + std::to_string(info.param.n) + "d" +
+             std::to_string(info.param.d);
+    });
+
+TEST(FactorDiagSpectrumTest, ZeroFactorReturnsSortedDiagonal) {
+  const int n = 7;
+  Matrix w(n, 3);  // All zero.
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < 3; ++c) w(r, c) = 0.0;
+  }
+  Vector diag{3.0, 1.0, 2.0, 0.5, 5.0, 4.0, 0.25};
+  auto spectrum = FactorDiagSpectrum(w, diag);
+  ASSERT_TRUE(spectrum.ok());
+  std::vector<double> expected{0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0};
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ((*spectrum)[i], expected[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(FactorDiagSpectrumTest, DuplicateDiagonalEntriesAndZeroRows) {
+  // Repeated diagonal values (poles of multiplicity 3) plus factor rows
+  // that are exactly zero: the cluster basis must still span the
+  // invariant subspace.
+  const int n = 12;
+  const int d = 4;
+  Rng rng(77);
+  Matrix w = testutil::RandomMatrix(n, d, &rng);
+  for (int c = 0; c < d; ++c) {
+    w(3, c) = 0.0;  // Items 3 and 7 carry no factor mass:
+    w(7, c) = 0.0;  // their diag entries are exact eigenvalues.
+  }
+  Vector diag(n);
+  for (int i = 0; i < n; ++i) diag[i] = 1.0 + 0.5 * (i % 4);
+  auto spectrum = FactorDiagSpectrum(w, diag);
+  ASSERT_TRUE(spectrum.ok());
+  auto oracle = SymmetricEigen(Materialize(w, diag));
+  ASSERT_TRUE(oracle.ok());
+  const double scale = std::max(1.0, oracle->eigenvalues.Max());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR((*spectrum)[i], oracle->eigenvalues[i], 1e-9 * scale);
+  }
+  std::vector<int> all(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+  auto vecs = FactorDiagEigenvectors(w, diag, *spectrum, all);
+  ASSERT_TRUE(vecs.ok()) << vecs.status().ToString();
+  const Matrix l = Materialize(w, diag);
+  for (int c = 0; c < n; ++c) {
+    Vector u(n);
+    for (int r = 0; r < n; ++r) u[r] = (*vecs)(r, c);
+    const Vector lu = MatVec(l, u);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_NEAR(lu[r], (*spectrum)[c] * u[r], 1e-8 * scale);
+    }
+  }
+}
+
+TEST(FactorDiagSpectrumTest, ErrorPaths) {
+  Rng rng(5);
+  const Matrix w = testutil::RandomMatrix(4, 2, &rng);
+  EXPECT_FALSE(FactorDiagSpectrum(w, Vector(3)).ok());  // Length mismatch.
+  Matrix bad = w;
+  bad(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(FactorDiagSpectrum(bad, Vector(4)).ok());
+  // Trace overflow: factor entries at 1e200 push tr(W^T W) past double
+  // range — rejected as NumericalError, not silently inf.
+  Matrix huge(4, 2, 1e200);
+  Vector diag(4);
+  for (int i = 0; i < 4; ++i) diag[i] = 1.0;
+  EXPECT_EQ(FactorDiagSpectrum(huge, diag).status().code(),
+            StatusCode::kNumericalError);
+  // Eigenvector column lists must be strictly ascending and in range.
+  const Vector ok_diag = RandomDiag(4, &rng);
+  auto spectrum = FactorDiagSpectrum(w, ok_diag);
+  ASSERT_TRUE(spectrum.ok());
+  EXPECT_FALSE(FactorDiagEigenvectors(w, ok_diag, *spectrum, {2, 1}).ok());
+  EXPECT_FALSE(FactorDiagEigenvectors(w, ok_diag, *spectrum, {0, 0}).ok());
+  EXPECT_FALSE(FactorDiagEigenvectors(w, ok_diag, *spectrum, {4}).ok());
+}
+
+// ---------------------------------------------------------------------
+// Dpp / KDpp differential vs the primal blend
+
+struct BlendCase {
+  double alpha;
+  int d;
+  uint64_t seed;
+};
+
+class BlendSweep : public ::testing::TestWithParam<BlendCase> {};
+
+TEST_P(BlendSweep, KDppAgreesWithPrimalEverywhere) {
+  const auto [alpha, d, seed] = GetParam();
+  const int n = 40;
+  Rng rng(seed);
+  const Matrix v = testutil::RandomMatrix(n, d, &rng);
+  Vector q(n);
+  for (int i = 0; i < n; ++i) q[i] = std::exp(0.5 * rng.Normal());
+  const BlendPieces fd = BlendFactorDiag(v, q, alpha);
+
+  for (int k : {1, std::min(8, d + 1), 12}) {
+    auto primal = KDpp::Create(BlendKernel(v, q, alpha), k);
+    ASSERT_TRUE(primal.ok()) << primal.status().ToString();
+    Vector diag_copy = fd.diag;
+    auto factor_diag =
+        KDpp::CreateFactorDiag(MakeLowRank(fd.w), std::move(diag_copy), k);
+    ASSERT_TRUE(factor_diag.ok()) << factor_diag.status().ToString();
+    EXPECT_TRUE(factor_diag->is_factor_diag());
+    EXPECT_FALSE(factor_diag->is_dual());
+    EXPECT_EQ(factor_diag->ground_size(), n);
+
+    const double lz_p = primal->LogNormalizer();
+    EXPECT_NEAR(lz_p, factor_diag->LogNormalizer(),
+                kTol * std::max(1.0, std::fabs(lz_p)))
+        << "alpha=" << alpha << " k=" << k;
+
+    // LogProb through the Gram-plus-diagonal submatrix.
+    std::vector<int> subset;
+    for (int i = 0; i < k; ++i) subset.push_back((3 * i + 1) % n);
+    std::sort(subset.begin(), subset.end());
+    subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
+    if (static_cast<int>(subset.size()) == k) {
+      auto lp_p = primal->LogProb(subset);
+      auto lp_f = factor_diag->LogProb(subset);
+      ASSERT_TRUE(lp_p.ok());
+      ASSERT_TRUE(lp_f.ok());
+      EXPECT_NEAR(*lp_p, *lp_f, 1e-8 * std::max(1.0, std::fabs(*lp_p)));
+    }
+
+    const Vector diag_p = primal->MarginalDiagonal();
+    const Vector diag_f = factor_diag->MarginalDiagonal();
+    const Matrix mk_p = primal->MarginalKernel();
+    const Matrix mk_f = factor_diag->MarginalKernel();
+    double trace = 0.0;
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(diag_p[i], diag_f[i], 1e-8) << "item " << i;
+      trace += diag_f[i];
+      for (int j = 0; j < n; ++j) {
+        EXPECT_NEAR(mk_p(i, j), mk_f(i, j), 1e-8);
+      }
+    }
+    EXPECT_NEAR(trace, static_cast<double>(k), 1e-7);
+
+    // Fixed-seed sample streams coincide draw for draw: the factor-diag
+    // sampler walks the same full spectrum the primal walks.
+    Rng master_p(seed ^ 0xFD01ULL);
+    Rng master_f(seed ^ 0xFD01ULL);
+    for (int t = 0; t < 100; ++t) {
+      Rng fork_p = master_p.Fork();
+      Rng fork_f = master_f.Fork();
+      auto sp = primal->Sample(&fork_p);
+      auto sf = factor_diag->Sample(&fork_f);
+      ASSERT_TRUE(sp.ok()) << sp.status().ToString();
+      ASSERT_TRUE(sf.ok()) << sf.status().ToString();
+      ASSERT_EQ(static_cast<int>(sf->size()), k);
+      EXPECT_EQ(*sp, *sf)
+          << "draw " << t << " diverged (alpha=" << alpha << ", d=" << d
+          << ", k=" << k << ")";
+    }
+  }
+}
+
+TEST_P(BlendSweep, DppAgreesWithPrimal) {
+  const auto [alpha, d, seed] = GetParam();
+  const int n = 24;
+  Rng rng(seed ^ 0xD99ULL);
+  const Matrix v = testutil::RandomMatrix(n, d, &rng);
+  Vector q(n);
+  for (int i = 0; i < n; ++i) q[i] = std::exp(0.5 * rng.Normal());
+  const BlendPieces fd = BlendFactorDiag(v, q, alpha);
+
+  auto primal = Dpp::Create(BlendKernel(v, q, alpha));
+  ASSERT_TRUE(primal.ok()) << primal.status().ToString();
+  Vector diag_copy = fd.diag;
+  auto factor_diag =
+      Dpp::CreateFactorDiag(MakeLowRank(fd.w), std::move(diag_copy));
+  ASSERT_TRUE(factor_diag.ok()) << factor_diag.status().ToString();
+  EXPECT_TRUE(factor_diag->is_factor_diag());
+
+  const double lz_p = primal->LogNormalizer();
+  EXPECT_NEAR(lz_p, factor_diag->LogNormalizer(),
+              kTol * std::max(1.0, std::fabs(lz_p)));
+  EXPECT_NEAR(primal->ExpectedSize(), factor_diag->ExpectedSize(), 1e-8);
+  const Vector diag_p = primal->MarginalDiagonal();
+  const Vector diag_f = factor_diag->MarginalDiagonal();
+  const Matrix mk_p = primal->MarginalKernel();
+  const Matrix mk_f = factor_diag->MarginalKernel();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(diag_p[i], diag_f[i], 1e-8);
+    for (int j = 0; j < n; ++j) EXPECT_NEAR(mk_p(i, j), mk_f(i, j), 1e-8);
+  }
+  for (const auto& s :
+       std::vector<std::vector<int>>{{}, {0}, {2, 7}, {1, 5, 9}}) {
+    auto lp_p = primal->LogProb(s);
+    auto lp_f = factor_diag->LogProb(s);
+    ASSERT_TRUE(lp_p.ok());
+    ASSERT_TRUE(lp_f.ok());
+    EXPECT_NEAR(*lp_p, *lp_f, 1e-8 * std::max(1.0, std::fabs(*lp_p)));
+  }
+  Rng master_p(seed ^ 0xFD02ULL);
+  Rng master_f(seed ^ 0xFD02ULL);
+  for (int t = 0; t < 100; ++t) {
+    Rng fork_p = master_p.Fork();
+    Rng fork_f = master_f.Fork();
+    auto sp = primal->Sample(&fork_p);
+    auto sf = factor_diag->Sample(&fork_f);
+    ASSERT_TRUE(sp.ok()) << sp.status().ToString();
+    ASSERT_TRUE(sf.ok()) << sf.status().ToString();
+    EXPECT_EQ(*sp, *sf) << "draw " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blends, BlendSweep,
+    ::testing::Values(BlendCase{0.25, 1, 501}, BlendCase{0.25, 8, 502},
+                      BlendCase{0.25, 32, 503}, BlendCase{0.5, 1, 504},
+                      BlendCase{0.5, 8, 505}, BlendCase{0.5, 32, 506},
+                      BlendCase{0.99, 1, 507}, BlendCase{0.99, 8, 508},
+                      BlendCase{0.99, 32, 509}),
+    [](const ::testing::TestParamInfo<BlendCase>& info) {
+      return "alpha" + std::to_string(static_cast<int>(info.param.alpha * 100)) +
+             "d" + std::to_string(info.param.d);
+    });
+
+TEST(FactorDiagKDppTest, RankDeficientFactorAgreesWithPrimal) {
+  // d = 8 columns but only rank 4 (columns duplicated). The added
+  // diagonal keeps the blend full-rank, so every k up to n works — and
+  // must match the primal build on the same degenerate factor.
+  const int n = 20;
+  Rng rng(91);
+  Matrix v = testutil::RandomMatrix(n, 8, &rng);
+  for (int c = 4; c < 8; ++c) {
+    for (int r = 0; r < n; ++r) v(r, c) = v(r, c - 4);
+  }
+  Vector q(n);
+  for (int i = 0; i < n; ++i) q[i] = std::exp(0.3 * rng.Normal());
+  const double alpha = 0.6;
+  const BlendPieces fd = BlendFactorDiag(v, q, alpha);
+  auto primal = KDpp::Create(BlendKernel(v, q, alpha), 6);
+  ASSERT_TRUE(primal.ok());
+  auto factor_diag = KDpp::CreateFactorDiag(MakeLowRank(fd.w),
+                                            Vector(fd.diag), 6);
+  ASSERT_TRUE(factor_diag.ok()) << factor_diag.status().ToString();
+  EXPECT_NEAR(primal->LogNormalizer(), factor_diag->LogNormalizer(),
+              kTol * std::max(1.0, std::fabs(primal->LogNormalizer())));
+  Rng master_p(17);
+  Rng master_f(17);
+  for (int t = 0; t < 100; ++t) {
+    Rng fork_p = master_p.Fork();
+    Rng fork_f = master_f.Fork();
+    auto sp = primal->Sample(&fork_p);
+    auto sf = factor_diag->Sample(&fork_f);
+    ASSERT_TRUE(sp.ok());
+    ASSERT_TRUE(sf.ok());
+    EXPECT_EQ(*sp, *sf) << "draw " << t;
+  }
+}
+
+TEST(FactorDiagKDppTest, ExtremeQualityScalesRejectIdentically) {
+  // Quality scales spanning 1e-150 .. 1e150 push the blended spectrum
+  // toward double range. k = 1 keeps e_1 finite and must agree; k = 2
+  // overflows the ESP table and BOTH representations must reject with
+  // the same code rather than sample from a corrupted table.
+  const int n = 10;
+  Rng rng(47);
+  const Matrix v = testutil::RandomMatrix(n, 4, &rng);
+  Vector q(n);
+  const double scales[4] = {1e150, 1.0, 1e-150, 0.5};
+  for (int i = 0; i < n; ++i) q[i] = scales[i % 4];
+  const double alpha = 0.5;
+  const BlendPieces fd = BlendFactorDiag(v, q, alpha);
+
+  auto primal_1 = KDpp::Create(BlendKernel(v, q, alpha), 1);
+  auto factor_1 =
+      KDpp::CreateFactorDiag(MakeLowRank(fd.w), Vector(fd.diag), 1);
+  ASSERT_TRUE(primal_1.ok()) << primal_1.status().ToString();
+  ASSERT_TRUE(factor_1.ok()) << factor_1.status().ToString();
+  const double lz_p = primal_1->LogNormalizer();
+  EXPECT_NEAR(lz_p, factor_1->LogNormalizer(), 1e-9 * std::fabs(lz_p));
+
+  auto primal_2 = KDpp::Create(BlendKernel(v, q, alpha), 2);
+  auto factor_2 =
+      KDpp::CreateFactorDiag(MakeLowRank(fd.w), Vector(fd.diag), 2);
+  EXPECT_EQ(primal_2.status().code(), StatusCode::kNumericalError)
+      << primal_2.status().ToString();
+  EXPECT_EQ(factor_2.status().code(), StatusCode::kNumericalError)
+      << factor_2.status().ToString();
+}
+
+TEST(FactorDiagKDppTest, CreateFactorDiagValidatesArguments) {
+  Rng rng(3);
+  const Matrix v = testutil::RandomMatrix(6, 3, &rng);
+  const Vector diag = RandomDiag(6, &rng);
+  EXPECT_FALSE(
+      KDpp::CreateFactorDiag(MakeLowRank(v), Vector(diag), 0).ok());
+  EXPECT_FALSE(
+      KDpp::CreateFactorDiag(MakeLowRank(v), Vector(diag), 7).ok());
+  EXPECT_FALSE(KDpp::CreateFactorDiag(MakeLowRank(v), Vector(3), 2).ok());
+  Vector bad = diag;
+  bad[2] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(
+      KDpp::CreateFactorDiag(MakeLowRank(v), std::move(bad), 2).ok());
+  auto kdpp = KDpp::CreateFactorDiag(MakeLowRank(v), Vector(diag), 2);
+  ASSERT_TRUE(kdpp.ok());
+  EXPECT_FALSE(kdpp->Sample(nullptr).ok());
+}
+
+// ---------------------------------------------------------------------
+// Serving: factor-diag sampling vs the forced-primal oracle
+
+struct ServeWorld {
+  Dataset dataset;
+  std::unique_ptr<MfModel> model;
+  DiversityKernel diversity;
+};
+
+ServeWorld* World() {
+  static ServeWorld* world = [] {
+    SyntheticConfig cfg;
+    cfg.name = "factor-diag-world";
+    cfg.num_users = 60;
+    cfg.num_items = 80;
+    cfg.num_categories = 10;
+    cfg.num_events = 6000;
+    cfg.min_interactions = 8;
+    cfg.seed = 77;
+    auto ds = GenerateSyntheticDataset(cfg);
+    ds.status().CheckOK();
+    Dataset dataset = std::move(ds).ValueOrDie();
+    DiversityKernel diversity =
+        DiversityKernel::Random(dataset.num_items(), 8, /*seed=*/23);
+    auto* w = new ServeWorld{std::move(dataset), nullptr,
+                             std::move(diversity)};
+    MfModel::Config mcfg;
+    mcfg.embedding_dim = 8;
+    mcfg.seed = 5;
+    w->model = std::make_unique<MfModel>(w->dataset.num_users(),
+                                         w->dataset.num_items(), mcfg);
+    return w;
+  }();
+  return world;
+}
+
+ServeConfig SampleConfig(double alpha) {
+  ServeConfig config;
+  config.mode = ServeMode::kSample;
+  config.top_k = 5;
+  config.pool_size = 20;
+  config.kernel_blend_alpha = alpha;
+  config.cache_capacity = 256;
+  config.seed = 4321;
+  return config;
+}
+
+std::vector<RecRequest> RoundRobinBatch(int batch_size, int offset) {
+  std::vector<RecRequest> batch;
+  const int num_users = World()->dataset.num_users();
+  for (int i = 0; i < batch_size; ++i) {
+    batch.push_back(RecRequest{(offset + i) % num_users});
+  }
+  return batch;
+}
+
+TEST(FactorDiagServeTest, BlendedSamplingMatchesForcedPrimalExactly) {
+  ServeWorld* w = World();
+  for (double alpha : {0.25, 0.5, 0.99}) {
+    ServeConfig fd_cfg = SampleConfig(alpha);
+    ServeConfig primal_cfg = fd_cfg;
+    primal_cfg.force_primal = true;
+    auto fd_service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr, fd_cfg);
+    auto primal_service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr, primal_cfg);
+    ASSERT_TRUE(fd_service.ok());
+    ASSERT_TRUE(primal_service.ok());
+    int factor_diag_responses = 0;
+    for (int b = 0; b < 3; ++b) {
+      auto rf = (*fd_service)->HandleBatch(RoundRobinBatch(24, b * 5));
+      auto rp = (*primal_service)->HandleBatch(RoundRobinBatch(24, b * 5));
+      ASSERT_TRUE(rf.ok()) << rf.status().ToString();
+      ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+      ASSERT_EQ(rf->size(), rp->size());
+      for (size_t i = 0; i < rf->size(); ++i) {
+        EXPECT_EQ((*rf)[i].items, (*rp)[i].items)
+            << "alpha " << alpha << " batch " << b << " request " << i
+            << ": factor-diag and primal sampling diverged";
+        EXPECT_EQ((*rp)[i].path, ServePath::kPrimal);
+        EXPECT_FALSE((*rp)[i].dual_path);
+        if ((*rf)[i].path == ServePath::kFactorDiagSample) {
+          EXPECT_TRUE((*rf)[i].dual_path);
+          ++factor_diag_responses;
+        }
+      }
+    }
+    // The factor-diag path actually engaged (rank 8 < pool 20).
+    EXPECT_GT(factor_diag_responses, 0) << "alpha " << alpha;
+  }
+}
+
+TEST(FactorDiagServeTest, NeverMaterializesPoolByPoolKernel) {
+  // Allocation-probe proof: a synchronous (pool-less) service running
+  // blended sampling through the factor-diag path never constructs a
+  // Matrix with pool_size^2 elements. The forced-primal oracle on the
+  // same batch does (that is what the probe is calibrated against).
+  ServeWorld* w = World();
+  ServeConfig fd_cfg = SampleConfig(0.5);
+  fd_cfg.cache_capacity = 0;  // Every request rebuilds: probe sees builds.
+  auto fd_service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr, fd_cfg);
+  ASSERT_TRUE(fd_service.ok());
+  const long pool_sq =
+      static_cast<long>(fd_cfg.pool_size) * fd_cfg.pool_size;
+  matrix_probe::Arm();
+  ASSERT_TRUE((*fd_service)->HandleBatch(RoundRobinBatch(8, 0)).ok());
+  const long peak_fd = matrix_probe::Disarm();
+  EXPECT_GT(peak_fd, 0);
+  EXPECT_LT(peak_fd, pool_sq)
+      << "factor-diag sampling materialized a pool x pool matrix";
+
+  ServeConfig primal_cfg = fd_cfg;
+  primal_cfg.force_primal = true;
+  auto primal_service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr, primal_cfg);
+  ASSERT_TRUE(primal_service.ok());
+  matrix_probe::Arm();
+  ASSERT_TRUE((*primal_service)->HandleBatch(RoundRobinBatch(8, 0)).ok());
+  const long peak_primal = matrix_probe::Disarm();
+  EXPECT_GE(peak_primal, pool_sq)
+      << "probe calibration: the primal path must materialize the kernel";
+}
+
+TEST(FactorDiagServeTest, BitIdenticalAcrossThreadCounts) {
+  ServeWorld* w = World();
+  auto serve_many = [&](int threads) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+    auto service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, pool.get(),
+        SampleConfig(0.5));
+    service.status().CheckOK();
+    std::vector<std::vector<int>> all_items;
+    bool saw_factor_diag = false;
+    for (int b = 0; b < 4; ++b) {
+      auto responses = (*service)->HandleBatch(RoundRobinBatch(25, b * 7));
+      responses.status().CheckOK();
+      for (const RecResponse& r : *responses) {
+        all_items.push_back(r.items);
+        saw_factor_diag =
+            saw_factor_diag || r.path == ServePath::kFactorDiagSample;
+      }
+    }
+    EXPECT_TRUE(saw_factor_diag);
+    return all_items;
+  };
+  const auto serial = serve_many(/*threads=*/1);
+  for (int threads : {4, 8}) {
+    const auto parallel = serve_many(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i])
+          << "factor-diag response " << i << " diverged at " << threads
+          << " threads";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Per-path attribution (regression: factor-backed MAP used to count
+// into lkp_serve_dual_path_total, conflating it with dual sampling)
+
+TEST(FactorDiagServeTest, PathAttributionIsPerRepresentation) {
+  ServeWorld* w = World();
+  obs::Counter* legacy_dual = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_dual_path_total");
+  obs::Counter* factor_map = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_path_total{path=\"factor_map\"}");
+  obs::Counter* factor_diag_sample =
+      obs::MetricsRegistry::Global().GetCounter(
+          "lkp_serve_path_total{path=\"factor_diag_sample\"}");
+  obs::Counter* dual_sample = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_path_total{path=\"dual_sample\"}");
+
+  // MAP with the factor rep: path attribution goes to factor_map and the
+  // legacy dual-sampling counter must NOT move (the old conflation).
+  {
+    ServeConfig cfg = SampleConfig(0.5);
+    cfg.mode = ServeMode::kMapRerank;
+    auto service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr, cfg);
+    ASSERT_TRUE(service.ok());
+    const long dual_before = legacy_dual->Value();
+    const long map_before = factor_map->Value();
+    auto responses = (*service)->HandleBatch(RoundRobinBatch(16, 0));
+    ASSERT_TRUE(responses.ok());
+    bool saw_factor_map = false;
+    for (const RecResponse& r : *responses) {
+      if (r.items.empty()) continue;
+      EXPECT_EQ(r.path, ServePath::kFactorMap);
+      EXPECT_TRUE(r.dual_path);
+      saw_factor_map = true;
+    }
+    EXPECT_TRUE(saw_factor_map);
+    EXPECT_GT(factor_map->Value(), map_before);
+    EXPECT_EQ(legacy_dual->Value(), dual_before)
+        << "factor-backed MAP builds must not count as dual sampling";
+  }
+
+  // Blended sampling attributes to factor_diag_sample, not dual_sample.
+  {
+    auto service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr,
+        SampleConfig(0.5));
+    ASSERT_TRUE(service.ok());
+    const long fd_before = factor_diag_sample->Value();
+    const long dual_before = dual_sample->Value();
+    const long legacy_before = legacy_dual->Value();
+    ASSERT_TRUE((*service)->HandleBatch(RoundRobinBatch(16, 0)).ok());
+    EXPECT_GT(factor_diag_sample->Value(), fd_before);
+    EXPECT_EQ(dual_sample->Value(), dual_before);
+    EXPECT_EQ(legacy_dual->Value(), legacy_before);
+  }
+
+  // Pure-diversity sampling still attributes to dual_sample (and the
+  // legacy counter still tracks it).
+  {
+    auto service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr,
+        SampleConfig(1.0));
+    ASSERT_TRUE(service.ok());
+    const long dual_before = dual_sample->Value();
+    const long legacy_before = legacy_dual->Value();
+    auto responses = (*service)->HandleBatch(RoundRobinBatch(16, 0));
+    ASSERT_TRUE(responses.ok());
+    for (const RecResponse& r : *responses) {
+      if (r.items.empty()) continue;
+      EXPECT_EQ(r.path, ServePath::kDualSample);
+      EXPECT_TRUE(r.dual_path);
+    }
+    EXPECT_GT(dual_sample->Value(), dual_before);
+    EXPECT_GT(legacy_dual->Value(), legacy_before);
+  }
+
+  // MAP at alpha == 0 attributes to diag_map and reports dual_path
+  // false, as before.
+  {
+    ServeConfig cfg = SampleConfig(0.0);
+    cfg.mode = ServeMode::kMapRerank;
+    auto service = RecommendationService::Create(
+        &w->dataset, w->model.get(), &w->diversity, nullptr, cfg);
+    ASSERT_TRUE(service.ok());
+    auto responses = (*service)->HandleBatch(RoundRobinBatch(8, 0));
+    ASSERT_TRUE(responses.ok());
+    for (const RecResponse& r : *responses) {
+      if (r.items.empty()) continue;
+      EXPECT_EQ(r.path, ServePath::kDiagMap);
+      EXPECT_FALSE(r.dual_path);
+    }
+  }
+}
+
+TEST(FactorDiagServeTest, ServePathNamesAreStable) {
+  EXPECT_STREQ(ServePathName(ServePath::kPrimal), "primal");
+  EXPECT_STREQ(ServePathName(ServePath::kDualSample), "dual_sample");
+  EXPECT_STREQ(ServePathName(ServePath::kFactorDiagSample),
+               "factor_diag_sample");
+  EXPECT_STREQ(ServePathName(ServePath::kFactorMap), "factor_map");
+  EXPECT_STREQ(ServePathName(ServePath::kDiagMap), "diag_map");
+}
+
+// ---------------------------------------------------------------------
+// Config validation regressions (NaN used to pass the range checks)
+
+TEST(ConfigValidationTest, ServeConfigRejectsNonFiniteFields) {
+  ServeWorld* w = World();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  auto create = [&](const ServeConfig& cfg) {
+    return RecommendationService::Create(&w->dataset, w->model.get(),
+                                         &w->diversity, nullptr, cfg)
+        .ok();
+  };
+  // Regression: `alpha < 0 || alpha > 1` waved NaN straight through.
+  ServeConfig cfg = SampleConfig(0.5);
+  cfg.kernel_blend_alpha = nan;
+  EXPECT_FALSE(create(cfg));
+  cfg = SampleConfig(0.5);
+  cfg.kernel_blend_alpha = inf;
+  EXPECT_FALSE(create(cfg));
+  cfg = SampleConfig(0.5);
+  cfg.batch_deadline_ms = nan;
+  EXPECT_FALSE(create(cfg));
+  cfg = SampleConfig(0.5);
+  cfg.batch_deadline_ms = inf;
+  EXPECT_FALSE(create(cfg));
+  cfg = SampleConfig(0.5);
+  cfg.approx_error_budget = nan;
+  EXPECT_FALSE(create(cfg));
+  cfg = SampleConfig(0.5);
+  cfg.approx_factor_rank = -1;
+  EXPECT_FALSE(create(cfg));
+  EXPECT_TRUE(create(SampleConfig(0.5)));
+}
+
+TEST(ConfigValidationTest, UpdateConfigRejectsNonFiniteJitter) {
+  ServeWorld* w = World();
+  auto service = RecommendationService::Create(
+      &w->dataset, w->model.get(), &w->diversity, nullptr,
+      SampleConfig(0.5));
+  ASSERT_TRUE(service.ok());
+  UpdateConfig cfg;
+  cfg.kernel_set_size = 4;
+  cfg.kernel_jitter = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ModelUpdater::Create(&w->dataset, w->model.get(),
+                                    &w->diversity, service->get(), cfg)
+                   .ok());
+  cfg.kernel_jitter = 1e-4;
+  EXPECT_TRUE(ModelUpdater::Create(&w->dataset, w->model.get(),
+                                   &w->diversity, service->get(), cfg)
+                  .ok());
+}
+
+TEST(ConfigValidationTest, TrainConfigRejectsNonFiniteRates) {
+  ServeWorld* w = World();
+  DiversityKernel::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.pairs_per_epoch = 4;
+  cfg.learning_rate = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(DiversityKernel::Train(w->dataset, cfg).ok());
+  cfg.learning_rate = 0.05;
+  cfg.jitter = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(DiversityKernel::Train(w->dataset, cfg).ok());
+}
+
+// ---------------------------------------------------------------------
+// Nystrom approximation: computed bounds, and the serving budget gate
+
+TEST(NystromTest, FullRankReconstructsExactly) {
+  Rng rng(19);
+  const int n = 12;
+  const Matrix k = testutil::RandomCorrelationKernel(n, &rng);
+  auto approx = PivotedCholeskyApproximation(
+      n, n, 0.0, [&](int i, int j) { return k(i, j); });
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  EXPECT_LE(approx->trace_error_bound, 1e-8);
+  const Matrix rebuilt = MatMulTransB(approx->factor, approx->factor);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(rebuilt(i, j), k(i, j), 1e-7) << "(" << i << "," << j
+                                                << ")";
+    }
+  }
+}
+
+TEST(NystromTest, TruncatedBoundsAreValid) {
+  Rng rng(29);
+  const int n = 16;
+  const Matrix k = testutil::RandomCorrelationKernel(n, &rng);
+  for (int max_rank : {2, 4, 8}) {
+    auto approx = PivotedCholeskyApproximation(
+        n, max_rank, 0.0, [&](int i, int j) { return k(i, j); });
+    ASSERT_TRUE(approx.ok());
+    EXPECT_LE(approx->factor.cols(), max_rank);
+    const Matrix rebuilt = MatMulTransB(approx->factor, approx->factor);
+    double max_err = 0.0;
+    double trace_err = 0.0;
+    for (int i = 0; i < n; ++i) {
+      trace_err += k(i, i) - rebuilt(i, i);
+      for (int j = 0; j < n; ++j) {
+        max_err = std::max(max_err, std::fabs(k(i, j) - rebuilt(i, j)));
+      }
+    }
+    // The computed bounds are exact identities of the partial Cholesky;
+    // allow round-off slack only.
+    EXPECT_LE(max_err, approx->entry_error_bound + 1e-9)
+        << "max_rank=" << max_rank;
+    EXPECT_LE(std::fabs(trace_err - approx->trace_error_bound), 1e-8);
+    // Bounds shrink (weakly) as rank grows.
+  }
+}
+
+TEST(NystromTest, GaussianNystromMatchesExactSubmatrix) {
+  Rng rng(31);
+  const Matrix embeddings = testutil::RandomMatrix(30, 5, &rng);
+  const std::vector<int> pool{2, 5, 9, 11, 14, 17, 20, 23, 26, 29};
+  const double sigma = 1.5;
+  GaussianKernelSource source(embeddings, sigma, /*max_rank=*/10);
+  const Matrix exact = source.PoolSubmatrix(pool);
+  EXPECT_EQ(exact.rows(), 10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(exact(i, i), 1.0);
+  // Full-rank Nystrom reconstructs the exact submatrix.
+  auto approx = GaussianNystrom(embeddings, pool, sigma, 10, 0.0);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  const Matrix rebuilt = MatMulTransB(approx->factor, approx->factor);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_NEAR(rebuilt(i, j), exact(i, j), 1e-8);
+    }
+  }
+  // Truncated Nystrom honors its own computed bound.
+  auto truncated = GaussianNystrom(embeddings, pool, sigma, 4, 0.0);
+  ASSERT_TRUE(truncated.ok());
+  const Matrix coarse = MatMulTransB(truncated->factor, truncated->factor);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_LE(std::fabs(coarse(i, j) - exact(i, j)),
+                truncated->entry_error_bound + 1e-9);
+    }
+  }
+  EXPECT_GT(truncated->entry_error_bound, 0.0);
+}
+
+TEST(NystromTest, RejectsBadArguments) {
+  EXPECT_FALSE(PivotedCholeskyApproximation(0, 4, 0.0, nullptr).ok());
+  EXPECT_FALSE(
+      PivotedCholeskyApproximation(4, 0, 0.0, [](int, int) { return 1.0; })
+          .ok());
+  EXPECT_FALSE(PivotedCholeskyApproximation(
+                   4, 2, std::numeric_limits<double>::quiet_NaN(),
+                   [](int, int) { return 1.0; })
+                   .ok());
+  Rng rng(7);
+  const Matrix e = testutil::RandomMatrix(6, 3, &rng);
+  EXPECT_FALSE(GaussianNystrom(e, {0, 1}, 0.0, 2, 0.0).ok());
+  EXPECT_FALSE(GaussianNystrom(e, {0, 9}, 1.0, 2, 0.0).ok());
+  EXPECT_FALSE(GaussianNystrom(e, {}, 1.0, 2, 0.0).ok());
+}
+
+TEST(GaussianServeTest, ApproximationIsOptInAndBudgetGated) {
+  ServeWorld* w = World();
+  Rng rng(41);
+  Matrix embeddings =
+      testutil::RandomMatrix(w->dataset.num_items(), 6, &rng);
+  obs::Counter* fallback = obs::MetricsRegistry::Global().GetCounter(
+      "lkp_serve_approx_fallback_total");
+
+  // Default config (approx_factor_rank == 0): approximation disabled,
+  // every pool serves exactly through the primal path.
+  {
+    auto service = RecommendationService::CreateGaussian(
+        &w->dataset, w->model.get(), Matrix(embeddings), 1.5, nullptr,
+        SampleConfig(0.5));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    auto responses = (*service)->HandleBatch(RoundRobinBatch(12, 0));
+    ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+    for (const RecResponse& r : *responses) {
+      if (r.items.empty()) continue;
+      EXPECT_EQ(r.path, ServePath::kPrimal);
+    }
+  }
+
+  // Opt in with a generous budget: factor-backed sampling engages.
+  {
+    ServeConfig cfg = SampleConfig(0.5);
+    cfg.approx_factor_rank = 6;
+    cfg.approx_error_budget = 1.0;  // Gaussian entries are <= 1 anyway.
+    auto service = RecommendationService::CreateGaussian(
+        &w->dataset, w->model.get(), Matrix(embeddings), 1.5, nullptr,
+        cfg);
+    ASSERT_TRUE(service.ok());
+    auto responses = (*service)->HandleBatch(RoundRobinBatch(12, 0));
+    ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+    bool engaged = false;
+    for (const RecResponse& r : *responses) {
+      engaged = engaged || r.path == ServePath::kFactorDiagSample;
+    }
+    EXPECT_TRUE(engaged) << "approximate factor never engaged";
+  }
+
+  // Opt in with an impossible budget: every pool falls back to the
+  // exact primal build, the fallback counter says so, and the responses
+  // are bit-identical to the never-opted-in service.
+  {
+    ServeConfig cfg = SampleConfig(0.5);
+    cfg.approx_factor_rank = 4;
+    cfg.approx_error_budget = 0.0;
+    auto gated = RecommendationService::CreateGaussian(
+        &w->dataset, w->model.get(), Matrix(embeddings), 1.5, nullptr,
+        cfg);
+    auto exact = RecommendationService::CreateGaussian(
+        &w->dataset, w->model.get(), Matrix(embeddings), 1.5, nullptr,
+        SampleConfig(0.5));
+    ASSERT_TRUE(gated.ok());
+    ASSERT_TRUE(exact.ok());
+    const long before = fallback->Value();
+    auto rg = (*gated)->HandleBatch(RoundRobinBatch(12, 0));
+    auto re = (*exact)->HandleBatch(RoundRobinBatch(12, 0));
+    ASSERT_TRUE(rg.ok());
+    ASSERT_TRUE(re.ok());
+    EXPECT_GT(fallback->Value(), before);
+    for (size_t i = 0; i < rg->size(); ++i) {
+      EXPECT_EQ((*rg)[i].path, ServePath::kPrimal);
+      EXPECT_EQ((*rg)[i].items, (*re)[i].items)
+          << "budget fallback changed a response";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lkpdpp
